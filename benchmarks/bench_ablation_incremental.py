@@ -1,0 +1,64 @@
+"""Ablation: the two incrementalization paths (DESIGN.md §2).
+
+For an LVGN strategy both constructions apply: the Lemma 5.2 shortcut
+(substitute ``±v`` for the view literals) and the general Appendix-C
+machinery (binarize + Figure-7 delta rules).  This bench compares
+
+* the cost of *deriving* ∂put on each path, and
+* the cost of *running* one update through each derived program,
+
+quantifying what the shortcut buys beyond correctness.
+
+Run:  pytest benchmarks/bench_ablation_incremental.py --benchmark-only
+"""
+
+import pytest
+
+from repro.benchsuite.catalog import entry_by_name
+from repro.core.incremental import (incrementalize_general,
+                                    incrementalize_lvgn)
+from repro.datalog.ast import delete_pred, insert_pred
+from repro.datalog.evaluator import evaluate
+from repro.relational.generators import random_database
+
+VIEW = 'vw_brands'
+SIZE = 20_000
+
+
+def _setup():
+    entry = entry_by_name(VIEW)
+    strategy = entry.strategy()
+    source = random_database(strategy.sources, entry.sizes(SIZE), seed=3,
+                             column_pools=entry.column_pools)
+    current = evaluate(strategy.expected_get, source)[VIEW]
+    delta_plus = frozenset({(10_000_001, 'bench', 'domestic')})
+    edb = dict(source.relations)
+    edb[VIEW] = current
+    edb[insert_pred(VIEW)] = delta_plus
+    edb[delete_pred(VIEW)] = frozenset()
+    return strategy, edb
+
+
+@pytest.mark.parametrize('path', ['lvgn_shortcut', 'general_figure7'])
+def test_derivation_cost(benchmark, path):
+    entry = entry_by_name(VIEW)
+    strategy = entry.strategy()
+    derive = (incrementalize_lvgn if path == 'lvgn_shortcut'
+              else incrementalize_general)
+    program = benchmark(derive, strategy.putdelta, VIEW)
+    benchmark.extra_info['rules'] = len(program.rules)
+
+
+@pytest.mark.parametrize('path', ['lvgn_shortcut', 'general_figure7'])
+def test_update_cost(benchmark, path):
+    strategy, edb = _setup()
+    derive = (incrementalize_lvgn if path == 'lvgn_shortcut'
+              else incrementalize_general)
+    program = derive(strategy.putdelta, VIEW)
+    goals = tuple(program.delta_preds())
+
+    def run():
+        return evaluate(program, edb, goals=goals)
+
+    output = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert output[insert_pred('brands_domestic')]

@@ -1,0 +1,37 @@
+"""Ablation: satisfiability-search strategies inside the validator.
+
+The bounded solver (DESIGN.md §3, the Z3 substitute) combines canonical-
+instance enumeration with randomized search.  This bench validates the
+same strategy under three budgets to show where the verdicts come from:
+
+* ``full``          — default budgets (canonical + random);
+* ``canonical_only``— no random trials;
+* ``reduced``       — the scaled-down quick budget used by ``--quick``.
+
+All three must agree on the shipped (valid) strategy; the differences are
+pure running time.
+
+Run:  pytest benchmarks/bench_ablation_solver.py --benchmark-only
+"""
+
+import pytest
+
+from repro.benchsuite.catalog import entry_by_name
+from repro.core.validation import validate
+from repro.fol.solver import SolverConfig
+
+CONFIGS = {
+    'full': SolverConfig(),
+    'canonical_only': SolverConfig(random_trials=0),
+    'reduced': SolverConfig().scaled_down(),
+}
+
+
+@pytest.mark.parametrize('budget', list(CONFIGS))
+def test_validation_budget(benchmark, budget):
+    strategy = entry_by_name('residents').strategy()
+    config = CONFIGS[budget]
+    report = benchmark.pedantic(
+        lambda: validate(strategy, config=config), rounds=1, iterations=1)
+    benchmark.extra_info['budget'] = budget
+    assert report.valid

@@ -1,0 +1,28 @@
+"""Figure 6b reproduction: ``officeinfo`` (Projection) view updating time.
+
+Original strategy vs incrementalized strategy against base-table size.
+The paper sweeps up to 3×10⁶ rows on PostgreSQL; the pure-Python sweep
+uses smaller sizes — the claim under reproduction is the *shape*:
+original grows linearly, incremental stays flat.
+
+Run:  pytest benchmarks/bench_fig6_officeinfo.py --benchmark-only
+"""
+
+import pytest
+
+VIEW = 'officeinfo'
+SIZES = (10_000, 50_000, 150_000)
+
+
+@pytest.mark.parametrize('size', SIZES)
+def test_original(benchmark, fig6_engine, size):
+    one_update = fig6_engine(VIEW, size, incremental=False)
+    benchmark.extra_info.update(view=VIEW, size=size, mode='original')
+    benchmark.pedantic(one_update, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize('size', SIZES)
+def test_incremental(benchmark, fig6_engine, size):
+    one_update = fig6_engine(VIEW, size, incremental=True)
+    benchmark.extra_info.update(view=VIEW, size=size, mode='incremental')
+    benchmark.pedantic(one_update, rounds=3, iterations=1)

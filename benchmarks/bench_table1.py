@@ -1,0 +1,54 @@
+"""Table 1 reproduction (§6.2.2): per-view validation time + compiled SQL.
+
+Each benchmark runs Algorithm 1 on one catalog entry — the quantity the
+paper reports in the "Validation Time (s)" column — and records the
+compiled SQL size as the "Compiled SQL (Byte)" column.  The paper's
+published numbers are attached to the benchmark's ``extra_info`` so the
+JSON output carries paper-vs-measured side by side.
+
+Run:  pytest benchmarks/bench_table1.py --benchmark-only
+"""
+
+import pytest
+
+from repro.benchsuite.catalog import ALL_ENTRIES
+from repro.core.validation import validate
+from repro.sql.triggers import compile_strategy_to_sql
+
+EXPRESSIBLE = [e for e in ALL_ENTRIES if e.expressible]
+
+
+@pytest.mark.parametrize('entry', EXPRESSIBLE,
+                         ids=lambda e: f'{e.id:02d}_{e.name}')
+def test_validation_time(benchmark, entry):
+    strategy = entry.strategy()
+
+    report = benchmark.pedantic(lambda: validate(strategy), rounds=1,
+                                iterations=1)
+    assert report.valid, entry.name
+
+    sql = compile_strategy_to_sql(strategy, report.view_definition)
+    benchmark.extra_info['view'] = entry.name
+    benchmark.extra_info['operators'] = entry.paper.operators
+    benchmark.extra_info['constraints'] = entry.paper.constraints
+    benchmark.extra_info['lvgn'] = report.fragment.lvgn
+    benchmark.extra_info['lvgn_paper'] = entry.paper.lvgn
+    benchmark.extra_info['program_loc'] = strategy.program_size()
+    benchmark.extra_info['loc_paper'] = entry.paper.size_loc
+    benchmark.extra_info['sql_bytes'] = len(sql.encode())
+    benchmark.extra_info['sql_bytes_paper'] = entry.paper.sql_bytes
+    benchmark.extra_info['validation_time_paper'] = \
+        entry.paper.validation_time
+
+    assert report.fragment.lvgn == entry.paper.lvgn
+
+
+def test_emp_view_reported_inexpressible():
+    """Row #23 of Table 1: the aggregation view has no NR-Datalog
+    strategy; the paper leaves its cells empty and so do we."""
+    from repro.benchsuite.catalog import entry_by_id
+    from repro.errors import FragmentError
+    entry = entry_by_id(23)
+    assert not entry.expressible
+    with pytest.raises(FragmentError):
+        entry.strategy()

@@ -1,0 +1,64 @@
+"""What validation catches (§4): a gallery of broken update strategies.
+
+Each strategy below is a small, plausible-looking mutation of the union
+example, and each violates a different leg of well-behavedness.  The
+validator pinpoints the failing check and produces a concrete
+counterexample database.
+
+Run:  python examples/invalid_strategies.py
+"""
+
+from repro import DatabaseSchema, UpdateStrategy, validate
+
+SOURCES = DatabaseSchema.build(r1={'a': 'int'}, r2={'a': 'int'})
+UNION_GET = 'v(X) :- r1(X).\nv(X) :- r2(X).'
+
+BROKEN = [
+    ('contradictory deltas (well-definedness, §4.2)', """
+        +r1(X) :- v(X), r1(X).
+        -r1(X) :- v(X), r1(X).
+     """, None),
+    ('deletes tuples the view still contains (GetPut, §4.3)', """
+        -r1(X) :- r1(X), v(X).
+        -r2(X) :- r2(X), not v(X).
+        +r1(X) :- v(X), not r1(X), not r2(X).
+     """, UNION_GET),
+    ('never propagates insertions (PutGet, §4.4)', """
+        -r1(X) :- r1(X), not v(X).
+        -r2(X) :- r2(X), not v(X).
+     """, UNION_GET),
+    ('unconditional source damage (no steady state, φ3)', """
+        -r1(X) :- r1(X), r2(X).
+        -r1(X) :- r1(X), not v(X).
+     """, None),
+]
+
+
+def main() -> None:
+    for title, putdelta, get in BROKEN:
+        print(f'== {title} ==')
+        strategy = UpdateStrategy.parse('v', SOURCES, putdelta,
+                                        expected_get=get)
+        report = validate(strategy)
+        assert not report.valid
+        failure = report.failures()[0]
+        print(f'  verdict : INVALID — {failure.name}')
+        print(f'  reason  : {failure.detail}')
+        if failure.witness is not None:
+            witness = str(failure.witness).replace('\n', '; ')
+            print(f'  witness : {witness}')
+        print()
+
+    print('== and the corrected strategy ==')
+    good = UpdateStrategy.parse('v', SOURCES, """
+        -r1(X) :- r1(X), not v(X).
+        -r2(X) :- r2(X), not v(X).
+        +r1(X) :- v(X), not r1(X), not r2(X).
+    """, expected_get=UNION_GET)
+    report = validate(good)
+    print(f'  verdict : {"VALID" if report.valid else "INVALID"} '
+          f'({report.fragment}, conclusive={report.conclusive})')
+
+
+if __name__ == '__main__':
+    main()

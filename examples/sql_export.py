@@ -1,0 +1,43 @@
+"""Compiling a validated strategy to PostgreSQL (§6.1).
+
+The framework emits the same artifacts the paper deploys: ``CREATE TABLE``
+DDL, a ``CREATE VIEW`` from the certified view definition, and an
+``INSTEAD OF`` trigger program implementing the (incrementalized) update
+strategy.  Pipe the output into psql against a real PostgreSQL if you have
+one; the in-memory engine executes the identical pipeline natively.
+
+Run:  python examples/sql_export.py
+"""
+
+from repro import (DatabaseSchema, UpdateStrategy, compile_strategy_to_sql,
+                   validate)
+from repro.sql.ddl import create_schema
+
+
+def main() -> None:
+    sources = DatabaseSchema.build(
+        items={'iid': 'int', 'iname': 'string', 'price': 'int'})
+
+    strategy = UpdateStrategy.parse('luxuryitems', sources, """
+        ⊥ :- luxuryitems(I, N, P), not P > 1000.
+        +items(I, N, P) :- luxuryitems(I, N, P), not items(I, N, P).
+        expensive(I, N, P) :- items(I, N, P), P > 1000.
+        -items(I, N, P) :- expensive(I, N, P), not luxuryitems(I, N, P).
+    """, expected_get="luxuryitems(I, N, P) :- items(I, N, P), "
+                      "P > 1000.")
+
+    report = validate(strategy)
+    report.raise_if_invalid()
+
+    print('-- base tables ' + '-' * 50)
+    print(create_schema(sources))
+    print()
+    sql = compile_strategy_to_sql(strategy, report.view_definition,
+                                  incremental=True)
+    print(sql)
+    print(f'-- total: {len(sql.encode())} bytes of compiled SQL '
+          f"(Table 1's last column)")
+
+
+if __name__ == '__main__':
+    main()

@@ -1,0 +1,34 @@
+"""The full Table 1 benchmark catalog (§6.2.1).
+
+32 views collected by the paper from the literature (textbooks, tutorials,
+papers, the §3.3 case study) and from Q&A sites, re-authored from their
+published profiles.  See :mod:`repro.benchsuite.catalog_literature` and
+:mod:`repro.benchsuite.catalog_qa` for the entries themselves.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.catalog_literature import LITERATURE_ENTRIES
+from repro.benchsuite.catalog_qa import QA_ENTRIES
+from repro.benchsuite.entry import BenchmarkEntry
+
+__all__ = ['ALL_ENTRIES', 'entry_by_name', 'entry_by_id',
+           'FIGURE6_VIEWS']
+
+ALL_ENTRIES: tuple[BenchmarkEntry, ...] = tuple(LITERATURE_ENTRIES +
+                                                QA_ENTRIES)
+
+#: The four views the paper benchmarks in Figure 6 (a–d).
+FIGURE6_VIEWS = ('luxuryitems', 'officeinfo', 'outstanding_task',
+                 'vw_brands')
+
+_BY_NAME = {entry.name: entry for entry in ALL_ENTRIES}
+_BY_ID = {entry.id: entry for entry in ALL_ENTRIES}
+
+
+def entry_by_name(name: str) -> BenchmarkEntry:
+    return _BY_NAME[name]
+
+
+def entry_by_id(entry_id: int) -> BenchmarkEntry:
+    return _BY_ID[entry_id]

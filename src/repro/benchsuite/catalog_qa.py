@@ -1,0 +1,303 @@
+"""Table 1 benchmark entries #24–#32: view update questions collected from
+Database Administrators Stack Exchange and Stack Overflow (§6.2.1)."""
+
+from __future__ import annotations
+
+from repro.benchsuite.entry import BenchmarkEntry, PaperRow
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ['QA_ENTRIES']
+
+
+def _ids(n: int) -> list:
+    return list(range(n))
+
+
+QA_ENTRIES: list[BenchmarkEntry] = [
+
+    # ----------------------------------------------------------------- #24
+    BenchmarkEntry(
+        id=24, name='ukaz_lok', source='qa',
+        paper=PaperRow('S', 6, 'C', True, True, 1.79, 10104),
+        sources=DatabaseSchema.build(
+            lok={'lid': 'int', 'nazev': 'string', 'stav': 'int'}),
+        putdelta="""
+            ⊥ :- ukaz_lok(L, N, S), not S > 0.
+            aktivni(L, N, S) :- lok(L, N, S), S > 0.
+            +lok(L, N, S) :- ukaz_lok(L, N, S), not lok(L, N, S).
+            -lok(L, N, S) :- aktivni(L, N, S), not ukaz_lok(L, N, S).
+        """,
+        expected_get="ukaz_lok(L, N, S) :- lok(L, N, S), S > 0.",
+        column_pools={'lok': {'stav': [0, 1, 2, 3]}},
+        notes='Stack Overflow (Czech rail example): selection of active '
+              'locomotives.'),
+
+    # ----------------------------------------------------------------- #25
+    BenchmarkEntry(
+        id=25, name='message', source='qa',
+        paper=PaperRow('U', 8, 'C', True, True, 1.8, 15770),
+        sources=DatabaseSchema.build(
+            inbox={'mid': 'int', 'body': 'string'},
+            outbox={'mid': 'int', 'body': 'string'}),
+        putdelta="""
+            ⊥ :- message(M, B, F), not F = 'in', not F = 'out'.
+            +inbox(M, B) :- message(M, B, F), F = 'in', not inbox(M, B).
+            -inbox(M, B) :- inbox(M, B), not message(M, B, 'in').
+            +outbox(M, B) :- message(M, B, F), F = 'out',
+                not outbox(M, B).
+            -outbox(M, B) :- outbox(M, B), not message(M, B, 'out').
+        """,
+        expected_get="""
+            message(M, B, F) :- inbox(M, B), F = 'in'.
+            message(M, B, F) :- outbox(M, B), F = 'out'.
+        """,
+        notes='DBA Stack Exchange: union of inbox and outbox folders '
+              'with a folder-tag domain constraint.'),
+
+    # ----------------------------------------------------------------- #26
+    BenchmarkEntry(
+        id=26, name='outstanding_task', source='qa',
+        paper=PaperRow('P, SJ', 10, 'ID, C', True, True, 10.07, 18253),
+        sources=DatabaseSchema.build(
+            tasks={'tid': 'int', 'title': 'string', 'owner': 'string',
+                   'created': 'date', 'priority': 'int',
+                   'status': 'string'},
+            flow={'tid': 'int', 'step': 'string'}),
+        putdelta="""
+            ⊥ :- outstanding_task(T, N, O, P), not inflow(T).
+            ⊥ :- outstanding_task(T, N, O, P), P < 0.
+            inflow(T) :- flow(T, _).
+            open_task(T, N, O, P) :- tasks(T, N, O, _, P, S), S = 'open'.
+            +tasks(T, N, O, C, P, S) :- outstanding_task(T, N, O, P),
+                not open_task(T, N, O, P), C = '2020-01-01', S = 'open'.
+            -tasks(T, N, O, C, P, S) :- tasks(T, N, O, C, P, S),
+                S = 'open', inflow(T), not outstanding_task(T, N, O, P).
+        """,
+        expected_get="outstanding_task(T, N, O, P) :- "
+                     "tasks(T, N, O, _, P, S), S = 'open', inflow(T).\n"
+                     "inflow(T) :- flow(T, _).",
+        column_pools={'tasks': {'tid': _ids(1500),
+                                'status': ['open', 'done'],
+                                'priority': [0, 1, 2, 3]},
+                      'flow': {'tid': _ids(1500),
+                               'step': ['triage', 'review', 'qa']}},
+        size_weights={'tasks': 1.0, 'flow': 0.6},
+        notes='Figure 6c subject (DBA Stack Exchange): open tasks that '
+              'appear in the workflow table — the widest schema in the '
+              'suite, hence the paper\'s longest validation time.'),
+
+    # ----------------------------------------------------------------- #27
+    BenchmarkEntry(
+        id=27, name='poi_view', source='qa',
+        paper=PaperRow('P,IJ', 12, 'PK', False, True, 2.1, 24741),
+        sources=DatabaseSchema.build(
+            poi={'pid': 'int', 'pname': 'string', 'loc': 'int'},
+            locations={'loc': 'int', 'lat': 'float', 'lon': 'float'}),
+        putdelta="""
+            ⊥ :- poi_view(P, N1, L, LA1, LO1), poi_view(P, N2, L2, LA2,
+                LO2), not N1 = N2.
+            ⊥ :- poi_view(P1, N1, L, LA1, LO1), poi_view(P2, N2, L, LA2,
+                LO2), not LA1 = LA2.
+            ⊥ :- poi_view(P1, N1, L, LA1, LO1), poi_view(P2, N2, L, LA2,
+                LO2), not LO1 = LO2.
+            vpoi(P, N, L) :- poi_view(P, N, L, _, _).
+            vloc(L, LA, LO) :- poi_view(_, _, L, LA, LO).
+            +poi(P, N, L) :- poi_view(P, N, L, LA, LO), not poi(P, N, L).
+            +locations(L, LA, LO) :- poi_view(P, N, L, LA, LO),
+                not locations(L, LA, LO).
+            -locations(L, LA, LO) :- locations(L, LA, LO), vloc(L, LA2,
+                LO2), not LA = LA2.
+            -locations(L, LA, LO) :- locations(L, LA, LO), vloc(L, LA2,
+                LO2), not LO = LO2.
+            -poi(P, N, L) :- poi(P, N, L), locations(L, _, _),
+                not vpoi(P, N, L).
+            -poi(P, N, L) :- poi(P, N, L), vloc(L, _, _),
+                not vpoi(P, N, L).
+        """,
+        expected_get="poi_view(P, N, L, LA, LO) :- poi(P, N, L), "
+                     "locations(L, LA, LO).",
+        column_pools={'poi': {'loc': _ids(200)},
+                      'locations': {'loc': _ids(200)}},
+        size_weights={'poi': 1.0, 'locations': 0.25},
+        notes='Stack Overflow: points of interest joined with their '
+              'coordinates.'),
+
+    # ----------------------------------------------------------------- #28
+    BenchmarkEntry(
+        id=28, name='phonelist', source='qa',
+        paper=PaperRow('U', 14, 'C', True, True, 1.94, 16553),
+        sources=DatabaseSchema.build(
+            phones_office={'owner': 'string', 'number': 'string'},
+            phones_mobile={'owner': 'string', 'number': 'string'},
+            phones_home={'owner': 'string', 'number': 'string'}),
+        putdelta="""
+            ⊥ :- phonelist(O, N, K), not K = 'office', not K = 'mobile',
+                not K = 'home'.
+            +phones_office(O, N) :- phonelist(O, N, K), K = 'office',
+                not phones_office(O, N).
+            -phones_office(O, N) :- phones_office(O, N),
+                not phonelist(O, N, 'office').
+            +phones_mobile(O, N) :- phonelist(O, N, K), K = 'mobile',
+                not phones_mobile(O, N).
+            -phones_mobile(O, N) :- phones_mobile(O, N),
+                not phonelist(O, N, 'mobile').
+            +phones_home(O, N) :- phonelist(O, N, K), K = 'home',
+                not phones_home(O, N).
+            -phones_home(O, N) :- phones_home(O, N),
+                not phonelist(O, N, 'home').
+        """,
+        expected_get="""
+            phonelist(O, N, K) :- phones_office(O, N), K = 'office'.
+            phonelist(O, N, K) :- phones_mobile(O, N), K = 'mobile'.
+            phonelist(O, N, K) :- phones_home(O, N), K = 'home'.
+        """,
+        notes='DBA Stack Exchange: three-way tagged union of phone '
+              'directories.'),
+
+    # ----------------------------------------------------------------- #29
+    BenchmarkEntry(
+        id=29, name='products', source='qa',
+        paper=PaperRow('LJ', 16, 'PK, FK, C', False, True, 3.6, 58394),
+        sources=DatabaseSchema.build(
+            product_names={'pid': 'int', 'pname': 'string'},
+            stock={'pid': 'int', 'qty': 'int'}),
+        putdelta="""
+            ⊥ :- products(P, N1, Q1), products(P, N2, Q2), not N1 = N2.
+            ⊥ :- products(P, N1, Q1), products(P, N2, Q2), not Q1 = Q2.
+            ⊥ :- products(P, N, Q), Q < -1.
+            ⊥ :- stock(P, Q), not has_name(P).
+            has_name(P) :- product_names(P, _).
+            vpn(P, N) :- products(P, N, _).
+            vname(P) :- products(P, _, _).
+            vq(P, Q) :- products(P, _, Q).
+            +product_names(P, N) :- products(P, N, Q),
+                not product_names(P, N).
+            -product_names(P, N) :- product_names(P, N), not vpn(P, N).
+            +stock(P, Q) :- products(P, N, Q), not Q = -1,
+                not stock(P, Q).
+            -stock(P, Q) :- stock(P, Q), vq(P, Q2), not Q = Q2.
+            -stock(P, Q) :- stock(P, Q), has_name(P), not vname(P).
+        """,
+        expected_get="""
+            products(P, N, Q) :- product_names(P, N), stock(P, Q).
+            products(P, N, Q) :- product_names(P, N), not stock(P, _),
+                Q = -1.
+        """,
+        column_pools={'product_names': {'pid': _ids(1000)},
+                      'stock': {'pid': _ids(1000),
+                                'qty': list(range(0, 500))}},
+        size_weights={'product_names': 1.0, 'stock': 0.7},
+        notes='Stack Overflow: LEFT JOIN of products with stock; the '
+              'missing side is encoded as qty = -1 (Datalog has no '
+              'NULL), guarded by the qty ≥ -1 domain constraint.'),
+
+    # ----------------------------------------------------------------- #30
+    BenchmarkEntry(
+        id=30, name='koncerty', source='qa',
+        paper=PaperRow('IJ', 17, 'PK', False, True, 1.93, 29147),
+        sources=DatabaseSchema.build(
+            koncert={'kid': 'int', 'kname': 'string', 'vid': 'int'},
+            venues={'vid': 'int', 'vname': 'string', 'city': 'string'}),
+        putdelta="""
+            ⊥ :- koncerty(K, N, V, VN1, C1), koncerty(K2, N2, V, VN2,
+                C2), not VN1 = VN2.
+            ⊥ :- koncerty(K, N, V, VN1, C1), koncerty(K2, N2, V, VN2,
+                C2), not C1 = C2.
+            ⊥ :- koncerty(K, N1, V1, VN1, C1), koncerty(K, N2, V2, VN2,
+                C2), not N1 = N2.
+            vkon(K, N, V) :- koncerty(K, N, V, _, _).
+            vven(V, VN, C) :- koncerty(_, _, V, VN, C).
+            +koncert(K, N, V) :- koncerty(K, N, V, VN, C),
+                not koncert(K, N, V).
+            +venues(V, VN, C) :- koncerty(K, N, V, VN, C),
+                not venues(V, VN, C).
+            -venues(V, VN, C) :- venues(V, VN, C), vven(V, VN2, C2),
+                not VN = VN2.
+            -venues(V, VN, C) :- venues(V, VN, C), vven(V, VN2, C2),
+                not C = C2.
+            -koncert(K, N, V) :- koncert(K, N, V), venues(V, _, _),
+                not vkon(K, N, V).
+            -koncert(K, N, V) :- koncert(K, N, V), vven(V, _, _),
+                not vkon(K, N, V).
+        """,
+        expected_get="koncerty(K, N, V, VN, C) :- koncert(K, N, V), "
+                     "venues(V, VN, C).",
+        column_pools={'koncert': {'vid': _ids(120)},
+                      'venues': {'vid': _ids(120)}},
+        size_weights={'koncert': 1.0, 'venues': 0.12},
+        notes='Stack Overflow (Czech): concerts joined with venues.'),
+
+    # ----------------------------------------------------------------- #31
+    BenchmarkEntry(
+        id=31, name='purchaseview', source='qa',
+        paper=PaperRow('P,IJ', 19, 'PK, FK, JD', False, True, 1.89,
+                       27262),
+        sources=DatabaseSchema.build(
+            purchases={'puid': 'int', 'cid': 'int', 'amount': 'int',
+                       'pdate': 'date'},
+            customers2={'cid': 'int', 'cname': 'string'}),
+        putdelta="""
+            ⊥ :- purchaseview(P, C, N1, A1), purchaseview(P, C2, N2, A2),
+                not C = C2.
+            ⊥ :- purchaseview(P, C, N1, A1), purchaseview(P, C2, N2, A2),
+                not A1 = A2.
+            ⊥ :- purchaseview(P1, C, N1, A1), purchaseview(P2, C, N2,
+                A2), not N1 = N2.
+            vpur(P, C, A) :- purchaseview(P, C, _, A).
+            vcust(C, N) :- purchaseview(_, C, N, _).
+            known_purchase(P, C, A) :- purchases(P, C, A, _).
+            +purchases(P, C, A, D) :- purchaseview(P, C, N, A),
+                not known_purchase(P, C, A), D = '2020-01-01'.
+            +customers2(C, N) :- purchaseview(P, C, N, A),
+                not customers2(C, N).
+            -customers2(C, N) :- customers2(C, N), vcust(C, N2),
+                not N = N2.
+            -purchases(P, C, A, D) :- purchases(P, C, A, D),
+                customers2(C, _), not vpur(P, C, A).
+            -purchases(P, C, A, D) :- purchases(P, C, A, D), vcust(C, _),
+                not vpur(P, C, A).
+        """,
+        expected_get="purchaseview(P, C, N, A) :- purchases(P, C, A, _), "
+                     "customers2(C, N).",
+        column_pools={'purchases': {'cid': _ids(250)},
+                      'customers2': {'cid': _ids(250)}},
+        size_weights={'purchases': 1.0, 'customers2': 0.2},
+        notes='DBA Stack Exchange: purchases joined with customer names; '
+              'purchase date is projected away.'),
+
+    # ----------------------------------------------------------------- #32
+    BenchmarkEntry(
+        id=32, name='vehicle_view', source='qa',
+        paper=PaperRow('P,IJ', 20, 'PK, FK, JD', False, True, 2.03,
+                       25226),
+        sources=DatabaseSchema.build(
+            vehicles={'vid': 'int', 'plate': 'string', 'oid': 'int'},
+            owners={'oid': 'int', 'oname': 'string', 'phone': 'string'}),
+        putdelta="""
+            ⊥ :- vehicle_view(V, P1, O, N1), vehicle_view(V, P2, O2, N2),
+                not P1 = P2.
+            ⊥ :- vehicle_view(V, P1, O, N1), vehicle_view(V, P2, O2, N2),
+                not O = O2.
+            ⊥ :- vehicle_view(V1, P1, O, N1), vehicle_view(V2, P2, O,
+                N2), not N1 = N2.
+            vveh(V, P, O) :- vehicle_view(V, P, O, _).
+            vown(O, N) :- vehicle_view(_, _, O, N).
+            known_owner(O, N) :- owners(O, N, _).
+            +vehicles(V, P, O) :- vehicle_view(V, P, O, N),
+                not vehicles(V, P, O).
+            +owners(O, N, T) :- vehicle_view(V, P, O, N),
+                not known_owner(O, N), T = 'n/a'.
+            -owners(O, N, T) :- owners(O, N, T), vown(O, N2), not N = N2.
+            -vehicles(V, P, O) :- vehicles(V, P, O), owners(O, _, _),
+                not vveh(V, P, O).
+            -vehicles(V, P, O) :- vehicles(V, P, O), vown(O, _),
+                not vveh(V, P, O).
+        """,
+        expected_get="vehicle_view(V, P, O, N) :- vehicles(V, P, O), "
+                     "owners(O, N, _).",
+        column_pools={'vehicles': {'oid': _ids(300)},
+                      'owners': {'oid': _ids(300)}},
+        size_weights={'vehicles': 1.0, 'owners': 0.3},
+        notes='Stack Overflow: vehicles joined with owner names; the '
+              'owner phone column is projected away.'),
+]

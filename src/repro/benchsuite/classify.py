@@ -1,0 +1,173 @@
+"""Structural classification of view definitions and constraints.
+
+Derives the "Operator in view definition" and "Constraint" columns of
+Table 1 from the programs themselves (the catalog also carries the
+paper's published labels; this module lets the harness cross-check them
+and classifies *new* user strategies).
+
+Operator letters follow the paper: S, P, SJ, IJ, LJ, RJ, FJ, U, D, A.
+Constraint kinds: PK (functional dependency on the view), FK/ID
+(inclusion-style), C (domain restriction), JD (join dependency — here:
+an FD between view columns that glues the two join sides).
+"""
+
+from __future__ import annotations
+
+from repro.datalog.ast import (Atom, BuiltinLit, Const, Lit, Program, Rule,
+                               Var, is_anonymous)
+
+__all__ = ['view_operators', 'constraint_kinds']
+
+
+def _rule_operators(rule: Rule, sources: set[str]) -> set[str]:
+    ops: set[str] = set()
+    positives = [l.atom for l in rule.body
+                 if isinstance(l, Lit) and l.positive]
+    negatives = [l.atom for l in rule.body
+                 if isinstance(l, Lit) and not l.positive]
+    builtins = [l for l in rule.body if isinstance(l, BuiltinLit)]
+
+    # Selection: comparisons/equalities against constants, or constants
+    # embedded in body atoms.
+    for literal in builtins:
+        terms = (literal.left, literal.right)
+        if any(isinstance(t, Const) for t in terms):
+            ops.add('S')
+    for atom in positives:
+        if any(isinstance(t, Const) for t in atom.args):
+            ops.add('S')
+
+    # Join shape: more than one positive relational atom.
+    if len(positives) >= 2:
+        head_vars = rule.head.var_names() if rule.head else set()
+        full_width = all(atom.var_names() <= head_vars or not
+                         (atom.var_names() - _shared(positives, atom))
+                         for atom in positives)
+        shared_any = any(_shared(positives, atom) for atom in positives)
+        if shared_any:
+            # Semi-join: one atom contributes no head variables beyond
+            # the join keys; inner join otherwise.
+            contributing = [atom for atom in positives
+                            if atom.var_names() & head_vars -
+                            _shared(positives, atom)]
+            if len(contributing) <= 1:
+                ops.add('SJ')
+            else:
+                ops.add('IJ')
+
+    # Projection: a body variable (or anonymous column) missing from the
+    # head.
+    if rule.head is not None:
+        head_vars = rule.head.var_names()
+        body_vars: set[str] = set()
+        for atom in positives:
+            body_vars |= atom.var_names()
+            if any(is_anonymous(t) for t in atom.args):
+                ops.add('P')
+        if body_vars - head_vars - _equality_defined(rule):
+            ops.add('P')
+
+    # Difference: a negated source atom.
+    if negatives:
+        ops.add('D')
+    return ops
+
+
+def _shared(positives: list[Atom], atom: Atom) -> set[str]:
+    others: set[str] = set()
+    for other in positives:
+        if other is not atom:
+            others |= other.var_names()
+    return atom.var_names() & others
+
+
+def _equality_defined(rule: Rule) -> set[str]:
+    defined: set[str] = set()
+    for literal in rule.body:
+        if isinstance(literal, BuiltinLit) and literal.op == '=' \
+                and literal.positive:
+            for term in (literal.left, literal.right):
+                if isinstance(term, Var):
+                    defined.add(term.name)
+    return defined
+
+
+def view_operators(get_program: Program, view: str,
+                   sources: set[str] | None = None) -> str:
+    """Classify a view definition; returns e.g. ``'IJ,P,S'``.
+
+    Union is detected across rules (several rules with the same head);
+    the per-rule operators are unioned.  ``LJ`` is recognised by the
+    left-join encoding pattern: a second rule guarded by the *negation*
+    of the join partner with a default constant.
+    """
+    sources = sources or get_program.edb_preds()
+    rules = get_program.rules_for(view)
+    ops: set[str] = set()
+    if len(rules) > 1:
+        ops.add('U')
+    has_negated_partner = False
+    has_positive_join = False
+    for rule in rules:
+        ops |= _rule_operators(rule, sources)
+        positives = [l for l in rule.body
+                     if isinstance(l, Lit) and l.positive]
+        negatives = [l for l in rule.body
+                     if isinstance(l, Lit) and not l.positive]
+        if len(positives) >= 1 and negatives:
+            has_negated_partner = True
+        if len(positives) >= 2:
+            has_positive_join = True
+    if len(rules) == 2 and has_negated_partner and has_positive_join:
+        # products-style encoding: R ⋈ S  ∪  (R ∧ ¬S ∧ default) = R ⟕ S.
+        ops.discard('U')
+        ops.discard('D')
+        ops.discard('IJ')
+        ops.add('LJ')
+    order = ['LJ', 'IJ', 'SJ', 'U', 'D', 'P', 'S']
+    return ','.join(op for op in order if op in ops)
+
+
+# ---------------------------------------------------------------------------
+# Constraint kinds
+# ---------------------------------------------------------------------------
+
+
+def _constraint_kind(rule: Rule, view: str, sources: set[str]) -> str:
+    view_atoms = [l.atom for l in rule.body
+                  if isinstance(l, Lit) and l.atom.pred == view
+                  and l.positive]
+    negated = [l for l in rule.body
+               if isinstance(l, Lit) and not l.positive]
+    builtins = [l for l in rule.body if isinstance(l, BuiltinLit)]
+
+    if len(view_atoms) >= 2:
+        # Two view atoms + a disequality: a functional dependency.  It
+        # counts as the PK when the dependency is keyed on one column,
+        # JD-flavoured otherwise; Table 1 groups both under PK/JD.
+        return 'PK'
+    if view_atoms and negated:
+        # v(...) ∧ ¬other(...): inclusion dependency (FK/ID family).
+        return 'ID'
+    if view_atoms and builtins:
+        return 'C'
+    if not view_atoms:
+        # Source-only constraint: FK between base tables.
+        if negated:
+            return 'FK'
+        return 'C'
+    return 'C'
+
+
+def constraint_kinds(program: Program, view: str,
+                     sources: set[str] | None = None) -> str:
+    """Classify every ⊥-rule; returns e.g. ``'PK, C'`` (deduplicated,
+    Table 1 ordering)."""
+    sources = sources or program.edb_preds()
+    kinds: list[str] = []
+    for rule in program.constraints():
+        kind = _constraint_kind(rule, view, sources)
+        if kind not in kinds:
+            kinds.append(kind)
+    order = ['PK', 'FK', 'ID', 'JD', 'C']
+    return ', '.join(k for k in order if k in kinds)

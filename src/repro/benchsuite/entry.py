@@ -1,0 +1,68 @@
+"""Benchmark entry model for the Table 1 reproduction.
+
+Each entry re-authors one of the paper's 32 collected views from its
+published profile: the operators in the view definition, the program size,
+the constraint kinds, and LVGN/NR-Datalog membership.  The paper's own
+numbers are carried in :attr:`BenchmarkEntry.paper` so the harness can
+print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.strategy import UpdateStrategy
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ['PaperRow', 'BenchmarkEntry']
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """The published Table 1 row for one view."""
+
+    operators: str          # S, P, SJ, IJ, LJ, U, D, A combinations
+    size_loc: int | None    # "Program size (LOC)"
+    constraints: str        # PK, FK, ID, C, JD combinations ('' = none)
+    lvgn: bool | None       # LVGN-Datalog column (None for '-')
+    nr_datalog: bool | None
+    validation_time: float | None   # seconds
+    sql_bytes: int | None
+
+
+@dataclass(frozen=True)
+class BenchmarkEntry:
+    """One re-authored benchmark view."""
+
+    id: int
+    name: str
+    source: str                  # 'literature' or 'qa'
+    paper: PaperRow
+    sources: DatabaseSchema | None
+    putdelta: str | None         # None: not expressible (emp_view)
+    expected_get: str | None = None
+    notes: str = ''
+    # Column pools for workload generation: relation -> column -> pool.
+    column_pools: dict = field(default_factory=dict)
+    # Relative cardinalities per base relation (scaled by the workload n).
+    size_weights: dict = field(default_factory=dict)
+
+    @property
+    def expressible(self) -> bool:
+        return self.putdelta is not None
+
+    def strategy(self) -> UpdateStrategy:
+        if not self.expressible:
+            from repro.errors import FragmentError
+            raise FragmentError(
+                f'{self.name} uses aggregation, which NR-Datalog (and this '
+                f'reproduction, like the paper) does not support')
+        return UpdateStrategy.parse(self.name, self.sources, self.putdelta,
+                                    self.expected_get)
+
+    def sizes(self, n: int) -> dict[str, int]:
+        """Per-relation cardinalities for a workload of scale ``n``."""
+        weights = self.size_weights or {rel.name: 1.0
+                                        for rel in self.sources}
+        return {name: max(1, int(n * weight))
+                for name, weight in weights.items()}

@@ -1,0 +1,232 @@
+"""Tokenizer for the BIRDS-style Datalog surface syntax.
+
+The token stream feeds :mod:`repro.datalog.parser`.  Supported lexemes:
+
+* identifiers — ``lowercase`` start for predicates, ``Uppercase`` or ``_``
+  start for variables (the paper's convention, §2.1);
+* integer / float / single-quoted string literals (``''`` escapes a quote);
+* punctuation ``( ) , .`` and the rule arrow ``:-``;
+* delta markers ``+`` / ``-`` (immediately preceding a predicate name);
+* builtin operators ``=  <>  !=  \\=  <  >  <=  >=``;
+* negation ``not`` / ``¬`` and the falsum head ``⊥`` / ``_|_`` / ``false``;
+* ``%`` line comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import DatalogSyntaxError
+
+__all__ = ['Token', 'tokenize', 'TokenKind']
+
+
+class TokenKind:
+    """Token kind names (plain strings, kept in a namespace class)."""
+
+    IDENT = 'IDENT'          # lowercase-led identifier (predicate name)
+    VARIABLE = 'VARIABLE'    # uppercase-led identifier
+    ANON = 'ANON'            # bare underscore
+    INT = 'INT'
+    FLOAT = 'FLOAT'
+    STRING = 'STRING'
+    LPAREN = 'LPAREN'
+    RPAREN = 'RPAREN'
+    COMMA = 'COMMA'
+    DOT = 'DOT'
+    ARROW = 'ARROW'          # :-
+    PLUS = 'PLUS'
+    MINUS = 'MINUS'
+    OP = 'OP'                # builtin comparison / equality operator
+    NOT = 'NOT'
+    FALSUM = 'FALSUM'
+    EOF = 'EOF'
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str
+    text: str
+    value: object
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f'{self.kind}({self.text!r})@{self.line}:{self.column}'
+
+
+_SINGLE_CHAR = {
+    '(': TokenKind.LPAREN,
+    ')': TokenKind.RPAREN,
+    ',': TokenKind.COMMA,
+    '.': TokenKind.DOT,
+    '+': TokenKind.PLUS,
+    '-': TokenKind.MINUS,
+}
+
+# Multi-character operators must be matched longest-first.
+_OPERATORS = ('<=', '>=', '<>', '!=', '\\=', '=', '<', '>')
+_OP_CANON = {'!=': '<>', '\\=': '<>'}
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == '_'
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == '_'
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list ending with an EOF token.
+
+    Raises :class:`DatalogSyntaxError` on unterminated strings or characters
+    outside the language.
+    """
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(text)
+
+    def make(kind: str, lexeme: str, value: object = None) -> Token:
+        return Token(kind, lexeme, value, line, col)
+
+    while i < n:
+        ch = text[i]
+
+        # -- whitespace / newlines ---------------------------------------
+        if ch == '\n':
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch.isspace():
+            i += 1
+            col += 1
+            continue
+
+        # -- comments -----------------------------------------------------
+        if ch == '%':
+            while i < n and text[i] != '\n':
+                i += 1
+            continue
+
+        # -- rule arrow ----------------------------------------------------
+        if text.startswith(':-', i):
+            yield make(TokenKind.ARROW, ':-')
+            i += 2
+            col += 2
+            continue
+
+        # -- falsum forms ----------------------------------------------------
+        if ch == '⊥':
+            yield make(TokenKind.FALSUM, ch)
+            i += 1
+            col += 1
+            continue
+        if text.startswith('_|_', i):
+            yield make(TokenKind.FALSUM, '_|_')
+            i += 3
+            col += 3
+            continue
+        if ch == '¬':
+            yield make(TokenKind.NOT, ch)
+            i += 1
+            col += 1
+            continue
+
+        # -- operators (before single-char punctuation so '<=' wins) --------
+        matched_op = None
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                matched_op = op
+                break
+        if matched_op is not None:
+            canon = _OP_CANON.get(matched_op, matched_op)
+            yield make(TokenKind.OP, matched_op, canon)
+            i += len(matched_op)
+            col += len(matched_op)
+            continue
+
+        # -- punctuation -----------------------------------------------------
+        if ch in _SINGLE_CHAR:
+            # '.' may start a float only when preceded by a digit, which the
+            # number branch below already consumed; a bare '.' is end-of-rule.
+            yield make(_SINGLE_CHAR[ch], ch)
+            i += 1
+            col += 1
+            continue
+
+        # -- string literals --------------------------------------------------
+        if ch == "'":
+            j = i + 1
+            buf: list[str] = []
+            while True:
+                if j >= n:
+                    raise DatalogSyntaxError('unterminated string literal',
+                                             line, col)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                if text[j] == '\n':
+                    raise DatalogSyntaxError('newline in string literal',
+                                             line, col)
+                buf.append(text[j])
+                j += 1
+            lexeme = text[i:j + 1]
+            yield make(TokenKind.STRING, lexeme, ''.join(buf))
+            col += j + 1 - i
+            i = j + 1
+            continue
+
+        # -- numbers ------------------------------------------------------------
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            is_float = False
+            if j < n and text[j] == '.' and j + 1 < n and text[j + 1].isdigit():
+                is_float = True
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+            lexeme = text[i:j]
+            if is_float:
+                yield make(TokenKind.FLOAT, lexeme, float(lexeme))
+            else:
+                yield make(TokenKind.INT, lexeme, int(lexeme))
+            col += j - i
+            i = j
+            continue
+
+        # -- identifiers / keywords ------------------------------------------
+        if _is_ident_start(ch):
+            j = i
+            while j < n and _is_ident_char(text[j]):
+                j += 1
+            lexeme = text[i:j]
+            if lexeme == 'not':
+                yield make(TokenKind.NOT, lexeme)
+            elif lexeme == 'false':
+                yield make(TokenKind.FALSUM, lexeme)
+            elif lexeme == '_':
+                yield make(TokenKind.ANON, lexeme)
+            elif lexeme[0].isupper() or lexeme[0] == '_':
+                yield make(TokenKind.VARIABLE, lexeme)
+            else:
+                yield make(TokenKind.IDENT, lexeme)
+            col += j - i
+            i = j
+            continue
+
+        raise DatalogSyntaxError(f'unexpected character {ch!r}', line, col)
+
+    yield Token(TokenKind.EOF, '', None, line, col)

@@ -1,0 +1,188 @@
+"""Recursive-descent parser for BIRDS-style Datalog programs.
+
+Grammar (terminals from :mod:`repro.datalog.lexer`)::
+
+    program    ::= rule*
+    rule       ::= head ':-' body '.' | head '.'
+    head       ::= atom | FALSUM
+    body       ::= literal (',' literal)*
+    literal    ::= [NOT] atom | [NOT] builtin
+    atom       ::= ['+'|'-'] IDENT '(' term (',' term)* ')'
+    builtin    ::= term OP term
+    term       ::= VARIABLE | ANON | INT | FLOAT | STRING
+
+Anonymous ``_`` markers are expanded into fresh variables named
+``_anonN`` so that downstream analyses can treat them as ordinary variables
+while :func:`repro.datalog.ast.is_anonymous` still recognises them.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.ast import (Atom, BuiltinLit, Const, Lit, Program, Rule,
+                               Term, Var)
+from repro.datalog.lexer import Token, TokenKind, tokenize
+from repro.errors import DatalogSyntaxError
+
+__all__ = ['parse_program', 'parse_rule', 'parse_atom']
+
+
+class _Parser:
+
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+        self.anon_counter = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.current
+        if token.kind != kind:
+            raise DatalogSyntaxError(
+                f'expected {kind} but found {token.kind} ({token.text!r})',
+                token.line, token.column)
+        return self.advance()
+
+    def at(self, kind: str) -> bool:
+        return self.current.kind == kind
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        rules: list[Rule] = []
+        while not self.at(TokenKind.EOF):
+            rules.append(self.parse_rule())
+        return Program(tuple(rules))
+
+    def parse_rule(self) -> Rule:
+        head: Atom | None
+        if self.at(TokenKind.FALSUM):
+            self.advance()
+            head = None
+        else:
+            head = self.parse_atom()
+            if head.var_names() and any(
+                    t.name.startswith('_anon')
+                    for t in head.variables()):
+                token = self.current
+                raise DatalogSyntaxError(
+                    'anonymous variable not allowed in a rule head',
+                    token.line, token.column)
+        body: list = []
+        if self.at(TokenKind.ARROW):
+            self.advance()
+            body.append(self.parse_literal())
+            while self.at(TokenKind.COMMA):
+                self.advance()
+                body.append(self.parse_literal())
+        self.expect(TokenKind.DOT)
+        return Rule(head, tuple(body))
+
+    def parse_literal(self):
+        positive = True
+        if self.at(TokenKind.NOT):
+            self.advance()
+            positive = False
+        # Distinguish an atom from a builtin by lookahead: a builtin starts
+        # with a term (variable/constant) followed by an operator; '+'/'-'
+        # starts an atom only when a predicate name follows (otherwise it
+        # is a signed numeric literal).
+        sign_starts_atom = (
+            (self.at(TokenKind.PLUS) or self.at(TokenKind.MINUS))
+            and self.pos + 1 < len(self.tokens)
+            and self.tokens[self.pos + 1].kind == TokenKind.IDENT)
+        if self.at(TokenKind.IDENT) or sign_starts_atom:
+            atom = self.parse_atom()
+            return Lit(atom, positive)
+        left = self.parse_term()
+        op_token = self.expect(TokenKind.OP)
+        right = self.parse_term()
+        op = op_token.value
+        if op == '<>':
+            # Canonical form: '<>' is represented as negated equality so the
+            # guardedness rules (§3.2.1) see a single equality predicate.
+            return BuiltinLit('=', left, right, not positive)
+        return BuiltinLit(op, left, right, positive)
+
+    def parse_atom(self) -> Atom:
+        prefix = ''
+        if self.at(TokenKind.PLUS):
+            self.advance()
+            prefix = '+'
+        elif self.at(TokenKind.MINUS):
+            self.advance()
+            prefix = '-'
+        name_token = self.expect(TokenKind.IDENT)
+        self.expect(TokenKind.LPAREN)
+        args: list[Term] = [self.parse_term()]
+        while self.at(TokenKind.COMMA):
+            self.advance()
+            args.append(self.parse_term())
+        self.expect(TokenKind.RPAREN)
+        return Atom(prefix + name_token.text, tuple(args))
+
+    def parse_term(self) -> Term:
+        token = self.current
+        if token.kind == TokenKind.VARIABLE:
+            self.advance()
+            return Var(token.text)
+        if token.kind == TokenKind.ANON:
+            self.advance()
+            name = f'_anon{self.anon_counter}'
+            self.anon_counter += 1
+            return Var(name)
+        if token.kind == TokenKind.MINUS:
+            # Negative numeric literal (the delta-marker reading of '-'
+            # never occurs in term position).
+            self.advance()
+            number = self.current
+            if number.kind not in (TokenKind.INT, TokenKind.FLOAT):
+                raise DatalogSyntaxError(
+                    f"expected a number after '-' but found "
+                    f'{number.kind} ({number.text!r})',
+                    number.line, number.column)
+            self.advance()
+            return Const(-number.value)
+        if token.kind in (TokenKind.INT, TokenKind.FLOAT, TokenKind.STRING):
+            self.advance()
+            return Const(token.value)
+        raise DatalogSyntaxError(
+            f'expected a term but found {token.kind} ({token.text!r})',
+            token.line, token.column)
+
+
+def parse_program(text: str) -> Program:
+    """Parse a full Datalog program from source text."""
+    return _Parser(text).parse_program()
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule; raises if trailing input remains."""
+    parser = _Parser(text)
+    rule = parser.parse_rule()
+    if not parser.at(TokenKind.EOF):
+        token = parser.current
+        raise DatalogSyntaxError('trailing input after rule',
+                                 token.line, token.column)
+    return rule
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom such as ``r(X, 'a', 3)``."""
+    parser = _Parser(text)
+    atom = parser.parse_atom()
+    if not parser.at(TokenKind.EOF):
+        token = parser.current
+        raise DatalogSyntaxError('trailing input after atom',
+                                 token.line, token.column)
+    return atom

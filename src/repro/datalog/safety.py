@@ -1,0 +1,87 @@
+"""Safety (range restriction) analysis for Datalog rules.
+
+A rule is *safe* when every variable it mentions is *bound*:
+
+* variables occurring in a positive relational atom are bound;
+* an equality ``X = c`` (or ``c = X``) binds ``X``;
+* an equality ``X = Y`` propagates boundness between ``X`` and ``Y``;
+* negated literals and comparisons bind nothing — all of their variables
+  must be bound elsewhere (the "safe way" of §2.1).
+
+The same fixpoint drives literal scheduling in the evaluator (sideways
+information passing), so safety here guarantees evaluability there.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.ast import BuiltinLit, Lit, Program, Rule, Var
+from repro.errors import SafetyError
+
+__all__ = ['bound_variables', 'check_rule_safety', 'check_program_safety',
+           'is_safe']
+
+
+def bound_variables(rule: Rule) -> set[str]:
+    """The set of variables of ``rule`` bound per the rules above."""
+    bound: set[str] = set()
+    for literal in rule.body:
+        if isinstance(literal, Lit) and literal.positive:
+            bound |= literal.var_names()
+    # Fixpoint over positive equalities.
+    changed = True
+    while changed:
+        changed = False
+        for literal in rule.body:
+            if not isinstance(literal, BuiltinLit) or literal.op != '=' \
+                    or not literal.positive:
+                continue
+            left, right = literal.left, literal.right
+            left_bound = not isinstance(left, Var) or left.name in bound
+            right_bound = not isinstance(right, Var) or right.name in bound
+            if left_bound and isinstance(right, Var) \
+                    and right.name not in bound:
+                bound.add(right.name)
+                changed = True
+            if right_bound and isinstance(left, Var) \
+                    and left.name not in bound:
+                bound.add(left.name)
+                changed = True
+    return bound
+
+
+def _exempt_variables(rule: Rule) -> set[str]:
+    """Anonymous variables inside *negated* atoms are implicitly
+    existentially quantified inside the negation (``not r(X, _)`` reads
+    ¬∃Y r(X, Y), as used throughout the paper's case study) and therefore
+    need no range restriction."""
+    from repro.datalog.ast import is_anonymous
+    exempt: set[str] = set()
+    for literal in rule.body:
+        if isinstance(literal, Lit) and not literal.positive:
+            exempt |= {t.name for t in literal.atom.args
+                       if is_anonymous(t)}
+    return exempt
+
+
+def check_rule_safety(rule: Rule) -> None:
+    """Raise :class:`SafetyError` when ``rule`` is unsafe."""
+    bound = bound_variables(rule)
+    unbound = rule.variables() - bound - _exempt_variables(rule)
+    if unbound:
+        raise SafetyError(
+            f'unsafe rule {rule}: variable(s) '
+            f"{', '.join(sorted(unbound))} are not range restricted")
+
+
+def is_safe(rule: Rule) -> bool:
+    try:
+        check_rule_safety(rule)
+    except SafetyError:
+        return False
+    return True
+
+
+def check_program_safety(program: Program) -> None:
+    """Raise on the first unsafe rule of ``program``."""
+    for rule in program.rules:
+        check_rule_safety(rule)

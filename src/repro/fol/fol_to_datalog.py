@@ -1,0 +1,154 @@
+"""Translation of safe-range FO formulas into Datalog queries (Appendix B).
+
+The entry point :func:`fol_to_datalog` takes any safe-range formula, runs
+the SRNF → RANF pipeline from :mod:`repro.fol.normalize`, and emits a
+nonrecursive Datalog program with a fresh goal predicate per composite
+sub-formula, following the inductive construction of Appendix B:
+
+* atoms and ``x = a`` equalities become single rules;
+* conjunctions become one rule joining the positive sub-goals, keeping
+  builtins inline and negating the sub-goals of negated parts;
+* disjunctions share one goal predicate across per-disjunct sub-programs;
+* existential quantification becomes a projection rule.
+
+The resulting query ``(program, goal)`` is equivalent to the input formula:
+for every database ``D``, ``P(D)|goal = { ~t | D |= φ(~t) }``.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.ast import (Atom, BuiltinLit, Const, Lit, Program, Rule,
+                               Var)
+from repro.errors import TransformationError
+from repro.fol.formula import (And, Bottom, Exists, FoAtom, FoCmp, FoConst,
+                               FoEq, FoVar, Formula, Not, Or, Top,
+                               free_variables)
+from repro.fol.normalize import to_ranf, to_srnf
+
+__all__ = ['fol_to_datalog', 'ranf_to_datalog']
+
+
+def _dl_term(term):
+    if isinstance(term, FoVar):
+        return Var(term.name)
+    if isinstance(term, FoConst):
+        return Const(term.value)
+    raise TransformationError(f'unknown FO term {term!r}')
+
+
+class _Translator:
+
+    def __init__(self, goal_prefix: str):
+        self.goal_prefix = goal_prefix
+        self.counter = 0
+        self.rules: list[Rule] = []
+
+    def fresh_goal(self) -> str:
+        name = f'{self.goal_prefix}_{self.counter}'
+        self.counter += 1
+        return name
+
+    # -- translation -------------------------------------------------------
+
+    def translate(self, formula: Formula, goal: str,
+                  head_vars: tuple[str, ...]) -> None:
+        """Emit rules defining ``goal(head_vars)`` as ``formula``."""
+        head = Atom(goal, tuple(Var(n) for n in head_vars))
+        if isinstance(formula, FoAtom):
+            body = Lit(Atom(formula.pred,
+                            tuple(_dl_term(t) for t in formula.args)))
+            self.rules.append(Rule(head, (body,)))
+            return
+        if isinstance(formula, (FoEq, FoCmp)):
+            self.rules.append(Rule(head, (self._builtin(formula),)))
+            return
+        if isinstance(formula, Or):
+            for part in formula.parts:
+                self.translate(part, goal, head_vars)
+            return
+        if isinstance(formula, Exists):
+            inner_free = sorted(free_variables(formula.inner))
+            sub_goal = self.fresh_goal()
+            self.translate(formula.inner, sub_goal, tuple(inner_free))
+            body = Lit(Atom(sub_goal, tuple(Var(n) for n in inner_free)))
+            self.rules.append(Rule(head, (body,)))
+            return
+        if isinstance(formula, And):
+            self.rules.append(Rule(head, self._conjunction(formula.parts)))
+            return
+        if isinstance(formula, Not):
+            # Only boolean (closed) negations may stand alone.
+            if free_variables(formula) :
+                raise TransformationError(
+                    f'negation with free variables outside a conjunction '
+                    f'is not range restricted: {formula}')
+            body = self._negated(formula.inner)
+            self.rules.append(Rule(head, (body,)))
+            return
+        if isinstance(formula, (Top, Bottom)):
+            raise TransformationError(
+                f'cannot translate propositional constant {formula} into a '
+                f'Datalog rule with head variables {head_vars}')
+        raise TransformationError(f'unknown formula node {formula!r}')
+
+    def _builtin(self, formula) -> BuiltinLit:
+        if isinstance(formula, FoEq):
+            return BuiltinLit('=', _dl_term(formula.left),
+                              _dl_term(formula.right))
+        return BuiltinLit(formula.op, _dl_term(formula.left),
+                          _dl_term(formula.right))
+
+    def _conjunction(self, parts) -> tuple:
+        literals = []
+        for part in parts:
+            if isinstance(part, FoAtom):
+                literals.append(Lit(Atom(
+                    part.pred, tuple(_dl_term(t) for t in part.args))))
+            elif isinstance(part, (FoEq, FoCmp)):
+                literals.append(self._builtin(part))
+            elif isinstance(part, Not):
+                literals.append(self._negated(part.inner))
+            else:
+                # Composite positive part: introduce a sub-goal.
+                literals.append(self._subgoal(part, positive=True))
+        return tuple(literals)
+
+    def _negated(self, inner: Formula):
+        if isinstance(inner, FoAtom):
+            return Lit(Atom(inner.pred,
+                            tuple(_dl_term(t) for t in inner.args)), False)
+        if isinstance(inner, (FoEq, FoCmp)):
+            return self._builtin(inner).negate()
+        return self._subgoal(inner, positive=False)
+
+    def _subgoal(self, formula: Formula, positive: bool):
+        inner_free = sorted(free_variables(formula))
+        sub_goal = self.fresh_goal()
+        self.translate(formula, sub_goal, tuple(inner_free))
+        return Lit(Atom(sub_goal, tuple(Var(n) for n in inner_free)),
+                   positive)
+
+
+def ranf_to_datalog(formula: Formula, goal: str,
+                    head_vars: tuple[str, ...] | None = None,
+                    goal_prefix: str | None = None
+                    ) -> tuple[Program, str]:
+    """Translate a RANF formula; see :func:`fol_to_datalog`."""
+    if head_vars is None:
+        head_vars = tuple(sorted(free_variables(formula)))
+    translator = _Translator(goal_prefix or f'{goal}_q')
+    translator.translate(formula, goal, head_vars)
+    return Program(tuple(translator.rules)), goal
+
+
+def fol_to_datalog(formula: Formula, goal: str,
+                   head_vars: tuple[str, ...] | None = None
+                   ) -> tuple[Program, str]:
+    """Translate a safe-range FO formula into an equivalent Datalog query.
+
+    Returns ``(program, goal)`` where ``goal`` has the given ``head_vars``
+    (defaulting to the formula's free variables in sorted order).  Raises
+    :class:`TransformationError` when the formula is not safe range.
+    """
+    ranf = to_ranf(to_srnf(formula))
+    return ranf_to_datalog(ranf, goal, head_vars)

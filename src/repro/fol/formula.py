@@ -1,0 +1,356 @@
+"""First-order formulas over relational signatures.
+
+This is the logic substrate for the validation algorithm (§4): Datalog
+queries are translated into FO formulas (Lemma 3.1), the steady-state view
+conditions φ1/φ2/φ3 are FO formulas (Lemma 4.2), and the derived view
+definition is obtained from a safe-range FO formula via Appendix B.
+
+The AST mirrors the paper's grammar: relational atoms, equalities,
+comparisons (``t1 < t2`` etc.), conjunction, disjunction, negation,
+existential and universal quantification, and the constants ⊤/⊥.
+
+All nodes are immutable; constructors perform light normalisation
+(flattening nested ∧/∧ and ∨/∨, unit laws for ⊤/⊥) so that formulas built
+programmatically stay readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Union
+
+__all__ = ['FoTerm', 'FoVar', 'FoConst', 'Formula', 'FoAtom', 'FoEq',
+           'FoCmp', 'Not', 'And', 'Or', 'Exists', 'Forall', 'Top', 'Bottom',
+           'TOP', 'BOTTOM', 'free_variables', 'substitute', 'make_and',
+           'make_or', 'make_exists', 'fresh_fo_vars']
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FoVar:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class FoConst:
+    value: Union[int, float, str]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return repr(self.value)
+
+
+FoTerm = Union[FoVar, FoConst]
+
+
+def _subst_term(term: FoTerm, binding: Mapping[str, FoTerm]) -> FoTerm:
+    if isinstance(term, FoVar):
+        return binding.get(term.name, term)
+    return term
+
+
+def fresh_fo_vars(prefix: str, taken: set[str]) -> Iterator[FoVar]:
+    """Fresh variables avoiding ``taken`` (which is updated as names are
+    handed out)."""
+    counter = 0
+    while True:
+        name = f'{prefix}{counter}'
+        counter += 1
+        if name in taken:
+            continue
+        taken.add(name)
+        yield FoVar(name)
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+class Formula:
+    """Abstract base for FO formulas (nodes defined below)."""
+
+    __slots__ = ()
+
+    # Convenience combinators -------------------------------------------------
+
+    def __and__(self, other: 'Formula') -> 'Formula':
+        return make_and([self, other])
+
+    def __or__(self, other: 'Formula') -> 'Formula':
+        return make_or([self, other])
+
+    def __invert__(self) -> 'Formula':
+        return Not(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Top(Formula):
+    def __str__(self) -> str:
+        return '⊤'
+
+
+@dataclass(frozen=True, slots=True)
+class Bottom(Formula):
+    def __str__(self) -> str:
+        return '⊥'
+
+
+TOP = Top()
+BOTTOM = Bottom()
+
+
+@dataclass(frozen=True, slots=True)
+class FoAtom(Formula):
+    """A relational atom ``pred(t1, ..., tk)``."""
+
+    pred: str
+    args: tuple[FoTerm, ...]
+
+    def __post_init__(self):
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, 'args', tuple(self.args))
+
+    def __str__(self) -> str:
+        return f"{self.pred}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True, slots=True)
+class FoEq(Formula):
+    left: FoTerm
+    right: FoTerm
+
+    def __str__(self) -> str:
+        return f'{self.left} = {self.right}'
+
+
+@dataclass(frozen=True, slots=True)
+class FoCmp(Formula):
+    """Comparison ``left op right`` with op in ``< > <= >=``."""
+
+    op: str
+    left: FoTerm
+    right: FoTerm
+
+    def __post_init__(self):
+        if self.op not in ('<', '>', '<=', '>='):
+            raise ValueError(f'bad comparison operator {self.op!r}')
+
+    def __str__(self) -> str:
+        return f'{self.left} {self.op} {self.right}'
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Formula):
+    inner: Formula
+
+    def __str__(self) -> str:
+        return f'¬({self.inner})'
+
+
+@dataclass(frozen=True, slots=True)
+class And(Formula):
+    parts: tuple[Formula, ...]
+
+    def __post_init__(self):
+        if not isinstance(self.parts, tuple):
+            object.__setattr__(self, 'parts', tuple(self.parts))
+
+    def __str__(self) -> str:
+        return ' ∧ '.join(f'({p})' for p in self.parts)
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Formula):
+    parts: tuple[Formula, ...]
+
+    def __post_init__(self):
+        if not isinstance(self.parts, tuple):
+            object.__setattr__(self, 'parts', tuple(self.parts))
+
+    def __str__(self) -> str:
+        return ' ∨ '.join(f'({p})' for p in self.parts)
+
+
+@dataclass(frozen=True, slots=True)
+class Exists(Formula):
+    variables: tuple[FoVar, ...]
+    inner: Formula
+
+    def __post_init__(self):
+        if not isinstance(self.variables, tuple):
+            object.__setattr__(self, 'variables', tuple(self.variables))
+
+    def __str__(self) -> str:
+        names = ' '.join(v.name for v in self.variables)
+        return f'∃{names}.({self.inner})'
+
+
+@dataclass(frozen=True, slots=True)
+class Forall(Formula):
+    variables: tuple[FoVar, ...]
+    inner: Formula
+
+    def __post_init__(self):
+        if not isinstance(self.variables, tuple):
+            object.__setattr__(self, 'variables', tuple(self.variables))
+
+    def __str__(self) -> str:
+        names = ' '.join(v.name for v in self.variables)
+        return f'∀{names}.({self.inner})'
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+
+def make_and(parts: Iterable[Formula]) -> Formula:
+    """Conjunction with flattening and ⊤/⊥ unit laws."""
+    flat: list[Formula] = []
+    for part in parts:
+        if isinstance(part, Top):
+            continue
+        if isinstance(part, Bottom):
+            return BOTTOM
+        if isinstance(part, And):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return TOP
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def make_or(parts: Iterable[Formula]) -> Formula:
+    """Disjunction with flattening and ⊤/⊥ unit laws."""
+    flat: list[Formula] = []
+    for part in parts:
+        if isinstance(part, Bottom):
+            continue
+        if isinstance(part, Top):
+            return TOP
+        if isinstance(part, Or):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return BOTTOM
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def make_exists(variables: Iterable[FoVar], inner: Formula) -> Formula:
+    """Existential closure, dropping variables not free in ``inner`` and
+    collapsing nested ∃."""
+    if isinstance(inner, (Top, Bottom)):
+        return inner
+    free = free_variables(inner)
+    kept = tuple(v for v in variables if v.name in free)
+    if isinstance(inner, Exists):
+        kept = kept + inner.variables
+        inner = inner.inner
+    if not kept:
+        return inner
+    # Deduplicate while preserving order.
+    seen: set[str] = set()
+    unique = []
+    for v in kept:
+        if v.name not in seen:
+            seen.add(v.name)
+            unique.append(v)
+    return Exists(tuple(unique), inner)
+
+
+# ---------------------------------------------------------------------------
+# Traversals
+# ---------------------------------------------------------------------------
+
+
+def free_variables(formula: Formula) -> set[str]:
+    if isinstance(formula, (Top, Bottom)):
+        return set()
+    if isinstance(formula, FoAtom):
+        return {t.name for t in formula.args if isinstance(t, FoVar)}
+    if isinstance(formula, (FoEq, FoCmp)):
+        return {t.name for t in (formula.left, formula.right)
+                if isinstance(t, FoVar)}
+    if isinstance(formula, Not):
+        return free_variables(formula.inner)
+    if isinstance(formula, (And, Or)):
+        result: set[str] = set()
+        for part in formula.parts:
+            result |= free_variables(part)
+        return result
+    if isinstance(formula, (Exists, Forall)):
+        inner = free_variables(formula.inner)
+        return inner - {v.name for v in formula.variables}
+    raise TypeError(f'unknown formula node {formula!r}')
+
+
+def substitute(formula: Formula, binding: Mapping[str, FoTerm]) -> Formula:
+    """Capture-avoiding substitution of free variables.
+
+    Bound variables shadow the binding; when a bound variable collides with
+    a term introduced by the binding it is renamed first.
+    """
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, FoAtom):
+        return FoAtom(formula.pred,
+                      tuple(_subst_term(t, binding) for t in formula.args))
+    if isinstance(formula, FoEq):
+        return FoEq(_subst_term(formula.left, binding),
+                    _subst_term(formula.right, binding))
+    if isinstance(formula, FoCmp):
+        return FoCmp(formula.op, _subst_term(formula.left, binding),
+                     _subst_term(formula.right, binding))
+    if isinstance(formula, Not):
+        return Not(substitute(formula.inner, binding))
+    if isinstance(formula, And):
+        return make_and(substitute(p, binding) for p in formula.parts)
+    if isinstance(formula, Or):
+        return make_or(substitute(p, binding) for p in formula.parts)
+    if isinstance(formula, (Exists, Forall)):
+        bound_names = {v.name for v in formula.variables}
+        relevant = {name: term for name, term in binding.items()
+                    if name not in bound_names}
+        if not relevant:
+            return formula
+        # Rename bound variables that would capture substituted terms.
+        introduced: set[str] = set()
+        for term in relevant.values():
+            if isinstance(term, FoVar):
+                introduced.add(term.name)
+        clash = bound_names & introduced
+        variables = formula.variables
+        inner = formula.inner
+        if clash:
+            taken = (free_variables(formula.inner) | introduced |
+                     bound_names | set(relevant))
+            renames: dict[str, FoTerm] = {}
+            new_vars = []
+            gen = fresh_fo_vars('RN', set(taken))
+            for v in variables:
+                if v.name in clash:
+                    fresh = next(gen)
+                    renames[v.name] = fresh
+                    new_vars.append(fresh)
+                else:
+                    new_vars.append(v)
+            inner = substitute(inner, renames)
+            variables = tuple(new_vars)
+        node = Exists if isinstance(formula, Exists) else Forall
+        return node(variables, substitute(inner, relevant))
+    raise TypeError(f'unknown formula node {formula!r}')

@@ -1,0 +1,259 @@
+"""Safe-range normal form (SRNF), range restriction, and RANF.
+
+This module implements the Appendix-B pipeline used to materialise the
+derived view definition:
+
+1. :func:`to_srnf` — eliminate ∀ and push negation so no ∧/∨ sits directly
+   below a ¬;
+2. :func:`range_restricted` — the ``rr`` analysis (a set of variable names,
+   or :data:`NOT_SAFE` when some quantified variable is unrestricted);
+3. :func:`to_ranf` — rewrite a safe-range SRNF formula into relational
+   algebra normal form via the push-into-or / push-into-quantifier /
+   push-into-negated-quantifier rules.
+
+The concrete choice the paper leaves nondeterministic ("choose a subset of
+sibling conjuncts") is resolved by pushing *all* self-contained siblings,
+which is always sufficient.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformationError
+from repro.fol.formula import (BOTTOM, TOP, And, Bottom, Exists, FoAtom,
+                               FoCmp, FoConst, FoEq, FoVar, Forall, Formula,
+                               Not, Or, Top, free_variables, make_and,
+                               make_exists, make_or)
+
+__all__ = ['to_srnf', 'range_restricted', 'NOT_SAFE', 'is_safe_range',
+           'to_ranf']
+
+
+class _NotSafe:
+    """Sentinel: some quantified variable is not range restricted (⊥ in
+    Appendix B's lattice)."""
+
+    def __repr__(self):
+        return 'NOT_SAFE'
+
+
+NOT_SAFE = _NotSafe()
+
+
+# ---------------------------------------------------------------------------
+# SRNF
+# ---------------------------------------------------------------------------
+
+
+def to_srnf(formula: Formula) -> Formula:
+    """Rewrite into safe-range normal form.
+
+    Applies ∀x.ψ ≡ ¬∃x.¬ψ, double-negation elimination, and De Morgan
+    pushes so that no conjunction or disjunction occurs directly below a
+    negation sign.
+    """
+    if isinstance(formula, (FoAtom, FoEq, FoCmp, Top, Bottom)):
+        return formula
+    if isinstance(formula, And):
+        return make_and(to_srnf(p) for p in formula.parts)
+    if isinstance(formula, Or):
+        return make_or(to_srnf(p) for p in formula.parts)
+    if isinstance(formula, Exists):
+        return make_exists(formula.variables, to_srnf(formula.inner))
+    if isinstance(formula, Forall):
+        inner = to_srnf(Not(formula.inner))
+        return to_srnf(Not(make_exists(formula.variables, inner)))
+    if isinstance(formula, Not):
+        inner = formula.inner
+        if isinstance(inner, Not):
+            return to_srnf(inner.inner)
+        if isinstance(inner, And):
+            return make_or(to_srnf(Not(p)) for p in inner.parts)
+        if isinstance(inner, Or):
+            return make_and(to_srnf(Not(p)) for p in inner.parts)
+        if isinstance(inner, Forall):
+            return to_srnf(make_exists(inner.variables, Not(inner.inner)))
+        if isinstance(inner, Top):
+            return BOTTOM
+        if isinstance(inner, Bottom):
+            return TOP
+        if isinstance(inner, Exists):
+            return Not(make_exists(inner.variables, to_srnf(inner.inner)))
+        return Not(to_srnf(inner))
+    raise TransformationError(f'unknown formula node {formula!r}')
+
+
+# ---------------------------------------------------------------------------
+# Range restriction (Appendix B)
+# ---------------------------------------------------------------------------
+
+
+def range_restricted(formula: Formula):
+    """The set of range-restricted variables, or :data:`NOT_SAFE`."""
+    if isinstance(formula, FoAtom):
+        return {t.name for t in formula.args if isinstance(t, FoVar)}
+    if isinstance(formula, FoEq):
+        left, right = formula.left, formula.right
+        if isinstance(left, FoVar) and isinstance(right, FoConst):
+            return {left.name}
+        if isinstance(right, FoVar) and isinstance(left, FoConst):
+            return {right.name}
+        return set()
+    if isinstance(formula, (FoCmp, Top, Bottom)):
+        return set()
+    if isinstance(formula, Not):
+        inner = range_restricted(formula.inner)
+        if inner is NOT_SAFE:
+            return NOT_SAFE
+        return set()
+    if isinstance(formula, And):
+        restricted: set[str] = set()
+        var_eqs: list[tuple[str, str]] = []
+        for part in formula.parts:
+            if isinstance(part, FoEq) and isinstance(part.left, FoVar) \
+                    and isinstance(part.right, FoVar):
+                var_eqs.append((part.left.name, part.right.name))
+                continue
+            inner = range_restricted(part)
+            if inner is NOT_SAFE:
+                return NOT_SAFE
+            restricted |= inner
+        changed = True
+        while changed:
+            changed = False
+            for x, y in var_eqs:
+                if (x in restricted) != (y in restricted):
+                    restricted |= {x, y}
+                    changed = True
+        return restricted
+    if isinstance(formula, Or):
+        parts = [range_restricted(p) for p in formula.parts]
+        if any(p is NOT_SAFE for p in parts):
+            return NOT_SAFE
+        result = parts[0]
+        for p in parts[1:]:
+            result = result & p
+        return result
+    if isinstance(formula, Exists):
+        inner = range_restricted(formula.inner)
+        if inner is NOT_SAFE:
+            return NOT_SAFE
+        names = {v.name for v in formula.variables}
+        if not names <= inner:
+            return NOT_SAFE
+        return inner - names
+    if isinstance(formula, Forall):
+        raise TransformationError('apply to_srnf before range analysis')
+    raise TransformationError(f'unknown formula node {formula!r}')
+
+
+def is_safe_range(formula: Formula) -> bool:
+    """True when ``rr(φ) = free(φ)`` (Appendix B)."""
+    formula = to_srnf(formula)
+    rr = range_restricted(formula)
+    if rr is NOT_SAFE:
+        return False
+    return rr == free_variables(formula)
+
+
+# ---------------------------------------------------------------------------
+# RANF
+# ---------------------------------------------------------------------------
+
+
+def _self_contained(formula: Formula) -> bool:
+    rr = range_restricted(formula)
+    if rr is NOT_SAFE:
+        return False
+    return rr == free_variables(formula)
+
+
+def to_ranf(formula: Formula) -> Formula:
+    """Rewrite a safe-range SRNF formula into RANF.
+
+    Raises :class:`TransformationError` when the input is not safe range.
+    """
+    if isinstance(formula, (FoAtom, FoEq, FoCmp, Top, Bottom)):
+        return formula
+    if isinstance(formula, Or):
+        return make_or(to_ranf(p) for p in formula.parts)
+    if isinstance(formula, Exists):
+        return make_exists(formula.variables, to_ranf(formula.inner))
+    if isinstance(formula, Not):
+        # A bare negation is only self-contained when it has no free
+        # variables (a boolean test); deeper guarding happens inside And.
+        return Not(to_ranf(formula.inner))
+    if isinstance(formula, And):
+        return _ranf_and(formula)
+    raise TransformationError(f'unknown formula node {formula!r}')
+
+
+def _ranf_and(formula: And) -> Formula:
+    parts = list(formula.parts)
+    # The "environment": self-contained conjuncts that can be pushed into
+    # problematic siblings.  Builtins (equalities/comparisons) stay inline —
+    # the Datalog translation evaluates them within the conjunction.
+    safe_env = [p for p in parts if _self_contained(p)]
+    rewritten: list[Formula] = []
+    for part in parts:
+        if _self_contained(part) or isinstance(part, (FoEq, FoCmp)):
+            rewritten.append(to_ranf(part))
+            continue
+        if isinstance(part, Not) and isinstance(part.inner, (FoEq, FoCmp,
+                                                             FoAtom)):
+            rewritten.append(part)
+            continue
+        rewritten.append(_push_env(part, safe_env))
+    return make_and(rewritten)
+
+
+def _push_env(part: Formula, env: list[Formula]) -> Formula:
+    """Push the safe environment into a non-self-contained conjunct."""
+    if not env:
+        raise TransformationError(
+            f'cannot make sub-formula self-contained (no safe siblings): '
+            f'{part}')
+    if isinstance(part, Or):
+        # push-into-or
+        return make_or(to_ranf(make_and([disjunct] + env))
+                       for disjunct in part.parts)
+    if isinstance(part, Exists):
+        # push-into-quantifier (alpha-renaming bound variables that occur
+        # free in the environment, to avoid capture)
+        variables, inner = _alpha_away(part.variables, part.inner, env)
+        return make_exists(variables, to_ranf(make_and([inner] + env)))
+    if isinstance(part, Not):
+        inner = part.inner
+        if isinstance(inner, Exists):
+            # push-into-negated-quantifier: p ∧ ¬∃x r ≡ p ∧ ¬∃x (p ∧ r)
+            variables, body = _alpha_away(inner.variables, inner.inner, env)
+            return Not(make_exists(variables,
+                                   to_ranf(make_and([body] + env))))
+        return Not(to_ranf(make_and([inner] + env)))
+    if isinstance(part, And):
+        return to_ranf(make_and(list(part.parts) + env))
+    raise TransformationError(f'cannot rewrite sub-formula into RANF: {part}')
+
+
+def _alpha_away(variables: tuple[FoVar, ...], inner: Formula,
+                env: list[Formula]) -> tuple[tuple[FoVar, ...], Formula]:
+    """Rename quantified ``variables`` that occur free in ``env`` so the
+    environment can be pushed under the quantifier without capture."""
+    from repro.fol.formula import fresh_fo_vars, substitute
+    env_free: set[str] = set()
+    for e in env:
+        env_free |= free_variables(e)
+    clash = {v.name for v in variables} & env_free
+    if not clash:
+        return variables, inner
+    taken = env_free | free_variables(inner) | {v.name for v in variables}
+    gen = fresh_fo_vars('RQ', set(taken))
+    rename: dict[str, FoVar] = {}
+    renamed_vars = []
+    for v in variables:
+        if v.name in clash:
+            fresh = next(gen)
+            rename[v.name] = fresh
+            renamed_vars.append(fresh)
+        else:
+            renamed_vars.append(v)
+    return tuple(renamed_vars), substitute(inner, rename)

@@ -1,0 +1,10 @@
+"""In-memory RDBMS with programmable updatable views — the execution
+substrate standing in for PostgreSQL (§6.1; substitution documented in
+DESIGN.md)."""
+
+from repro.rdbms.dml import (Delete, Insert, Statement, Update,
+                             derive_view_delta)
+from repro.rdbms.engine import Engine, Transaction, ViewEntry
+
+__all__ = ['Delete', 'Insert', 'Statement', 'Update', 'derive_view_delta',
+           'Engine', 'Transaction', 'ViewEntry']

@@ -1,0 +1,174 @@
+"""DML statements against views and the view-delta derivation (App. D).
+
+The RDBMS layer accepts the three declarative statement forms of the paper
+— ``INSERT INTO V VALUES(...)``, ``DELETE FROM V WHERE <cond>`` and
+``UPDATE V SET attr=expr, ... WHERE <cond>`` — as plain Python objects.
+:func:`derive_view_delta` implements Algorithm 2: fold a statement
+sequence into a single (Δ⁺V, Δ⁻V) pair where later statements override
+earlier ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence, Union
+
+from repro.errors import SchemaError, ViewUpdateError
+from repro.relational.delta import Delta
+from repro.relational.schema import RelationSchema
+
+__all__ = ['Insert', 'Delete', 'Update', 'Statement', 'derive_view_delta',
+           'match_where']
+
+Where = Union[None, Mapping[str, object], Callable[[Mapping[str, object]],
+                                                   bool]]
+
+
+@dataclass(frozen=True)
+class Insert:
+    """``INSERT INTO <target> VALUES (values)``."""
+
+    values: tuple
+
+    def __post_init__(self):
+        if not isinstance(self.values, tuple):
+            object.__setattr__(self, 'values', tuple(self.values))
+
+
+@dataclass(frozen=True)
+class Delete:
+    """``DELETE FROM <target> WHERE where``.
+
+    ``where`` is a column→value mapping (conjunctive equality), a callable
+    over a column→value dict, or None (delete everything).
+    """
+
+    where: Where = None
+
+
+@dataclass(frozen=True)
+class Update:
+    """``UPDATE <target> SET assignments WHERE where``.
+
+    Assignment values may be constants or callables receiving the row as a
+    column→value mapping (expressions).
+    """
+
+    assignments: Mapping[str, object] = field(default_factory=dict)
+    where: Where = None
+
+
+Statement = Union[Insert, Delete, Update]
+
+
+def _as_named(row: tuple, schema: RelationSchema) -> dict[str, object]:
+    return dict(zip(schema.attributes, row))
+
+
+def match_where(row: tuple, where: Where, schema: RelationSchema) -> bool:
+    """Does ``row`` satisfy the statement's WHERE condition?"""
+    if where is None:
+        return True
+    named = _as_named(row, schema)
+    if callable(where):
+        return bool(where(named))
+    for attr, expected in where.items():
+        if attr not in named:
+            raise SchemaError(
+                f'unknown column {attr!r} in WHERE for {schema.name!r}')
+        if named[attr] != expected:
+            return False
+    return True
+
+
+def _apply_assignments(row: tuple, assignments: Mapping[str, object],
+                       schema: RelationSchema) -> tuple:
+    named = _as_named(row, schema)
+    for attr, value in assignments.items():
+        if attr not in named:
+            raise SchemaError(
+                f'unknown column {attr!r} in SET for {schema.name!r}')
+        named[attr] = value(dict(named)) if callable(value) else value
+    return tuple(named[a] for a in schema.attributes)
+
+
+class _RunningState:
+    """The view state mid-sequence — ``(current \\ minus) ∪ plus`` —
+    without ever copying ``current`` (it can be a large live table)."""
+
+    def __init__(self, current):
+        self.current = current
+        self.plus: set = set()
+        self.minus: set = set()
+
+    def __iter__(self):
+        for row in self.current:
+            if row not in self.minus:
+                yield row
+        for row in self.plus:
+            if row not in self.current:
+                yield row
+
+    def matching(self, where, schema: RelationSchema) -> list:
+        """Rows satisfying ``where``; fully keyed equality conditions use
+        a membership probe instead of a scan."""
+        if isinstance(where, Mapping) and \
+                set(where) == set(schema.attributes):
+            row = tuple(where[a] for a in schema.attributes)
+            return [row] if self.contains(row) else []
+        return [row for row in self if match_where(row, where, schema)]
+
+    def contains(self, row: tuple) -> bool:
+        if row in self.plus:
+            return True
+        return row in self.current and row not in self.minus
+
+    def apply(self, d_plus, d_minus) -> None:
+        self.plus = (self.plus - d_minus) | d_plus
+        self.minus = (self.minus - d_plus) | d_minus
+
+
+def _statement_deltas(statement: Statement, state: _RunningState,
+                      schema: RelationSchema) -> tuple[set, set]:
+    """(δ⁺, δ⁻) of one statement against the running view state."""
+    if isinstance(statement, Insert):
+        row = tuple(statement.values)
+        schema.validate_tuple(row)
+        return {row}, set()
+    if isinstance(statement, Delete):
+        return set(), set(state.matching(statement.where, schema))
+    if isinstance(statement, Update):
+        if not statement.assignments:
+            raise ViewUpdateError('UPDATE requires at least one assignment')
+        victims = state.matching(statement.where, schema)
+        replacements = set()
+        for row in victims:
+            new_row = _apply_assignments(row, statement.assignments, schema)
+            schema.validate_tuple(new_row)
+            replacements.add(new_row)
+        # An UPDATE is deletions followed by insertions (App. D).
+        return replacements, set(victims) - replacements
+    raise ViewUpdateError(f'unknown statement {statement!r}')
+
+
+def derive_view_delta(statements: Sequence[Statement], current,
+                      schema: RelationSchema) -> Delta:
+    """Algorithm 2: fold a statement sequence into one view delta.
+
+    Each statement's (δ⁺, δ⁻) is derived against the *running* view state
+    (earlier statements already applied) and merged with
+
+        Δ⁺ ← (Δ⁺ \\ δ⁻) ∪ δ⁺        Δ⁻ ← (Δ⁻ \\ δ⁺) ∪ δ⁻
+
+    so later statements take precedence.  The returned delta is effective
+    with respect to ``current`` (insertions not yet present, deletions
+    present), and ``current`` is never copied.
+    """
+    state = _RunningState(current)
+    for statement in statements:
+        d_plus, d_minus = _statement_deltas(statement, state, schema)
+        state.apply(d_plus, d_minus)
+    return Delta(frozenset(r for r in state.plus
+                           if r not in state.current),
+                 frozenset(r for r in state.minus
+                           if r in state.current))

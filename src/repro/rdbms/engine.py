@@ -1,0 +1,467 @@
+"""An in-memory RDBMS with programmable updatable views.
+
+This is the execution substrate substituting for PostgreSQL (§6.1): base
+tables, views defined by *validated* update strategies, and DML against
+views translated to source updates by the trigger pipeline of the paper —
+
+1. derive the view delta from the DML statements (Algorithm 2),
+2. check the ⊥-constraints on the updated view,
+3. evaluate the (incrementalized) putback program and apply ΔS.
+
+Views can be layered: a strategy's "source relations" may themselves be
+views (the paper's case study defines ``employees`` over the views
+``residents`` and ``ced``), in which case the computed delta on a view
+source recursively becomes a view update — the engine cascades the
+translation down to base tables, atomically.
+
+Performance model (what makes Figure 6 reproducible): tables and view
+caches are held as mutable sets; a transaction stages *deltas* and commits
+them in place, so an incrementalized update touches O(|ΔV|) tuples — no
+full-table copies, no full-view rematerialisation.  The full (original)
+putback path evaluates the whole program against the updated view and is
+deliberately O(|S|), as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.incremental import (incrementalize_general,
+                                    incrementalize_lvgn)
+from repro.core.lvgn import is_lvgn
+from repro.core.strategy import UpdateStrategy
+from repro.core.validation import ValidationReport, validate
+from repro.datalog.ast import Program, delete_pred, insert_pred
+from repro.datalog.evaluator import constraint_violations, evaluate
+from repro.datalog.pretty import pretty_rule
+from repro.errors import (ConstraintViolation, ContradictionError,
+                          SchemaError, ValidationError, ViewUpdateError)
+from repro.rdbms.dml import (Delete, Insert, Statement, Update,
+                             derive_view_delta)
+from repro.relational.database import Database
+from repro.relational.delta import Delta, DeltaSet
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+__all__ = ['Engine', 'Transaction', 'ViewEntry']
+
+
+@dataclass
+class ViewEntry:
+    """Everything the engine knows about one updatable view."""
+
+    strategy: UpdateStrategy
+    get_program: Program
+    incremental_program: Program | None
+    lvgn: bool
+    use_incremental: bool
+    source_names: tuple[str, ...]
+    base_closure: frozenset  # base tables transitively underneath
+
+    @property
+    def name(self) -> str:
+        return self.strategy.view.name
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self.strategy.view
+
+
+def _compose(first: Delta, second: Delta) -> Delta:
+    """Sequential composition of deltas (the Algorithm 2 merge)."""
+    return Delta((first.insertions - second.deletions) | second.insertions,
+                 (first.deletions - second.insertions) | second.deletions)
+
+
+class _Working:
+    """Uncommitted transaction state: accumulated per-relation deltas plus
+    a lazy materialisation overlay for relations re-read after staging.
+
+    Each staged write is tagged with its *origin* (the top-level DML
+    target, or ``'<direct>'`` for base-table DML) so commit can decide
+    which view caches remain consistent: a view maintained by origin O is
+    stale when some base underneath it was also written by a different
+    origin in the same transaction."""
+
+    def __init__(self, engine: 'Engine'):
+        self.engine = engine
+        self.deltas: dict[str, Delta] = {}
+        self.touched_views: set[str] = set()
+        self.base_origins: dict[str, set[str]] = {}
+        self.view_origins: dict[str, set[str]] = {}
+        self._materialized: dict[str, frozenset] = {}
+
+    def rows(self, name: str):
+        """Current contents of ``name`` as seen inside the transaction."""
+        if name in self._materialized:
+            return self._materialized[name]
+        baseline = self.engine.rows(name)
+        delta = self.deltas.get(name)
+        if delta is None or delta.is_empty():
+            return baseline
+        materialized = frozenset(baseline - delta.deletions
+                                 | delta.insertions)
+        self._materialized[name] = materialized
+        return materialized
+
+    def relation_for_eval(self, name: str):
+        """What evaluation should read for ``name``: the engine's
+        persistent indexed relation when unstaged, else the staged rows."""
+        delta = self.deltas.get(name)
+        if (delta is None or delta.is_empty()) \
+                and name not in self._materialized:
+            return self.engine._indexed(name)
+        return self.rows(name)
+
+    def stage(self, name: str, delta: Delta, *, is_view: bool,
+              origin: str) -> None:
+        clash = delta.contradictions()
+        if clash:
+            raise ContradictionError(name, clash)
+        prior = self.deltas.get(name, Delta())
+        self.deltas[name] = _compose(prior, delta)
+        self._materialized.pop(name, None)
+        if is_view:
+            self.touched_views.add(name)
+            self.view_origins.setdefault(name, set()).add(origin)
+        else:
+            self.base_origins.setdefault(name, set()).add(origin)
+
+
+class Engine:
+    """Base tables + updatable views, with atomic cascading updates.
+
+    Tables and view caches are held as :class:`IndexedRelation` objects:
+    hash indexes built during query evaluation persist across updates and
+    are maintained incrementally on commit — the role PostgreSQL's B-tree
+    indexes play in the paper's Figure 6 experiment.
+    """
+
+    def __init__(self, schema: DatabaseSchema):
+        from repro.datalog.evaluator import IndexedRelation
+        self.schema = schema
+        self._tables: dict[str, IndexedRelation] = {
+            rel.name: IndexedRelation(set()) for rel in schema}
+        self._views: dict[str, ViewEntry] = {}
+        self._cache: dict = {}
+
+    # -- basic access ------------------------------------------------------
+
+    def is_view(self, name: str) -> bool:
+        return name in self._views
+
+    def view(self, name: str) -> ViewEntry:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise SchemaError(f'unknown view {name!r}') from None
+
+    def relations(self) -> tuple[str, ...]:
+        return tuple(self._tables) + tuple(self._views)
+
+    def _indexed(self, name: str):
+        """The persistent indexed relation behind a table or view."""
+        from repro.datalog.evaluator import IndexedRelation
+        if name in self._tables:
+            return self._tables[name]
+        if name in self._views:
+            cached = self._cache.get(name)
+            if cached is None:
+                entry = self._views[name]
+                source_db = {s: self._indexed(s)
+                             for s in entry.source_names}
+                rows = evaluate(entry.get_program, source_db,
+                                goals=(entry.name,))[entry.name]
+                cached = IndexedRelation(set(rows))
+                self._cache[name] = cached
+            return cached
+        raise SchemaError(f'unknown relation {name!r}')
+
+    def rows(self, name: str):
+        """Contents of a base table or (materialized) view.
+
+        The returned set is live engine state — treat it as read-only.
+        """
+        return self._indexed(name).rows
+
+    def database(self) -> Database:
+        """A frozen snapshot of the base-table state."""
+        return Database({name: frozenset(rel.rows)
+                         for name, rel in self._tables.items()})
+
+    def load(self, name: str, rows: Iterable[tuple]) -> None:
+        """Bulk-load a base table (replacing its contents)."""
+        from repro.datalog.evaluator import IndexedRelation
+        if name not in self._tables:
+            raise SchemaError(f'{name!r} is not a base table')
+        loaded = {tuple(r) for r in rows}
+        for row in loaded:
+            self.schema[name].validate_tuple(row)
+        self._tables[name] = IndexedRelation(loaded)
+        self._invalidate_dependents({name})
+
+    # -- view definition ---------------------------------------------------------
+
+    def define_view(self, strategy: UpdateStrategy, *,
+                    report: ValidationReport | None = None,
+                    validate_first: bool = True,
+                    use_incremental: bool = True) -> ViewEntry:
+        """Register an updatable view.
+
+        The strategy must be valid; pass a precomputed ``report`` to skip
+        re-validation, or ``validate_first=False`` to trust the caller
+        (the expected_get is then required and used as the view
+        definition).
+        """
+        name = strategy.view.name
+        if name in self._tables or name in self._views:
+            raise SchemaError(f'relation {name!r} already exists')
+        for source in strategy.updated_relations():
+            if source not in self._tables and source not in self._views:
+                raise SchemaError(
+                    f'view {name!r} updates unknown relation {source!r}')
+        if report is not None:
+            report.raise_if_invalid()
+            get_program = report.view_definition
+        elif validate_first:
+            report = validate(strategy)
+            report.raise_if_invalid()
+            get_program = report.view_definition
+        else:
+            get_program = strategy.expected_get
+        if get_program is None:
+            raise ValidationError(
+                f'no certified view definition available for {name!r}')
+
+        source_names = tuple(sorted(
+            set(strategy.sources.names()) & (set(self._tables) |
+                                             set(self._views))))
+        lvgn = is_lvgn(strategy.putdelta, name)
+        incremental_program = None
+        if use_incremental:
+            try:
+                if lvgn:
+                    incremental_program = incrementalize_lvgn(
+                        strategy.putdelta, name)
+                else:
+                    incremental_program = incrementalize_general(
+                        strategy.putdelta, name)
+            except Exception:
+                incremental_program = None  # fall back to full put
+        closure: set[str] = set()
+        for source in source_names:
+            if source in self._views:
+                closure |= self._views[source].base_closure
+            else:
+                closure.add(source)
+        entry = ViewEntry(strategy=strategy, get_program=get_program,
+                          incremental_program=incremental_program,
+                          lvgn=lvgn,
+                          use_incremental=use_incremental and
+                          incremental_program is not None,
+                          source_names=source_names,
+                          base_closure=frozenset(closure))
+        self._views[name] = entry
+        return entry
+
+    # -- DML -------------------------------------------------------------------
+
+    def insert(self, target: str, values: tuple) -> None:
+        self.execute(target, [Insert(tuple(values))])
+
+    def delete(self, target: str, where=None) -> None:
+        self.execute(target, [Delete(where)])
+
+    def update(self, target: str, assignments: Mapping[str, object],
+               where=None) -> None:
+        self.execute(target, [Update(assignments, where)])
+
+    def transaction(self) -> 'Transaction':
+        return Transaction(self)
+
+    def execute(self, target: str, statements: Sequence[Statement]) -> None:
+        """Run a statement sequence against one relation, atomically."""
+        working = _Working(self)
+        self._execute_into(working, target, statements)
+        self._commit(working)
+
+    def execute_many(self, batches: Sequence[tuple[str,
+                                                   Sequence[Statement]]]
+                     ) -> None:
+        """One transaction spanning several targets (BEGIN ... END)."""
+        working = _Working(self)
+        for target, statements in batches:
+            self._execute_into(working, target, statements)
+        self._commit(working)
+
+    # -- internals -------------------------------------------------------------
+
+    def _execute_into(self, working: _Working, target: str,
+                      statements: Sequence[Statement]) -> None:
+        if target in self._tables:
+            schema = self.schema[target]
+            delta = derive_view_delta(statements, working.rows(target),
+                                      schema)
+            working.stage(target, delta, is_view=False, origin='<direct>')
+            return
+        if target not in self._views:
+            raise SchemaError(f'unknown relation {target!r}')
+        entry = self._views[target]
+        delta = derive_view_delta(statements, working.rows(target),
+                                  entry.schema)
+        if delta.is_empty():
+            return
+        self._apply_view_delta(working, target, delta, origin=target)
+
+    def _apply_view_delta(self, working: _Working, name: str,
+                          delta: Delta, origin: str) -> None:
+        """The trigger pipeline for one view (recursing into view
+        sources)."""
+        entry = self._views[name]
+        current = working.rows(name)
+        effective = delta.effective_on(current)
+        if effective.is_empty():
+            return
+        source_db = {s: working.relation_for_eval(s)
+                     for s in entry.source_names}
+
+        if entry.use_incremental:
+            incremental_constraints = bool(
+                entry.incremental_program.constraints())
+            if entry.strategy.constraints() and not incremental_constraints:
+                # General-path ∂put has no constraint rules: full check.
+                new_rows = (current - effective.deletions) \
+                    | effective.insertions
+                entry.strategy.check_constraints(
+                    self._frozen_sources(working, entry), new_rows)
+            deltas = self._incremental_deltas(entry, source_db, current,
+                                              effective)
+        else:
+            new_rows = (current - effective.deletions) \
+                | effective.insertions
+            frozen = self._frozen_sources(working, entry)
+            entry.strategy.check_constraints(frozen, new_rows)
+            deltas = entry.strategy.compute_delta(frozen, new_rows)
+
+        working.stage(name, effective, is_view=True, origin=origin)
+        for relation in sorted(deltas.relations()):
+            rel_delta = deltas[relation].effective_on(
+                working.rows(relation))
+            if rel_delta.is_empty():
+                continue
+            if relation in self._views:
+                self._apply_view_delta(working, relation, rel_delta,
+                                       origin=origin)
+            elif relation in self._tables:
+                working.stage(relation, rel_delta, is_view=False,
+                              origin=origin)
+            else:
+                raise ViewUpdateError(
+                    f'strategy for {name!r} updates unknown relation '
+                    f'{relation!r}')
+
+    def _frozen_sources(self, working: '_Working',
+                        entry: ViewEntry) -> Database:
+        return Database({s: frozenset(working.rows(s))
+                         for s in entry.source_names})
+
+    def _incremental_deltas(self, entry: ViewEntry, source_db: dict,
+                            current, delta: Delta) -> DeltaSet:
+        """Evaluate ∂put over S ∪ {v, +v, -v}; constraints carried by the
+        incremental program are checked on the deltas (Lemma 5.2 applied
+        to ⊥-rules)."""
+        name = entry.name
+        program = entry.incremental_program
+        edb = dict(source_db)
+        edb[insert_pred(name)] = delta.insertions
+        edb[delete_pred(name)] = delta.deletions
+        edb[name] = current
+        if program.constraints():
+            violations = constraint_violations(program, edb)
+            if violations:
+                rule, witness = violations[0]
+                raise ConstraintViolation(pretty_rule(rule), witness)
+        goals = tuple(program.delta_preds())
+        output = evaluate(program, edb, goals=goals)
+        return DeltaSet.from_database(
+            output, relations=entry.strategy.updated_relations())
+
+    def _commit(self, working: _Working) -> None:
+        changed_bases: set[str] = set()
+        for name, delta in working.deltas.items():
+            if delta.is_empty():
+                continue
+            if name in self._tables:
+                table = self._tables[name]
+                for row in delta.insertions:
+                    self.schema[name].validate_tuple(row)
+                for row in delta.deletions:
+                    table.discard(row)
+                for row in delta.insertions:
+                    table.add(row)
+                changed_bases.add(name)
+            elif name in self._cache:
+                cached = self._cache[name]
+                for row in delta.deletions:
+                    cached.discard(row)
+                for row in delta.insertions:
+                    cached.add(row)
+        # A touched view's cache stays valid only when every write under
+        # it came from its own update pipeline(s).
+        keep: set[str] = set()
+        for view in working.touched_views:
+            entry = self._views[view]
+            own = working.view_origins.get(view, set())
+            foreign = set()
+            for base in entry.base_closure & changed_bases:
+                foreign |= working.base_origins.get(base, set()) - own
+            if not foreign:
+                keep.add(view)
+        self._invalidate_dependents(changed_bases, keep=keep)
+
+    def _invalidate_dependents(self, changed_bases: set[str],
+                               keep: set[str] = frozenset()) -> None:
+        if not changed_bases:
+            return
+        for view, entry in self._views.items():
+            if view in keep:
+                continue
+            if entry.base_closure & changed_bases:
+                self._cache.pop(view, None)
+
+
+class Transaction:
+    """Context manager batching statements into one atomic execution::
+
+        with engine.transaction() as txn:
+            txn.insert('v', (1, 'a'))
+            txn.delete('v', where={'a': 2})
+    """
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self.batches: list[tuple[str, list[Statement]]] = []
+
+    def _bucket(self, target: str) -> list[Statement]:
+        if self.batches and self.batches[-1][0] == target:
+            return self.batches[-1][1]
+        bucket: list[Statement] = []
+        self.batches.append((target, bucket))
+        return bucket
+
+    def insert(self, target: str, values: tuple) -> None:
+        self._bucket(target).append(Insert(tuple(values)))
+
+    def delete(self, target: str, where=None) -> None:
+        self._bucket(target).append(Delete(where))
+
+    def update(self, target: str, assignments, where=None) -> None:
+        self._bucket(target).append(Update(assignments, where))
+
+    def __enter__(self) -> 'Transaction':
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None and self.batches:
+            self.engine.execute_many(self.batches)
+        return False

@@ -1,0 +1,186 @@
+"""Delta relations and their application (§3.1 of the paper).
+
+A :class:`Delta` is the pair (Δ⁺R, Δ⁻R) of insertions and deletions for one
+relation; a :class:`DeltaSet` collects deltas for a whole database (the
+paper's ΔS).  Application follows set semantics::
+
+    R' = R ⊕ ΔR = (R \\ Δ⁻R) ∪ Δ⁺R
+
+``DeltaSet.from_database`` extracts deltas from a Datalog output database by
+interpreting the ``+r`` / ``-r`` predicate naming convention, which is how a
+putback program's result becomes an update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.datalog.ast import (delete_pred, delta_base, insert_pred,
+                               is_delete_pred, is_delta_pred, is_insert_pred)
+from repro.errors import ContradictionError
+from repro.relational.database import Database
+
+__all__ = ['Delta', 'DeltaSet', 'apply_delta']
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Insertions and deletions for a single relation."""
+
+    insertions: frozenset = frozenset()
+    deletions: frozenset = frozenset()
+
+    def __post_init__(self):
+        object.__setattr__(self, 'insertions', frozenset(self.insertions))
+        object.__setattr__(self, 'deletions', frozenset(self.deletions))
+
+    def is_empty(self) -> bool:
+        return not self.insertions and not self.deletions
+
+    def contradictions(self) -> frozenset:
+        """Tuples both inserted and deleted (ill-definedness witnesses)."""
+        return self.insertions & self.deletions
+
+    def apply(self, rows: frozenset, relation: str = '?') -> frozenset:
+        """``rows ⊕ delta``; raises :class:`ContradictionError` when the
+        delta is contradictory."""
+        clash = self.contradictions()
+        if clash:
+            raise ContradictionError(relation, clash)
+        return (rows - self.deletions) | self.insertions
+
+    def effective_on(self, rows: frozenset) -> 'Delta':
+        """The part of the delta that actually changes ``rows``: deletions
+        present in ``rows`` and insertions absent from it (cf. §5's steady
+        state discussion)."""
+        return Delta(self.insertions - rows, self.deletions & rows)
+
+    def union(self, other: 'Delta') -> 'Delta':
+        return Delta(self.insertions | other.insertions,
+                     self.deletions | other.deletions)
+
+    def invert(self) -> 'Delta':
+        return Delta(self.deletions, self.insertions)
+
+    def __len__(self) -> int:
+        return len(self.insertions) + len(self.deletions)
+
+    def __str__(self) -> str:
+        parts = [f'+{sorted(self.insertions)}' if self.insertions else '',
+                 f'-{sorted(self.deletions)}' if self.deletions else '']
+        return ' '.join(p for p in parts if p) or '(no change)'
+
+
+@dataclass(frozen=True)
+class DeltaSet:
+    """Deltas for a collection of relations (the paper's ΔS)."""
+
+    deltas: Mapping[str, Delta] = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, 'deltas',
+            {name: delta for name, delta in dict(self.deltas).items()})
+
+    @classmethod
+    def from_database(cls, db: Database,
+                      relations: Iterable[str] | None = None) -> 'DeltaSet':
+        """Collect ``+r`` / ``-r`` relations of ``db`` into a delta set.
+
+        When ``relations`` is given, only deltas for those base relations are
+        collected; otherwise every delta predicate in ``db`` contributes.
+        """
+        wanted = None if relations is None else set(relations)
+        deltas: dict[str, Delta] = {}
+        for name in db.names():
+            if not is_delta_pred(name):
+                continue
+            base = delta_base(name)
+            if wanted is not None and base not in wanted:
+                continue
+            delta = deltas.get(base, Delta())
+            if is_insert_pred(name):
+                delta = Delta(delta.insertions | db[name], delta.deletions)
+            elif is_delete_pred(name):
+                delta = Delta(delta.insertions, delta.deletions | db[name])
+            deltas[base] = delta
+        return cls(deltas)
+
+    @classmethod
+    def single(cls, relation: str, insertions=(), deletions=()) -> 'DeltaSet':
+        return cls({relation: Delta(frozenset(insertions),
+                                    frozenset(deletions))})
+
+    # -- access ----------------------------------------------------------
+
+    def __getitem__(self, relation: str) -> Delta:
+        return self.deltas.get(relation, Delta())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.deltas)
+
+    def relations(self) -> set[str]:
+        return set(self.deltas)
+
+    def is_empty(self) -> bool:
+        return all(d.is_empty() for d in self.deltas.values())
+
+    def total_size(self) -> int:
+        return sum(len(d) for d in self.deltas.values())
+
+    def is_contradictory(self) -> bool:
+        return any(d.contradictions() for d in self.deltas.values())
+
+    def contradictions(self) -> dict[str, frozenset]:
+        return {name: d.contradictions()
+                for name, d in self.deltas.items() if d.contradictions()}
+
+    # -- operations ----------------------------------------------------------
+
+    def apply_to(self, db: Database) -> Database:
+        """``db ⊕ self``; raises :class:`ContradictionError` when any
+        relation's delta is contradictory (Def. 3.1)."""
+        result = db
+        for name, delta in self.deltas.items():
+            if delta.is_empty():
+                continue
+            result = result.with_relation(name,
+                                          delta.apply(db[name], name))
+        return result
+
+    def effective_on(self, db: Database) -> 'DeltaSet':
+        return DeltaSet({name: delta.effective_on(db[name])
+                         for name, delta in self.deltas.items()
+                         if not delta.effective_on(db[name]).is_empty()})
+
+    def union(self, other: 'DeltaSet') -> 'DeltaSet':
+        merged = dict(self.deltas)
+        for name, delta in other.deltas.items():
+            merged[name] = merged.get(name, Delta()).union(delta)
+        return DeltaSet(merged)
+
+    def as_database(self) -> Database:
+        """Render the delta set as a database of ``+r``/``-r`` relations."""
+        data: dict[str, frozenset] = {}
+        for name, delta in self.deltas.items():
+            data[insert_pred(name)] = delta.insertions
+            data[delete_pred(name)] = delta.deletions
+        return Database(data)
+
+    def __str__(self) -> str:
+        if self.is_empty():
+            return 'ΔS = ∅'
+        lines = []
+        for name in sorted(self.deltas):
+            delta = self.deltas[name]
+            for row in sorted(delta.insertions):
+                lines.append(f'+{name}{row}')
+            for row in sorted(delta.deletions):
+                lines.append(f'-{name}{row}')
+        return '\n'.join(lines)
+
+
+def apply_delta(db: Database, deltas: DeltaSet) -> Database:
+    """Functional form of :meth:`DeltaSet.apply_to` (the paper's ⊕)."""
+    return deltas.apply_to(db)

@@ -1,0 +1,150 @@
+"""Database schemas: relation names, attribute names, and types.
+
+A :class:`DatabaseSchema` plays the role of the paper's schema
+``S = <r1, ..., rn>`` (§2.1).  Attribute names are optional decoration used
+by SQL generation and the RDBMS layer; Datalog itself is positional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+
+__all__ = ['AttributeType', 'RelationSchema', 'DatabaseSchema']
+
+
+class AttributeType:
+    """Supported attribute types (plain string constants)."""
+
+    INT = 'int'
+    FLOAT = 'float'
+    STRING = 'string'
+    DATE = 'date'      # stored as ISO strings; ordered lexicographically
+
+    ALL = (INT, FLOAT, STRING, DATE)
+
+    _PYTHON = {INT: int, FLOAT: float, STRING: str, DATE: str}
+
+    @classmethod
+    def python_type(cls, name: str) -> type:
+        try:
+            return cls._PYTHON[name]
+        except KeyError:
+            raise SchemaError(f'unknown attribute type {name!r}') from None
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Schema of one relation: ``name(attr1: type1, ..., attrk: typek)``."""
+
+    name: str
+    attributes: tuple[str, ...]
+    types: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not isinstance(self.attributes, tuple):
+            object.__setattr__(self, 'attributes', tuple(self.attributes))
+        if not self.types:
+            object.__setattr__(
+                self, 'types',
+                tuple(AttributeType.STRING for _ in self.attributes))
+        elif not isinstance(self.types, tuple):
+            object.__setattr__(self, 'types', tuple(self.types))
+        if len(self.types) != len(self.attributes):
+            raise SchemaError(
+                f'relation {self.name!r}: {len(self.attributes)} attributes '
+                f'but {len(self.types)} types')
+        for t in self.types:
+            if t not in AttributeType.ALL:
+                raise SchemaError(f'unknown attribute type {t!r} in '
+                                  f'relation {self.name!r}')
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(
+                f'relation {self.name!r} has duplicate attribute names')
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def validate_tuple(self, row: tuple) -> None:
+        """Raise :class:`SchemaError` when ``row`` does not fit."""
+        if len(row) != self.arity:
+            raise SchemaError(
+                f'relation {self.name!r} has arity {self.arity} but got a '
+                f'tuple of length {len(row)}: {row!r}')
+        for value, attr, type_name in zip(row, self.attributes, self.types):
+            expected = AttributeType.python_type(type_name)
+            if expected is float and isinstance(value, int):
+                continue  # ints are acceptable floats
+            if not isinstance(value, expected) or isinstance(value, bool):
+                raise SchemaError(
+                    f'{self.name}.{attr} expects {type_name}, got '
+                    f'{value!r}')
+
+    def __str__(self) -> str:
+        cols = ', '.join(f'{a}: {t}'
+                         for a, t in zip(self.attributes, self.types))
+        return f'{self.name}({cols})'
+
+
+@dataclass(frozen=True)
+class DatabaseSchema:
+    """An ordered collection of relation schemas."""
+
+    relations: tuple[RelationSchema, ...]
+    _by_name: dict = field(default=None, compare=False, repr=False)
+
+    def __post_init__(self):
+        if not isinstance(self.relations, tuple):
+            object.__setattr__(self, 'relations', tuple(self.relations))
+        by_name = {}
+        for rel in self.relations:
+            if rel.name in by_name:
+                raise SchemaError(f'duplicate relation name {rel.name!r}')
+            by_name[rel.name] = rel
+        object.__setattr__(self, '_by_name', by_name)
+
+    @classmethod
+    def build(cls, **relations: Iterable[str] | dict[str, str]
+              ) -> 'DatabaseSchema':
+        """Convenience constructor::
+
+            DatabaseSchema.build(
+                r1=['a', 'b'],                       # all-string attributes
+                r2={'c': 'int', 'd': 'date'},        # typed attributes
+            )
+        """
+        rels = []
+        for name, spec in relations.items():
+            if isinstance(spec, dict):
+                rels.append(RelationSchema(name, tuple(spec),
+                                           tuple(spec.values())))
+            else:
+                rels.append(RelationSchema(name, tuple(spec)))
+        return cls(tuple(rels))
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self.relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f'unknown relation {name!r}') from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(r.name for r in self.relations)
+
+    def arity(self, name: str) -> int:
+        return self[name].arity
+
+    def extend(self, *more: RelationSchema) -> 'DatabaseSchema':
+        return DatabaseSchema(self.relations + tuple(more))
+
+    def __str__(self) -> str:
+        return '\n'.join(str(r) for r in self.relations)

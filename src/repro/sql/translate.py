@@ -1,0 +1,207 @@
+"""Translation of nonrecursive Datalog queries to SQL (§6.1).
+
+Nonrecursive Datalog with negation maps onto SQL directly: each IDB
+predicate becomes a CTE (``WITH`` clause) holding the ``UNION`` of its
+rules; each rule becomes a ``SELECT`` with
+
+* one ``FROM`` alias per positive body atom,
+* ``WHERE`` equalities for join variables / constants,
+* builtin predicates as comparisons, and
+* ``NOT EXISTS`` subqueries for negated atoms (unbound anonymous
+  variables inside a negated atom simply contribute no condition —
+  the ¬∃ semantics).
+
+Column naming uses the relation schema when available and ``c0..cN``
+otherwise.  The output dialect is PostgreSQL.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.ast import (Atom, BuiltinLit, Const, Lit, Program, Rule,
+                               Var, is_anonymous)
+from repro.datalog.dependency import stratify
+from repro.errors import TransformationError
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ['sql_literal', 'rule_to_select', 'query_to_sql',
+           'program_to_ctes', 'ColumnNamer']
+
+
+def sql_literal(value) -> str:
+    """Render a constant as a SQL literal."""
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def sql_ident(name: str) -> str:
+    """Render a predicate name as a SQL identifier (delta prefixes and the
+    ``__nu`` suffix become readable name parts)."""
+    if name.startswith('+'):
+        return f'delta_ins_{name[1:]}'
+    if name.startswith('-'):
+        return f'delta_del_{name[1:]}'
+    return name
+
+
+class ColumnNamer:
+    """Column names per relation: schema attributes when known."""
+
+    def __init__(self, schema: DatabaseSchema | None = None,
+                 extra: dict[str, tuple[str, ...]] | None = None):
+        self.schema = schema
+        self.extra = extra or {}
+
+    def columns(self, pred: str, arity: int) -> tuple[str, ...]:
+        from repro.datalog.ast import delta_base
+        if pred in self.extra:
+            return self.extra[pred]
+        base = delta_base(pred)
+        if self.schema is not None and base in self.schema:
+            return self.schema[base].attributes
+        return tuple(f'c{i}' for i in range(arity))
+
+
+def _expr_map(rule: Rule, namer: ColumnNamer,
+              aliases: list[tuple[str, Atom]]) -> dict[str, str]:
+    """Map each variable to a SQL expression (alias.column or literal)."""
+    exprs: dict[str, str] = {}
+    for alias, atom in aliases:
+        cols = namer.columns(atom.pred, atom.arity)
+        for col, term in zip(cols, atom.args):
+            if isinstance(term, Var) and term.name not in exprs:
+                exprs[term.name] = f'{alias}.{col}'
+    # Equalities can bind further variables (X = 'a', X = Y).
+    changed = True
+    while changed:
+        changed = False
+        for literal in rule.body:
+            if not isinstance(literal, BuiltinLit) or literal.op != '=' \
+                    or not literal.positive:
+                continue
+            left, right = literal.left, literal.right
+            for a, b in ((left, right), (right, left)):
+                if isinstance(a, Var) and a.name not in exprs:
+                    if isinstance(b, Const):
+                        exprs[a.name] = sql_literal(b.value)
+                        changed = True
+                    elif isinstance(b, Var) and b.name in exprs:
+                        exprs[a.name] = exprs[b.name]
+                        changed = True
+    return exprs
+
+
+def _term_expr(term, exprs: dict[str, str]) -> str | None:
+    if isinstance(term, Const):
+        return sql_literal(term.value)
+    if term.name in exprs:
+        return exprs[term.name]
+    return None
+
+
+def rule_to_select(rule: Rule, namer: ColumnNamer,
+                   head_columns: tuple[str, ...] | None = None) -> str:
+    """One rule as a ``SELECT`` statement."""
+    positives = [l.atom for l in rule.body
+                 if isinstance(l, Lit) and l.positive]
+    aliases = [(f't{i}', atom) for i, atom in enumerate(positives)]
+    exprs = _expr_map(rule, namer, aliases)
+    conditions: list[str] = []
+
+    # Join conditions: repeated variables and constants inside atoms.
+    seen: dict[str, str] = {}
+    for alias, atom in aliases:
+        cols = namer.columns(atom.pred, atom.arity)
+        for col, term in zip(cols, atom.args):
+            place = f'{alias}.{col}'
+            if isinstance(term, Const):
+                conditions.append(f'{place} = {sql_literal(term.value)}')
+            else:
+                if term.name in seen and seen[term.name] != place:
+                    conditions.append(f'{seen[term.name]} = {place}')
+                else:
+                    seen.setdefault(term.name, place)
+
+    op_map = {'=': '=', '<': '<', '>': '>', '<=': '<=', '>=': '>='}
+    for literal in rule.body:
+        if isinstance(literal, BuiltinLit):
+            left = _term_expr(literal.left, exprs)
+            right = _term_expr(literal.right, exprs)
+            if left is None or right is None:
+                raise TransformationError(
+                    f'builtin {literal} has an unbound operand in rule '
+                    f'{rule}')
+            clause = f'{left} {op_map[literal.op]} {right}'
+            if literal.op == '=' and literal.positive and left == right:
+                continue  # tautology introduced by the expression map
+            conditions.append(clause if literal.positive
+                              else f'NOT ({clause})')
+        elif not literal.positive:
+            atom = literal.atom
+            cols = namer.columns(atom.pred, atom.arity)
+            sub_conditions = []
+            for col, term in zip(cols, atom.args):
+                if isinstance(term, Var) and is_anonymous(term) \
+                        and term.name not in exprs:
+                    continue  # wildcard inside ¬∃
+                expr = _term_expr(term, exprs)
+                if expr is None:
+                    raise TransformationError(
+                        f'negated atom {atom} has unbound variable {term} '
+                        f'in rule {rule}')
+                sub_conditions.append(f's.{col} = {expr}')
+            where = (' WHERE ' + ' AND '.join(sub_conditions)
+                     if sub_conditions else '')
+            conditions.append(
+                f'NOT EXISTS (SELECT 1 FROM {sql_ident(atom.pred)} s'
+                f'{where})')
+
+    if head_columns is None:
+        head_columns = tuple(f'c{i}' for i in range(rule.head.arity))
+    select_items = []
+    for col, term in zip(head_columns, rule.head.args):
+        expr = _term_expr(term, exprs)
+        if expr is None:
+            raise TransformationError(
+                f'head term {term} of rule {rule} is unbound')
+        select_items.append(f'{expr} AS {col}')
+    select = 'SELECT DISTINCT ' + ', '.join(select_items)
+    if aliases:
+        select += '\n  FROM ' + ', '.join(
+            f'{sql_ident(atom.pred)} {alias}' for alias, atom in aliases)
+    if conditions:
+        select += '\n  WHERE ' + '\n    AND '.join(conditions)
+    return select
+
+
+def program_to_ctes(program: Program, namer: ColumnNamer) -> list[tuple[str,
+                                                                        str]]:
+    """``(name, select)`` pairs for every IDB predicate, in evaluation
+    order (ready to join into a ``WITH`` clause)."""
+    proper = program.without_constraints()
+    arities = proper.arities()
+    ctes: list[tuple[str, str]] = []
+    for pred in stratify(proper):
+        cols = namer.columns(pred, arities[pred])
+        selects = [rule_to_select(rule, namer, cols)
+                   for rule in proper.rules_for(pred)]
+        ctes.append((sql_ident(pred), '\nUNION\n'.join(selects)))
+    return ctes
+
+
+def query_to_sql(program: Program, goal: str,
+                 namer: ColumnNamer | None = None,
+                 schema: DatabaseSchema | None = None) -> str:
+    """A complete ``WITH ... SELECT`` statement for a Datalog query."""
+    namer = namer or ColumnNamer(schema)
+    ctes = program_to_ctes(program, namer)
+    goal_ident = sql_ident(goal)
+    relevant = [(name, body) for name, body in ctes]
+    if not relevant:
+        raise TransformationError(f'no rules define {goal!r}')
+    with_items = ',\n'.join(f'{name} AS (\n{body}\n)'
+                            for name, body in relevant)
+    return f'WITH {with_items}\nSELECT * FROM {goal_ident}'

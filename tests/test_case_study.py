@@ -1,0 +1,243 @@
+"""Integration test: the paper's full case study (§3.3).
+
+Five base tables, five layered updatable views — ``residents`` and ``ced``
+directly over base tables; ``residents1962``, ``employees`` and
+``retired`` over the *views* ``residents``/``ced`` — all registered in one
+engine, with DML against the top layer cascading down to base tables.
+"""
+
+import pytest
+
+from repro.core.strategy import UpdateStrategy
+from repro.core.validation import validate
+from repro.datalog.evaluator import evaluate
+from repro.errors import ConstraintViolation
+from repro.fol.solver import SolverConfig
+from repro.rdbms.engine import Engine
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema
+
+FAST = SolverConfig(random_trials=40)
+
+BASE = DatabaseSchema.build(
+    male={'emp_name': 'string', 'birth_date': 'date'},
+    female={'emp_name': 'string', 'birth_date': 'date'},
+    others={'emp_name': 'string', 'birth_date': 'date',
+            'gender': 'string'},
+    ed={'emp_name': 'string', 'dept_name': 'string'},
+    eed={'emp_name': 'string', 'dept_name': 'string'},
+)
+
+# Views of the middle layer are sources for the top layer.
+VIEW_SOURCES = DatabaseSchema.build(
+    residents={'emp_name': 'string', 'birth_date': 'date',
+               'gender': 'string'},
+    ced={'emp_name': 'string', 'dept_name': 'string'},
+)
+
+RESIDENTS = """
+    +male(E, B) :- residents(E, B, 'M'), not male(E, B),
+        not others(E, B, 'M').
+    -male(E, B) :- male(E, B), not residents(E, B, 'M').
+    +female(E, B) :- residents(E, B, G), G = 'F', not female(E, B),
+        not others(E, B, G).
+    -female(E, B) :- female(E, B), not residents(E, B, 'F').
+    +others(E, B, G) :- residents(E, B, G), not G = 'M', not G = 'F',
+        not others(E, B, G).
+    -others(E, B, G) :- others(E, B, G), not residents(E, B, G).
+"""
+
+RESIDENTS_GET = """
+    residents(E, B, G) :- others(E, B, G).
+    residents(E, B, 'F') :- female(E, B).
+    residents(E, B, 'M') :- male(E, B).
+"""
+
+CED = """
+    +ed(E, D) :- ced(E, D), not ed(E, D).
+    -eed(E, D) :- ced(E, D), eed(E, D).
+    +eed(E, D) :- ed(E, D), not ced(E, D), not eed(E, D).
+"""
+
+CED_GET = "ced(E, D) :- ed(E, D), not eed(E, D)."
+
+RESIDENTS1962 = """
+    ⊥ :- residents1962(E, B, G), B > '1962-12-31'.
+    ⊥ :- residents1962(E, B, G), B < '1962-01-01'.
+    +residents(E, B, G) :- residents1962(E, B, G),
+        not residents(E, B, G).
+    -residents(E, B, G) :- residents(E, B, G), not B < '1962-01-01',
+        not B > '1962-12-31', not residents1962(E, B, G).
+"""
+
+RESIDENTS1962_GET = ("residents1962(E, B, G) :- residents(E, B, G), "
+                     "not B < '1962-01-01', not B > '1962-12-31'.")
+
+EMPLOYEES = """
+    ⊥ :- employees(E, B, G), not ced(E, _).
+    +residents(E, B, G) :- employees(E, B, G), not residents(E, B, G).
+    -residents(E, B, G) :- residents(E, B, G), ced(E, _),
+        not employees(E, B, G).
+"""
+
+EMPLOYEES_GET = "employees(E, B, G) :- residents(E, B, G), ced(E, _)."
+
+RETIRED = """
+    -ced(E, D) :- ced(E, D), retired(E).
+    +ced(E, D) :- residents(E, _, _), not retired(E), not ced(E, _),
+        D = 'unknown'.
+    +residents(E, B, G) :- retired(E), G = 'unknown',
+        not residents(E, _, _), B = '0000-00-00'.
+"""
+
+RETIRED_GET = "retired(E) :- residents(E, B, G), not ced(E, _)."
+
+
+def build_engine() -> Engine:
+    engine = Engine(BASE)
+    engine.load('male', [('bob', '1960-04-01'), ('dan', '1962-06-15')])
+    engine.load('female', [('carol', '1962-03-02')])
+    engine.load('others', [('alex', '1970-01-05', 'X')])
+    engine.load('ed', [('bob', 'cs'), ('carol', 'math'), ('dan', 'cs'),
+                       ('alex', 'bio')])
+    engine.load('eed', [('dan', 'cs')])
+
+    residents = UpdateStrategy.parse('residents', BASE, RESIDENTS,
+                                     expected_get=RESIDENTS_GET)
+    ced = UpdateStrategy.parse('ced', BASE, CED, expected_get=CED_GET)
+    engine.define_view(residents, validate_first=False)
+    engine.define_view(ced, validate_first=False)
+
+    r1962 = UpdateStrategy.parse('residents1962', VIEW_SOURCES,
+                                 RESIDENTS1962,
+                                 expected_get=RESIDENTS1962_GET)
+    employees = UpdateStrategy.parse('employees', VIEW_SOURCES, EMPLOYEES,
+                                     expected_get=EMPLOYEES_GET)
+    retired = UpdateStrategy.parse('retired', VIEW_SOURCES, RETIRED,
+                                   expected_get=RETIRED_GET)
+    engine.define_view(r1962, validate_first=False)
+    engine.define_view(employees, validate_first=False)
+    engine.define_view(retired, validate_first=False)
+    return engine
+
+
+class TestAllStrategiesValidate:
+
+    @pytest.mark.parametrize('name,sources,putdelta,get', [
+        ('residents', BASE, RESIDENTS, RESIDENTS_GET),
+        ('ced', BASE, CED, CED_GET),
+        ('residents1962', VIEW_SOURCES, RESIDENTS1962, RESIDENTS1962_GET),
+        ('employees', VIEW_SOURCES, EMPLOYEES, EMPLOYEES_GET),
+        ('retired', VIEW_SOURCES, RETIRED, RETIRED_GET),
+    ])
+    def test_valid_and_lvgn(self, name, sources, putdelta, get):
+        strategy = UpdateStrategy.parse(name, sources, putdelta,
+                                        expected_get=get)
+        report = validate(strategy, config=FAST)
+        assert report.valid, str(report)
+        assert report.fragment.lvgn
+        assert report.expected_get_confirmed
+
+
+class TestLayeredContents:
+
+    def test_initial_views(self):
+        engine = build_engine()
+        assert engine.rows('residents') == {
+            ('bob', '1960-04-01', 'M'), ('dan', '1962-06-15', 'M'),
+            ('carol', '1962-03-02', 'F'), ('alex', '1970-01-05', 'X')}
+        assert engine.rows('ced') == {
+            ('bob', 'cs'), ('carol', 'math'), ('alex', 'bio')}
+        assert engine.rows('residents1962') == {
+            ('dan', '1962-06-15', 'M'), ('carol', '1962-03-02', 'F')}
+        # dan's only department is historical: retired.
+        assert engine.rows('retired') == {('dan',)}
+        assert engine.rows('employees') == {
+            ('bob', '1960-04-01', 'M'), ('carol', '1962-03-02', 'F'),
+            ('alex', '1970-01-05', 'X')}
+
+
+class TestCascadingUpdates:
+
+    def test_insert_into_residents_routes_by_gender(self):
+        engine = build_engine()
+        engine.insert('residents', ('eve', '1980-02-02', 'F'))
+        assert ('eve', '1980-02-02') in engine.rows('female')
+        engine.insert('residents', ('kim', '1975-05-05', 'N'))
+        assert ('kim', '1975-05-05', 'N') in engine.rows('others')
+
+    def test_ced_updates_move_departments_to_history(self):
+        engine = build_engine()
+        # bob leaves cs: the department becomes a former department.
+        engine.delete('ced', where={'emp_name': 'bob'})
+        assert ('bob', 'cs') in engine.rows('eed')
+        assert ('bob', 'cs') in engine.rows('ed')
+        # ... and bob is now retired (no current department).
+        assert ('bob',) in engine.rows('retired')
+
+    def test_residents1962_cascades_through_residents(self):
+        engine = build_engine()
+        engine.insert('residents1962', ('pat', '1962-07-07', 'M'))
+        # Two layers down: pat lands in the male base table.
+        assert ('pat', '1962-07-07') in engine.rows('male')
+        assert ('pat', '1962-07-07', 'M') in engine.rows('residents')
+
+    def test_residents1962_rejects_wrong_year(self):
+        engine = build_engine()
+        with pytest.raises(ConstraintViolation):
+            engine.insert('residents1962', ('pat', '1990-07-07', 'M'))
+
+    def test_employees_constraint_requires_department(self):
+        engine = build_engine()
+        with pytest.raises(ConstraintViolation):
+            engine.insert('employees', ('ghost', '1950-01-01', 'M'))
+
+    def test_employees_delete_cascades_to_base(self):
+        engine = build_engine()
+        engine.delete('employees', where={'emp_name': 'carol'})
+        # carol left residents entirely (the strategy deletes from
+        # residents), which cascades into the female base table.
+        assert ('carol', '1962-03-02') not in engine.rows('female')
+        assert ('carol', '1962-03-02', 'F') not in engine.rows('residents')
+
+    def test_retired_insert_creates_unknown_resident(self):
+        engine = build_engine()
+        engine.insert('retired', ('zoe',))
+        assert ('zoe', '0000-00-00', 'unknown') in engine.rows('residents')
+        assert ('zoe', '0000-00-00') in engine.rows('others') or \
+            ('zoe', '0000-00-00', 'unknown') in engine.rows('others')
+
+    def test_retired_delete_assigns_unknown_department(self):
+        engine = build_engine()
+        assert ('dan',) in engine.rows('retired')
+        engine.delete('retired', where={'emp_name': 'dan'})
+        # dan becomes employed again with an 'unknown' department,
+        # reflected through ced down to ed/eed.
+        assert ('dan', 'unknown') in engine.rows('ced')
+        assert ('dan',) not in engine.rows('retired')
+
+    def test_putget_through_all_layers(self):
+        """After arbitrary cascaded updates, every view equals its
+        definition recomputed from base tables."""
+        engine = build_engine()
+        engine.insert('residents1962', ('pat', '1962-07-07', 'M'))
+        engine.delete('employees', where={'emp_name': 'bob'})
+        engine.insert('retired', ('zoe',))
+        base = engine.database()
+        residents = evaluate(
+            UpdateStrategy.parse('residents', BASE, RESIDENTS,
+                                 expected_get=RESIDENTS_GET).expected_get,
+            base)['residents']
+        assert engine.rows('residents') == residents
+        ced = evaluate(
+            UpdateStrategy.parse('ced', BASE, CED,
+                                 expected_get=CED_GET).expected_get,
+            base)['ced']
+        assert engine.rows('ced') == ced
+        layered = Database.from_dict({'residents': residents, 'ced': ced})
+        for name, text in (('residents1962', RESIDENTS1962_GET),
+                           ('employees', EMPLOYEES_GET),
+                           ('retired', RETIRED_GET)):
+            from repro.datalog.parser import parse_program
+            expected = evaluate(parse_program(text), layered)[name]
+            assert engine.rows(name) == expected, name

@@ -1,0 +1,110 @@
+"""View-operator and constraint-kind classification tests, cross-checked
+against the paper's Table 1 labels on the catalog."""
+
+import pytest
+
+from repro.benchsuite.catalog import ALL_ENTRIES, entry_by_name
+from repro.benchsuite.classify import constraint_kinds, view_operators
+from repro.datalog.parser import parse_program
+
+
+class TestViewOperators:
+
+    def test_selection(self):
+        program = parse_program('v(X, P) :- r(X, P), P > 10.')
+        assert view_operators(program, 'v') == 'S'
+
+    def test_projection_via_anonymous(self):
+        program = parse_program('v(X) :- r(X, _).')
+        assert 'P' in view_operators(program, 'v')
+
+    def test_projection_via_dropped_variable(self):
+        program = parse_program('v(X) :- r(X, Y).')
+        assert 'P' in view_operators(program, 'v')
+
+    def test_union(self):
+        program = parse_program('v(X) :- r1(X).\nv(X) :- r2(X).')
+        assert 'U' in view_operators(program, 'v')
+
+    def test_difference(self):
+        program = parse_program('v(X) :- r1(X), not r2(X).')
+        assert 'D' in view_operators(program, 'v')
+
+    def test_inner_join(self):
+        program = parse_program('v(X, Y, Z) :- r(X, Y), s(Y, Z).')
+        ops = view_operators(program, 'v')
+        assert 'IJ' in ops
+
+    def test_semijoin(self):
+        program = parse_program('v(X, Y) :- r(X, Y), s(X, _).')
+        ops = view_operators(program, 'v')
+        assert 'SJ' in ops and 'IJ' not in ops
+
+    def test_left_join_encoding(self):
+        program = parse_program("""
+            v(P, N, Q) :- names(P, N), stock(P, Q).
+            v(P, N, Q) :- names(P, N), not stock(P, _), Q = -1.
+        """)
+        assert 'LJ' in view_operators(program, 'v')
+
+    @pytest.mark.parametrize('name,expect_subset', [
+        ('luxuryitems', {'S'}),
+        ('officeinfo', {'P'}),
+        ('residents', {'U'}),
+        ('ced', {'D'}),
+        ('employees', {'SJ'}),
+        ('tracks1', {'IJ'}),
+        ('products', {'LJ'}),
+        ('vw_brands', {'U'}),
+    ])
+    def test_catalog_agreement(self, name, expect_subset):
+        entry = entry_by_name(name)
+        strategy = entry.strategy()
+        ops = set(view_operators(strategy.expected_get, name,
+                                 set(strategy.sources.names())).split(','))
+        assert expect_subset <= ops, (name, ops)
+
+
+class TestConstraintKinds:
+
+    def test_domain_constraint(self):
+        program = parse_program('⊥ :- v(X, P), P < 0.')
+        assert constraint_kinds(program, 'v') == 'C'
+
+    def test_functional_dependency_is_pk(self):
+        program = parse_program(
+            '⊥ :- v(A, B1), v(A, B2), not B1 = B2.')
+        assert constraint_kinds(program, 'v') == 'PK'
+
+    def test_inclusion_dependency(self):
+        program = parse_program('⊥ :- v(E, B), not ced(E, _).')
+        assert constraint_kinds(program, 'v') == 'ID'
+
+    def test_source_fk(self):
+        program = parse_program('⊥ :- stock(P, Q), not names(P, _).')
+        assert constraint_kinds(program, 'v') == 'FK'
+
+    def test_mixed_kinds_ordered(self):
+        program = parse_program("""
+            ⊥ :- v(A, B1), v(A, B2), not B1 = B2.
+            ⊥ :- v(A, B), B < 0.
+        """)
+        assert constraint_kinds(program, 'v') == 'PK, C'
+
+    def test_no_constraints(self):
+        program = parse_program('+r(X) :- v(X).')
+        assert constraint_kinds(program, 'v') == ''
+
+    @pytest.mark.parametrize('name,expected_kinds', [
+        ('luxuryitems', {'C'}),
+        ('employees', {'ID'}),
+        ('tracks1', {'PK'}),
+        ('outstanding_task', {'ID', 'C'}),
+    ])
+    def test_catalog_agreement(self, name, expected_kinds):
+        entry = entry_by_name(name)
+        strategy = entry.strategy()
+        kinds = set(constraint_kinds(
+            strategy.putdelta, name,
+            set(strategy.sources.names())).split(', '))
+        assert expected_kinds <= kinds, (name, kinds)

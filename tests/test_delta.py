@@ -1,0 +1,122 @@
+"""Delta relation tests, including property-based algebra checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ContradictionError
+from repro.relational.database import Database
+from repro.relational.delta import Delta, DeltaSet, apply_delta
+
+
+class TestDelta:
+
+    def test_paper_example(self):
+        # §3.1: R = {(1,2),(1,3)}, ΔR = {-r(1,2), +r(1,1)}.
+        delta = Delta(insertions={(1, 1)}, deletions={(1, 2)})
+        result = delta.apply(frozenset({(1, 2), (1, 3)}))
+        assert result == {(1, 1), (1, 3)}
+
+    def test_contradiction_raises(self):
+        delta = Delta(insertions={(1,)}, deletions={(1,)})
+        with pytest.raises(ContradictionError):
+            delta.apply(frozenset())
+
+    def test_effective_on(self):
+        delta = Delta(insertions={(1,), (2,)}, deletions={(3,), (4,)})
+        effective = delta.effective_on(frozenset({(1,), (3,)}))
+        assert effective.insertions == {(2,)}
+        assert effective.deletions == {(3,)}
+
+    def test_invert(self):
+        delta = Delta(insertions={(1,)}, deletions={(2,)})
+        inverted = delta.invert()
+        assert inverted.insertions == {(2,)}
+        assert inverted.deletions == {(1,)}
+
+    def test_len_and_empty(self):
+        assert len(Delta({(1,)}, {(2,)})) == 2
+        assert Delta().is_empty()
+
+
+class TestDeltaSet:
+
+    def test_from_database(self):
+        out = Database.from_dict({'+r1': {(3,)}, '-r2': {(2,)},
+                                  'aux': {(9,)}})
+        deltas = DeltaSet.from_database(out)
+        assert deltas['r1'].insertions == {(3,)}
+        assert deltas['r2'].deletions == {(2,)}
+        assert 'aux' not in deltas.relations()
+
+    def test_from_database_restricted(self):
+        out = Database.from_dict({'+r1': {(3,)}, '+other': {(1,)}})
+        deltas = DeltaSet.from_database(out, relations={'r1'})
+        assert deltas.relations() == {'r1'}
+
+    def test_apply_example_3_1(self, union_database):
+        deltas = DeltaSet({'r1': Delta(insertions={(3,)}),
+                           'r2': Delta(deletions={(2,)})})
+        updated = apply_delta(union_database, deltas)
+        assert updated['r1'] == {(1,), (3,)}
+        assert updated['r2'] == {(4,)}
+
+    def test_contradiction_detection(self):
+        deltas = DeltaSet({'r': Delta({(1,)}, {(1,)})})
+        assert deltas.is_contradictory()
+        assert deltas.contradictions() == {'r': frozenset({(1,)})}
+        with pytest.raises(ContradictionError):
+            deltas.apply_to(Database.empty())
+
+    def test_union(self):
+        a = DeltaSet.single('r', insertions={(1,)})
+        b = DeltaSet.single('r', deletions={(2,)})
+        union = a.union(b)
+        assert union['r'].insertions == {(1,)}
+        assert union['r'].deletions == {(2,)}
+
+    def test_as_database_round_trip(self):
+        deltas = DeltaSet({'r': Delta({(1,)}, {(2,)})})
+        assert DeltaSet.from_database(deltas.as_database()) == deltas
+
+    def test_effective_on_database(self):
+        db = Database.from_dict({'r': {(1,)}})
+        deltas = DeltaSet({'r': Delta(insertions={(1,), (2,)})})
+        effective = deltas.effective_on(db)
+        assert effective['r'].insertions == {(2,)}
+
+
+# -- property-based algebra --------------------------------------------------
+
+rows = st.frozensets(
+    st.tuples(st.integers(min_value=0, max_value=6)), max_size=8)
+
+
+@given(rows, rows, rows)
+@settings(max_examples=200, deadline=None)
+def test_apply_semantics(base, insertions, deletions):
+    """R ⊕ Δ = (R \\ Δ⁻) ∪ Δ⁺ for non-contradictory deltas."""
+    insertions = insertions - deletions
+    delta = Delta(insertions, deletions)
+    assert delta.apply(base) == (base - deletions) | insertions
+
+
+@given(rows, rows, rows)
+@settings(max_examples=200, deadline=None)
+def test_effective_delta_has_same_effect(base, insertions, deletions):
+    insertions = insertions - deletions
+    delta = Delta(insertions, deletions)
+    effective = delta.effective_on(base)
+    assert effective.apply(base) == delta.apply(base)
+    # Effectiveness: nothing inserted that exists, nothing deleted that
+    # does not.
+    assert not (effective.insertions & base)
+    assert effective.deletions <= base
+
+
+@given(rows, rows)
+@settings(max_examples=100, deadline=None)
+def test_invert_undoes_effective_delta(base, insertions):
+    delta = Delta(insertions - base, frozenset())
+    applied = delta.apply(base)
+    assert delta.invert().apply(applied) == base

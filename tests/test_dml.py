@@ -1,0 +1,125 @@
+"""DML statement and Algorithm 2 (view delta derivation) tests."""
+
+import pytest
+
+from repro.errors import SchemaError, ViewUpdateError
+from repro.rdbms.dml import (Delete, Insert, Update, derive_view_delta,
+                             match_where)
+from repro.relational.schema import RelationSchema
+
+SCHEMA = RelationSchema('v', ('a', 'b'), ('int', 'string'))
+
+
+class TestWhereMatching:
+
+    def test_none_matches_all(self):
+        assert match_where((1, 'x'), None, SCHEMA)
+
+    def test_dict_condition(self):
+        assert match_where((1, 'x'), {'a': 1}, SCHEMA)
+        assert not match_where((1, 'x'), {'a': 2}, SCHEMA)
+
+    def test_multi_column_dict(self):
+        assert match_where((1, 'x'), {'a': 1, 'b': 'x'}, SCHEMA)
+        assert not match_where((1, 'x'), {'a': 1, 'b': 'y'}, SCHEMA)
+
+    def test_callable_condition(self):
+        assert match_where((5, 'x'), lambda row: row['a'] > 3, SCHEMA)
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError):
+            match_where((1, 'x'), {'zzz': 1}, SCHEMA)
+
+
+class TestStatementDeltas:
+
+    def test_insert(self):
+        delta = derive_view_delta([Insert((1, 'x'))], frozenset(), SCHEMA)
+        assert delta.insertions == {(1, 'x')}
+
+    def test_insert_existing_row_is_noop(self):
+        delta = derive_view_delta([Insert((1, 'x'))],
+                                  frozenset({(1, 'x')}), SCHEMA)
+        assert delta.is_empty()
+
+    def test_insert_validates_types(self):
+        with pytest.raises(SchemaError):
+            derive_view_delta([Insert(('bad', 'x'))], frozenset(), SCHEMA)
+
+    def test_delete_by_condition(self):
+        current = frozenset({(1, 'x'), (2, 'y')})
+        delta = derive_view_delta([Delete({'b': 'y'})], current, SCHEMA)
+        assert delta.deletions == {(2, 'y')}
+
+    def test_delete_everything(self):
+        current = frozenset({(1, 'x'), (2, 'y')})
+        delta = derive_view_delta([Delete(None)], current, SCHEMA)
+        assert delta.deletions == current
+
+    def test_fully_keyed_delete_uses_membership(self):
+        current = frozenset({(1, 'x')})
+        delta = derive_view_delta([Delete({'a': 1, 'b': 'x'})], current,
+                                  SCHEMA)
+        assert delta.deletions == {(1, 'x')}
+
+    def test_update_constant_assignment(self):
+        current = frozenset({(1, 'x'), (2, 'y')})
+        delta = derive_view_delta([Update({'b': 'z'}, {'a': 1})], current,
+                                  SCHEMA)
+        assert delta.insertions == {(1, 'z')}
+        assert delta.deletions == {(1, 'x')}
+
+    def test_update_callable_assignment(self):
+        current = frozenset({(1, 'x')})
+        delta = derive_view_delta(
+            [Update({'a': lambda row: row['a'] + 10})], current, SCHEMA)
+        assert delta.insertions == {(11, 'x')}
+
+    def test_update_requires_assignments(self):
+        with pytest.raises(ViewUpdateError):
+            derive_view_delta([Update({})], frozenset({(1, 'x')}), SCHEMA)
+
+
+class TestAlgorithm2Merging:
+
+    def test_insert_then_delete_cancels(self):
+        delta = derive_view_delta(
+            [Insert((1, 'x')), Delete({'a': 1})], frozenset(), SCHEMA)
+        assert delta.is_empty()
+
+    def test_delete_then_insert_reinstates(self):
+        current = frozenset({(1, 'x')})
+        delta = derive_view_delta(
+            [Delete({'a': 1}), Insert((1, 'x'))], current, SCHEMA)
+        assert delta.is_empty()
+
+    def test_later_statements_see_earlier_effects(self):
+        # Insert then update the inserted row.
+        delta = derive_view_delta(
+            [Insert((1, 'x')), Update({'b': 'z'}, {'a': 1})],
+            frozenset(), SCHEMA)
+        assert delta.insertions == {(1, 'z')}
+        assert delta.deletions == frozenset()
+
+    def test_update_chain(self):
+        current = frozenset({(1, 'x')})
+        delta = derive_view_delta(
+            [Update({'b': 'y'}, {'a': 1}), Update({'b': 'z'}, {'a': 1})],
+            current, SCHEMA)
+        assert delta.insertions == {(1, 'z')}
+        assert delta.deletions == {(1, 'x')}
+
+    def test_result_is_effective(self):
+        # Deleting an absent row and inserting a present one: no-ops.
+        current = frozenset({(1, 'x')})
+        delta = derive_view_delta(
+            [Delete({'a': 99}), Insert((1, 'x'))], current, SCHEMA)
+        assert delta.is_empty()
+
+    def test_paper_appendix_d_example(self):
+        # "if the sequence is inserting a tuple t and then deleting this
+        # tuple, t is no longer inserted."
+        delta = derive_view_delta(
+            [Insert((7, 'q')), Delete({'a': 7, 'b': 'q'})],
+            frozenset(), SCHEMA)
+        assert delta.is_empty()

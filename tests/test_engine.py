@@ -1,0 +1,195 @@
+"""RDBMS engine tests: DML pipeline, constraints, transactions, caching,
+and incremental-vs-full equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.strategy import UpdateStrategy
+from repro.core.validation import validate
+from repro.errors import (ConstraintViolation, SchemaError,
+                          ValidationError)
+from repro.fol.solver import SolverConfig
+from repro.rdbms.engine import Engine
+from repro.relational.schema import DatabaseSchema
+
+FAST = SolverConfig(random_trials=40)
+
+
+def union_engine(union_strategy, incremental=True):
+    engine = Engine(union_strategy.sources)
+    engine.load('r1', [(1,)])
+    engine.load('r2', [(2,), (4,)])
+    engine.define_view(union_strategy, validate_first=False,
+                       use_incremental=incremental)
+    return engine
+
+
+class TestBasics:
+
+    def test_base_table_dml(self, union_strategy):
+        engine = Engine(union_strategy.sources)
+        engine.insert('r1', (5,))
+        assert engine.rows('r1') == {(5,)}
+        engine.delete('r1', where={'a': 5})
+        assert engine.rows('r1') == set()
+
+    def test_view_materialization(self, union_strategy):
+        engine = union_engine(union_strategy)
+        assert engine.rows('v') == {(1,), (2,), (4,)}
+
+    def test_view_insert_routes_to_r1(self, union_strategy):
+        engine = union_engine(union_strategy)
+        engine.insert('v', (3,))
+        assert (3,) in engine.rows('r1')
+        assert engine.rows('v') == {(1,), (2,), (3,), (4,)}
+
+    def test_view_delete_routes_to_sources(self, union_strategy):
+        engine = union_engine(union_strategy)
+        engine.delete('v', where={'a': 2})
+        assert engine.rows('r2') == {(4,)}
+
+    def test_view_update_statement(self, union_strategy):
+        engine = union_engine(union_strategy)
+        engine.update('v', {'a': 9}, where={'a': 4})
+        assert engine.rows('v') == {(1,), (2,), (9,)}
+
+    def test_unknown_relation(self, union_strategy):
+        engine = union_engine(union_strategy)
+        with pytest.raises(SchemaError):
+            engine.insert('nope', (1,))
+
+    def test_duplicate_view_name(self, union_strategy):
+        engine = union_engine(union_strategy)
+        with pytest.raises(SchemaError):
+            engine.define_view(union_strategy, validate_first=False)
+
+    def test_load_validates(self, union_strategy):
+        engine = Engine(union_strategy.sources)
+        with pytest.raises(SchemaError):
+            engine.load('r1', [('not-int',)])
+
+    def test_invalid_strategy_rejected(self, union_sources):
+        engine = Engine(union_sources)
+        bad = UpdateStrategy.parse('v', union_sources, """
+            +r1(X) :- v(X), r1(X).
+            -r1(X) :- v(X), r1(X).
+        """)
+        with pytest.raises(ValidationError):
+            engine.define_view(bad, report=validate(bad, config=FAST))
+
+
+class TestConstraints:
+
+    def _luxury_engine(self, luxury_strategy, incremental):
+        engine = Engine(luxury_strategy.sources)
+        engine.load('items', [(1, 'watch', 5000)])
+        engine.define_view(luxury_strategy, validate_first=False,
+                           use_incremental=incremental)
+        return engine
+
+    @pytest.mark.parametrize('incremental', [True, False])
+    def test_violating_insert_rejected(self, luxury_strategy, incremental):
+        engine = self._luxury_engine(luxury_strategy, incremental)
+        with pytest.raises(ConstraintViolation):
+            engine.insert('luxuryitems', (2, 'gum', 5))
+        # Atomicity: nothing changed.
+        assert engine.rows('items') == {(1, 'watch', 5000)}
+
+    @pytest.mark.parametrize('incremental', [True, False])
+    def test_valid_insert_accepted(self, luxury_strategy, incremental):
+        engine = self._luxury_engine(luxury_strategy, incremental)
+        engine.insert('luxuryitems', (2, 'yacht', 90000))
+        assert (2, 'yacht', 90000) in engine.rows('items')
+
+
+class TestTransactions:
+
+    def test_net_noop_transaction(self, union_strategy):
+        engine = union_engine(union_strategy)
+        before = set(engine.rows('r1'))
+        with engine.transaction() as txn:
+            txn.insert('v', (9,))
+            txn.delete('v', where={'a': 9})
+        assert engine.rows('r1') == before
+
+    def test_transaction_spans_relations(self, union_strategy):
+        engine = union_engine(union_strategy)
+        with engine.transaction() as txn:
+            txn.insert('v', (7,))
+            txn.insert('r2', (8,))
+        assert (7,) in engine.rows('r1')
+        assert (8,) in engine.rows('r2')
+        assert engine.rows('v') >= {(7,), (8,)}
+
+    def test_transaction_aborts_on_error(self, luxury_strategy):
+        engine = Engine(luxury_strategy.sources)
+        engine.load('items', [(1, 'watch', 5000)])
+        engine.define_view(luxury_strategy, validate_first=False)
+        with pytest.raises(ConstraintViolation):
+            with engine.transaction() as txn:
+                txn.insert('luxuryitems', (2, 'ring', 2000))
+                txn.insert('luxuryitems', (3, 'gum', 1))  # violates
+        assert engine.rows('items') == {(1, 'watch', 5000)}
+
+    def test_exception_inside_block_skips_execution(self, union_strategy):
+        engine = union_engine(union_strategy)
+        with pytest.raises(RuntimeError):
+            with engine.transaction() as txn:
+                txn.insert('v', (9,))
+                raise RuntimeError('user error')
+        assert (9,) not in engine.rows('v')
+
+
+class TestCaching:
+
+    def test_cache_updated_incrementally(self, union_strategy):
+        engine = union_engine(union_strategy)
+        engine.rows('v')
+        engine.insert('v', (3,))
+        assert engine.rows('v') == {(1,), (2,), (3,), (4,)}
+
+    def test_cache_invalidated_by_base_write(self, union_strategy):
+        engine = union_engine(union_strategy)
+        assert engine.rows('v') == {(1,), (2,), (4,)}
+        engine.insert('r1', (10,))
+        assert (10,) in engine.rows('v')
+
+    def test_cache_consistent_with_recomputation(self, union_strategy):
+        engine = union_engine(union_strategy)
+        engine.insert('v', (3,))
+        engine.delete('v', where={'a': 1})
+        from repro.datalog.evaluator import evaluate
+        recomputed = evaluate(union_strategy.expected_get,
+                              engine.database())['v']
+        assert engine.rows('v') == recomputed
+
+
+class TestIncrementalMatchesFull:
+
+    @given(st.lists(st.tuples(st.sampled_from(['ins', 'del']),
+                              st.integers(0, 8)), max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_random_statement_sequences(self, ops):
+        from tests.conftest import UNION_PUTDELTA, UNION_GET
+        sources = DatabaseSchema.build(r1={'a': 'int'}, r2={'a': 'int'})
+        strategy = UpdateStrategy.parse('v', sources, UNION_PUTDELTA,
+                                        expected_get=UNION_GET)
+        engines = []
+        for incremental in (True, False):
+            engine = Engine(sources)
+            engine.load('r1', [(1,), (5,)])
+            engine.load('r2', [(2,), (4,)])
+            engine.define_view(strategy, validate_first=False,
+                               use_incremental=incremental)
+            engines.append(engine)
+        for op, value in ops:
+            for engine in engines:
+                if op == 'ins':
+                    engine.insert('v', (value,))
+                else:
+                    engine.delete('v', where={'a': value})
+        fast, slow = engines
+        assert fast.rows('r1') == slow.rows('r1')
+        assert fast.rows('r2') == slow.rows('r2')
+        assert fast.rows('v') == slow.rows('v')

@@ -1,0 +1,214 @@
+"""Evaluator tests: joins, negation, builtins, laziness, indexes."""
+
+import pytest
+
+from repro.datalog.evaluator import (IndexedRelation, constraint_violations,
+                                     evaluate, evaluate_query, holds)
+from repro.datalog.parser import parse_program
+from repro.errors import SchemaError
+from repro.relational.database import Database
+
+
+def db(**relations):
+    return Database.from_dict(relations)
+
+
+class TestBasicEvaluation:
+
+    def test_copy_rule(self):
+        out = evaluate(parse_program('v(X) :- r(X).'), db(r={(1,), (2,)}))
+        assert out['v'] == {(1,), (2,)}
+
+    def test_union(self):
+        program = parse_program('v(X) :- r1(X).\nv(X) :- r2(X).')
+        out = evaluate(program, db(r1={(1,)}, r2={(2,)}))
+        assert out['v'] == {(1,), (2,)}
+
+    def test_join(self):
+        program = parse_program('v(X, Z) :- r(X, Y), s(Y, Z).')
+        out = evaluate(program, db(r={(1, 'a'), (2, 'b')},
+                                   s={('a', 10), ('a', 11)}))
+        assert out['v'] == {(1, 10), (1, 11)}
+
+    def test_projection(self):
+        program = parse_program('v(X) :- r(X, _).')
+        out = evaluate(program, db(r={(1, 'a'), (1, 'b'), (2, 'c')}))
+        assert out['v'] == {(1,), (2,)}
+
+    def test_selection_with_constant(self):
+        program = parse_program("v(X) :- r(X, 'keep').")
+        out = evaluate(program, db(r={(1, 'keep'), (2, 'drop')}))
+        assert out['v'] == {(1,)}
+
+    def test_repeated_variable_in_atom(self):
+        program = parse_program('v(X) :- r(X, X).')
+        out = evaluate(program, db(r={(1, 1), (1, 2)}))
+        assert out['v'] == {(1,)}
+
+    def test_layered_idb(self):
+        program = parse_program('a(X) :- r(X).\nb(X) :- a(X), s(X).')
+        out = evaluate(program, db(r={(1,), (2,)}, s={(2,), (3,)}))
+        assert out['b'] == {(2,)}
+
+    def test_missing_relation_reads_empty(self):
+        out = evaluate(parse_program('v(X) :- nothing(X).'), db())
+        assert out['v'] == frozenset()
+
+
+class TestNegation:
+
+    def test_difference(self):
+        program = parse_program('v(X) :- r(X), not s(X).')
+        out = evaluate(program, db(r={(1,), (2,)}, s={(2,)}))
+        assert out['v'] == {(1,)}
+
+    def test_negated_idb(self):
+        program = parse_program("""
+            a(X) :- r(X), X > 1.
+            v(X) :- r(X), not a(X).
+        """)
+        out = evaluate(program, db(r={(1,), (2,)}))
+        assert out['v'] == {(1,)}
+
+    def test_negation_with_anonymous_wildcard(self):
+        # not s(X, _) means "no s-tuple with first column X".
+        program = parse_program('v(X) :- r(X), not s(X, _).')
+        out = evaluate(program, db(r={(1,), (2,)}, s={(2, 'x')}))
+        assert out['v'] == {(1,)}
+
+    def test_idb_shadowing(self):
+        # When the program defines v, an EDB relation named v is hidden.
+        program = parse_program('v(X) :- r(X).')
+        out = evaluate(program, db(r={(1,)}, v={(9,)}))
+        assert out['v'] == {(1,)}
+
+
+class TestBuiltins:
+
+    def test_comparison(self):
+        program = parse_program('v(X) :- r(X), X > 10.')
+        out = evaluate(program, db(r={(5,), (15,)}))
+        assert out['v'] == {(15,)}
+
+    def test_equality_binds(self):
+        program = parse_program("v(X, Y) :- r(X), Y = 'tag'.")
+        out = evaluate(program, db(r={(1,)}))
+        assert out['v'] == {(1, 'tag')}
+
+    def test_negated_equality(self):
+        program = parse_program('v(X) :- r(X), not X = 2.')
+        out = evaluate(program, db(r={(1,), (2,)}))
+        assert out['v'] == {(1,)}
+
+    def test_string_comparison_is_lexicographic(self):
+        program = parse_program("v(X) :- r(X), X > '1962-06-01'.")
+        out = evaluate(program, db(r={('1962-01-01',), ('1962-12-31',)}))
+        assert out['v'] == {('1962-12-31',)}
+
+    def test_mixed_type_comparison_raises(self):
+        program = parse_program('v(X) :- r(X), X > 5.')
+        with pytest.raises(SchemaError):
+            evaluate(program, db(r={('abc',)}))
+
+    def test_le_ge(self):
+        program = parse_program('v(X) :- r(X), X >= 2, X <= 3.')
+        out = evaluate(program, db(r={(1,), (2,), (3,), (4,)}))
+        assert out['v'] == {(2,), (3,)}
+
+
+class TestQueriesAndConstraints:
+
+    def test_evaluate_query(self):
+        program = parse_program('v(X) :- r(X).')
+        assert evaluate_query(program, db(r={(1,)}), 'v') == {(1,)}
+
+    def test_holds(self):
+        program = parse_program('v(X) :- r(X).')
+        assert holds(program, db(r={(1,)}), 'v')
+        assert not holds(program, db(), 'v')
+
+    def test_constraint_violation_detected(self):
+        program = parse_program('⊥ :- r(X), X > 2.')
+        violations = constraint_violations(program, db(r={(5,)}))
+        assert len(violations) == 1
+        assert violations[0][1] == (5,)
+
+    def test_constraint_satisfied(self):
+        program = parse_program('⊥ :- r(X), X > 2.')
+        assert constraint_violations(program, db(r={(1,)})) == []
+
+    def test_constraint_over_idb(self):
+        program = parse_program("""
+            big(X) :- r(X), X > 10.
+            ⊥ :- big(X).
+        """)
+        assert constraint_violations(program, db(r={(20,)}))
+        assert not constraint_violations(program, db(r={(5,)}))
+
+
+class TestLazyEvaluation:
+
+    def test_goals_limits_materialisation(self):
+        program = parse_program("""
+            cheap(X) :- r(X).
+            expensive(X) :- r(X), s(X).
+            v(X) :- cheap(X).
+        """)
+        out = evaluate(program, db(r={(1,)}, s={(1,)}), goals=('v',))
+        assert out['v'] == {(1,)}
+        assert 'expensive' not in out.names()
+
+    def test_fully_bound_idb_probe(self):
+        # `aux` is only probed with bound arguments: the lazy path.
+        program = parse_program("""
+            aux(X) :- big(X, _).
+            v(X) :- small(X), not aux(X).
+        """)
+        out = evaluate(program, db(small={(1,), (2,)}, big={(2, 9)}),
+                       goals=('v',))
+        assert out['v'] == {(1,)}
+
+    def test_probe_head_constants(self):
+        program = parse_program("""
+            tagged(X, 'yes') :- r(X).
+            v(X) :- s(X), tagged(X, 'yes').
+        """)
+        out = evaluate(program, db(r={(1,)}, s={(1,), (2,)}), goals=('v',))
+        assert out['v'] == {(1,)}
+
+
+class TestIndexedRelation:
+
+    def test_lookup_builds_index(self):
+        rel = IndexedRelation(frozenset({(1, 'a'), (2, 'b'), (1, 'c')}))
+        assert set(rel.lookup((0,), (1,))) == {(1, 'a'), (1, 'c')}
+
+    def test_fully_bound_exists(self):
+        rel = IndexedRelation(frozenset({(1, 'a')}))
+        assert rel.exists((0, 1), (1, 'a'), 2)
+        assert not rel.exists((0, 1), (1, 'x'), 2)
+
+    def test_add_maintains_indexes(self):
+        rel = IndexedRelation({(1, 'a')})
+        assert set(rel.lookup((0,), (1,))) == {(1, 'a')}
+        rel.add((1, 'b'))
+        assert set(rel.lookup((0,), (1,))) == {(1, 'a'), (1, 'b')}
+
+    def test_discard_maintains_indexes(self):
+        rel = IndexedRelation({(1, 'a'), (1, 'b')})
+        rel.lookup((0,), (1,))
+        rel.discard((1, 'a'))
+        assert set(rel.lookup((0,), (1,))) == {(1, 'b')}
+        rel.discard((1, 'b'))
+        assert rel.lookup((0,), (1,)) == ()
+
+    def test_add_existing_is_noop(self):
+        rel = IndexedRelation({(1,)})
+        rel.add((1,))
+        assert rel.rows == {(1,)}
+
+    def test_evaluate_accepts_indexed_relations(self):
+        program = parse_program('v(X) :- r(X), not s(X).')
+        edb = {'r': IndexedRelation({(1,), (2,)}),
+               's': IndexedRelation({(2,)})}
+        assert evaluate(program, edb)['v'] == {(1,)}

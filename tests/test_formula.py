@@ -1,0 +1,101 @@
+"""FO formula AST tests: constructors, free variables, substitution."""
+
+from repro.fol.formula import (BOTTOM, TOP, And, Exists, FoAtom, FoCmp,
+                               FoConst, FoEq, FoVar, Forall, Not, Or,
+                               free_variables, make_and, make_exists,
+                               make_or, substitute)
+
+
+def atom(pred, *names):
+    return FoAtom(pred, tuple(FoVar(n) if isinstance(n, str) and
+                              n.isupper() else FoConst(n) for n in names))
+
+
+class TestSmartConstructors:
+
+    def test_and_flattens(self):
+        result = make_and([atom('r', 'X'), make_and([atom('s', 'Y'),
+                                                     atom('t', 'Z')])])
+        assert isinstance(result, And)
+        assert len(result.parts) == 3
+
+    def test_and_unit_laws(self):
+        assert make_and([TOP, atom('r', 'X')]) == atom('r', 'X')
+        assert make_and([BOTTOM, atom('r', 'X')]) == BOTTOM
+        assert make_and([]) == TOP
+
+    def test_or_unit_laws(self):
+        assert make_or([BOTTOM, atom('r', 'X')]) == atom('r', 'X')
+        assert make_or([TOP, atom('r', 'X')]) == TOP
+        assert make_or([]) == BOTTOM
+
+    def test_single_element_collapse(self):
+        assert make_and([atom('r', 'X')]) == atom('r', 'X')
+        assert make_or([atom('r', 'X')]) == atom('r', 'X')
+
+    def test_exists_drops_unused_vars(self):
+        result = make_exists((FoVar('X'), FoVar('Y')), atom('r', 'X'))
+        assert isinstance(result, Exists)
+        assert result.variables == (FoVar('X'),)
+
+    def test_exists_collapses_nested(self):
+        inner = make_exists((FoVar('Y'),), atom('r', 'X', 'Y'))
+        result = make_exists((FoVar('X'),), inner)
+        assert isinstance(result, Exists)
+        assert {v.name for v in result.variables} == {'X', 'Y'}
+        assert not isinstance(result.inner, Exists)
+
+    def test_exists_no_vars_is_identity(self):
+        assert make_exists((), atom('r', 'X')) == atom('r', 'X')
+
+
+class TestFreeVariables:
+
+    def test_atom(self):
+        assert free_variables(atom('r', 'X', 'Y')) == {'X', 'Y'}
+
+    def test_quantifier_binds(self):
+        formula = Exists((FoVar('X'),), atom('r', 'X', 'Y'))
+        assert free_variables(formula) == {'Y'}
+
+    def test_forall_binds(self):
+        formula = Forall((FoVar('X'),), atom('r', 'X'))
+        assert free_variables(formula) == set()
+
+    def test_eq_and_cmp(self):
+        assert free_variables(FoEq(FoVar('X'), FoConst(1))) == {'X'}
+        assert free_variables(FoCmp('<', FoVar('X'), FoVar('Y'))) == \
+            {'X', 'Y'}
+
+    def test_connectives(self):
+        formula = Not(make_and([atom('r', 'X'), atom('s', 'Y')]))
+        assert free_variables(formula) == {'X', 'Y'}
+
+
+class TestSubstitution:
+
+    def test_basic(self):
+        result = substitute(atom('r', 'X'), {'X': FoConst(5)})
+        assert result == FoAtom('r', (FoConst(5),))
+
+    def test_bound_variable_shadows(self):
+        formula = Exists((FoVar('X'),), atom('r', 'X', 'Y'))
+        result = substitute(formula, {'X': FoConst(1), 'Y': FoConst(2)})
+        assert isinstance(result, Exists)
+        assert result.inner == FoAtom('r', (FoVar('X'), FoConst(2)))
+
+    def test_capture_avoidance(self):
+        # Substituting Y := X under ∃X must rename the bound X.
+        formula = Exists((FoVar('X'),), atom('r', 'X', 'Y'))
+        result = substitute(formula, {'Y': FoVar('X')})
+        assert isinstance(result, Exists)
+        bound = result.variables[0]
+        assert bound.name != 'X'
+        assert result.inner == FoAtom('r', (bound, FoVar('X')))
+
+    def test_combinators(self):
+        conj = atom('r', 'X') & atom('s', 'X')
+        assert isinstance(conj, And)
+        disj = atom('r', 'X') | atom('s', 'X')
+        assert isinstance(disj, Or)
+        assert isinstance(~atom('r', 'X'), Not)

@@ -1,0 +1,136 @@
+"""View-definition derivation tests (§4.3, Lemma 4.2, Example 4.1)."""
+
+import pytest
+
+from repro.core.get_derivation import (analyze_steady_state, derive_get,
+                                       phi12_check_program,
+                                       phi3_check_program)
+from repro.datalog.evaluator import evaluate
+from repro.datalog.parser import parse_program
+from repro.fol.solver import SolverConfig
+from repro.relational.database import Database
+
+FAST = SolverConfig(random_trials=40)
+
+
+class TestSteadyStateAnalysis:
+
+    def test_union_decomposition(self, union_strategy):
+        analysis = analyze_steady_state(union_strategy.putdelta, 'v', 1,
+                                        {'r1', 'r2'})
+        # -r1, -r2 contribute negative-view conditions; +r1 positive.
+        assert len(analysis.negative_conditions) == 2
+        assert len(analysis.positive_conditions) == 1
+        assert len(analysis.viewfree_conditions) == 0
+
+    def test_constraint_contributions(self, luxury_strategy):
+        analysis = analyze_steady_state(luxury_strategy.putdelta,
+                                        'luxuryitems', 3, {'items'})
+        # The domain constraint has a positive view atom.
+        origins = [c.origin for c in analysis.positive_conditions]
+        assert any('constraint' in origin for origin in origins)
+
+    def test_source_only_constraints_are_axioms(self):
+        program = parse_program("""
+            ⊥ :- r1(X), not r2(X).
+            -r1(X) :- r1(X), not v(X).
+        """)
+        analysis = analyze_steady_state(program, 'v', 1, {'r1', 'r2'})
+        assert len(analysis.source_axioms.constraints()) == 1
+        assert len(analysis.viewfree_conditions) == 0
+
+    def test_view_free_delta_rule_lands_in_phi3(self):
+        program = parse_program('-r1(X) :- r1(X), r2(X).')
+        analysis = analyze_steady_state(program, 'v', 1, {'r1', 'r2'})
+        assert len(analysis.viewfree_conditions) == 1
+
+
+class TestDerivation:
+
+    def test_example_4_1_derives_union(self, union_strategy):
+        result = derive_get(union_strategy.putdelta, 'v', 1, {'r1', 'r2'},
+                            config=FAST)
+        assert result.ok
+        # The derived get must be equivalent to r1 ∪ r2.
+        db = Database.from_dict({'r1': {(1,), (2,)}, 'r2': {(2,), (3,)}})
+        derived = evaluate(result.get_program, db)['v']
+        assert derived == {(1,), (2,), (3,)}
+
+    def test_selection_derivation(self, luxury_strategy):
+        result = derive_get(luxury_strategy.putdelta, 'luxuryitems', 3,
+                            {'items'}, schema=luxury_strategy.sources,
+                            config=FAST)
+        assert result.ok
+        db = Database.from_dict({'items': {(1, 'a', 2000), (2, 'b', 10)}})
+        derived = evaluate(result.get_program, db)['luxuryitems']
+        assert derived == {(1, 'a', 2000)}
+
+    def test_case_study_difference(self, ced_strategy):
+        result = derive_get(ced_strategy.putdelta, 'ced', 2, {'ed', 'eed'},
+                            config=FAST)
+        assert result.ok
+        db = Database.from_dict({'ed': {('a', 'cs'), ('b', 'math')},
+                                 'eed': {('b', 'math')}})
+        assert evaluate(result.get_program, db)['ced'] == {('a', 'cs')}
+
+    def test_semijoin_with_constraint(self):
+        program = parse_program("""
+            ⊥ :- employees(E, B, G), not ced(E, _).
+            +residents(E, B, G) :- employees(E, B, G),
+                not residents(E, B, G).
+            -residents(E, B, G) :- residents(E, B, G), ced(E, _),
+                not employees(E, B, G).
+        """)
+        result = derive_get(program, 'employees', 3, {'residents', 'ced'},
+                            config=FAST)
+        assert result.ok
+        db = Database.from_dict({
+            'residents': {('a', 'd1', 'M'), ('b', 'd2', 'F')},
+            'ced': {('a', 'cs')}})
+        derived = evaluate(result.get_program, db)['employees']
+        assert derived == {('a', 'd1', 'M')}
+
+    def test_phi3_failure_detected(self):
+        # Deletes unconditionally on a source-only condition: no steady
+        # state exists.
+        program = parse_program("""
+            -r1(X) :- r1(X), r2(X).
+            -r1(X) :- r1(X), not v(X).
+        """)
+        result = derive_get(program, 'v', 1, {'r1', 'r2'}, config=FAST)
+        assert not result.ok
+        assert 'φ3' in result.reason or 'view-independent' in result.reason
+
+    def test_phi12_crossing_detected(self):
+        # Deletion wants v ⊇ r1; insertion into r2 wants v ∩ r1 = ∅ when
+        # r2 misses the tuple: bounds cross on r1 \ r2.
+        program = parse_program("""
+            -r1(X) :- r1(X), not v(X).
+            +r2(X) :- v(X), r1(X), not r2(X).
+        """)
+        result = derive_get(program, 'v', 1, {'r1', 'r2'}, config=FAST)
+        assert not result.ok
+
+    def test_insert_only_strategy_refused(self):
+        program = parse_program('+r1(X) :- v(X), not r1(X).')
+        result = derive_get(program, 'v', 1, {'r1'}, config=FAST)
+        assert not result.ok
+        assert 'never deletes' in result.reason
+
+
+class TestCheckPrograms:
+
+    def test_phi3_program_evaluates(self):
+        program = parse_program('-r1(X) :- r1(X), r2(X).')
+        analysis = analyze_steady_state(program, 'v', 1, {'r1', 'r2'})
+        check = phi3_check_program(analysis)
+        db = Database.from_dict({'r1': {(1,)}, 'r2': {(1,)}})
+        out = evaluate(check, db)
+        assert out['__phi3__']
+
+    def test_phi12_program_pairs(self, union_strategy):
+        analysis = analyze_steady_state(union_strategy.putdelta, 'v', 1,
+                                        {'r1', 'r2'})
+        check = phi12_check_program(analysis)
+        # 1 positive × 2 negative conditions = 2 pair rules.
+        assert len(check.rules_for('__phi12__')) == 2

@@ -1,0 +1,71 @@
+"""GNFO fragment checker tests (§3.2 / Bárány et al.)."""
+
+from repro.fol.formula import (FoAtom, FoCmp, FoConst, FoEq, FoVar, Forall,
+                               Not, make_and, make_exists, make_or)
+from repro.fol.guarded import is_gnfo, why_not_gnfo
+
+
+def r(*names):
+    return FoAtom('r', tuple(FoVar(n) for n in names))
+
+
+def s(*names):
+    return FoAtom('s', tuple(FoVar(n) for n in names))
+
+
+class TestGnfo:
+
+    def test_atom(self):
+        assert is_gnfo(r('X'))
+
+    def test_equality(self):
+        assert is_gnfo(FoEq(FoVar('X'), FoConst(1)))
+
+    def test_guarded_negation(self):
+        assert is_gnfo(make_and([r('X', 'Y'), Not(s('X', 'Y'))]))
+
+    def test_unguarded_negation(self):
+        assert not is_gnfo(make_and([r('X'), Not(s('X', 'Y'))]))
+        reason = why_not_gnfo(make_and([r('X'), Not(s('X', 'Y'))]))
+        assert 'unguarded' in reason
+
+    def test_negation_of_sentence_allowed(self):
+        closed = Not(make_exists((FoVar('X'),), r('X')))
+        assert is_gnfo(closed)
+
+    def test_bare_negation_with_free_vars(self):
+        assert not is_gnfo(Not(r('X')))
+
+    def test_constant_equated_vars_need_no_guard(self):
+        # Example 3.2 style: ¬(Z = 1) guarded via the r-atom; a variable
+        # pinned to a constant needs no guard cover.
+        formula = make_and([r('X'), FoEq(FoVar('Z'), FoConst(1)),
+                            Not(s('X', 'Z'))])
+        assert is_gnfo(formula)
+
+    def test_comparison_var_const_ok(self):
+        assert is_gnfo(FoCmp('<', FoVar('X'), FoConst(5)))
+
+    def test_comparison_var_var_rejected(self):
+        formula = FoCmp('<', FoVar('X'), FoVar('Y'))
+        assert not is_gnfo(formula)
+        assert 'comparison' in why_not_gnfo(formula)
+
+    def test_forall_rejected(self):
+        assert not is_gnfo(Forall((FoVar('X'),), r('X')))
+
+    def test_disjunction_and_exists_transparent(self):
+        formula = make_or([
+            make_exists((FoVar('Y'),), make_and([r('X', 'Y'),
+                                                 Not(s('X', 'Y'))])),
+            r('X', 'X')])
+        assert is_gnfo(formula)
+
+    def test_inner_join_definition_not_guarded(self):
+        # Footnote 6: v(X,Y,Z) :- s1(X,Y), s2(Y,Z) has an unguarded head;
+        # at the formula level the corresponding check appears when the
+        # negation of the join is taken.
+        join = make_and([FoAtom('s1', (FoVar('X'), FoVar('Y'))),
+                         FoAtom('s2', (FoVar('Y'), FoVar('Z')))])
+        guarded_neg = make_and([r('X'), Not(join)])
+        assert not is_gnfo(guarded_neg)

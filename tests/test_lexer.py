@@ -1,0 +1,173 @@
+"""Unit tests for the Datalog tokenizer."""
+
+import pytest
+
+from repro.datalog.lexer import Token, TokenKind, tokenize
+from repro.errors import DatalogSyntaxError
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize('')
+        assert len(tokens) == 1
+        assert tokens[0].kind == TokenKind.EOF
+
+    def test_whitespace_only(self):
+        assert kinds('   \n\t  ') == [TokenKind.EOF]
+
+    def test_identifier(self):
+        tokens = tokenize('employee')
+        assert tokens[0].kind == TokenKind.IDENT
+        assert tokens[0].text == 'employee'
+
+    def test_variable_uppercase(self):
+        assert tokenize('X')[0].kind == TokenKind.VARIABLE
+
+    def test_variable_with_digits(self):
+        token = tokenize('X12ab')[0]
+        assert token.kind == TokenKind.VARIABLE
+        assert token.text == 'X12ab'
+
+    def test_anonymous_variable(self):
+        assert tokenize('_')[0].kind == TokenKind.ANON
+
+    def test_underscore_led_identifier_is_variable(self):
+        assert tokenize('_tmp')[0].kind == TokenKind.VARIABLE
+
+    def test_punctuation(self):
+        assert kinds('( ) , .')[:-1] == [TokenKind.LPAREN, TokenKind.RPAREN,
+                                         TokenKind.COMMA, TokenKind.DOT]
+
+    def test_arrow(self):
+        assert tokenize(':-')[0].kind == TokenKind.ARROW
+
+    def test_plus_minus(self):
+        assert kinds('+ -')[:-1] == [TokenKind.PLUS, TokenKind.MINUS]
+
+
+class TestLiterals:
+
+    def test_integer(self):
+        token = tokenize('42')[0]
+        assert token.kind == TokenKind.INT
+        assert token.value == 42
+
+    def test_float(self):
+        token = tokenize('3.25')[0]
+        assert token.kind == TokenKind.FLOAT
+        assert token.value == 3.25
+
+    def test_integer_then_dot_is_end_of_rule(self):
+        tokens = tokenize('42.')
+        assert tokens[0].kind == TokenKind.INT
+        assert tokens[1].kind == TokenKind.DOT
+
+    def test_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.kind == TokenKind.STRING
+        assert token.value == 'hello'
+
+    def test_string_with_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ''
+
+    def test_date_string(self):
+        assert tokenize("'1962-01-01'")[0].value == '1962-01-01'
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(DatalogSyntaxError):
+            tokenize("'oops")
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(DatalogSyntaxError):
+            tokenize("'a\nb'")
+
+
+class TestOperators:
+
+    @pytest.mark.parametrize('text,canon', [
+        ('=', '='), ('<', '<'), ('>', '>'), ('<=', '<='), ('>=', '>='),
+        ('<>', '<>'), ('!=', '<>'), ('\\=', '<>'),
+    ])
+    def test_operator_canonicalisation(self, text, canon):
+        token = tokenize(text)[0]
+        assert token.kind == TokenKind.OP
+        assert token.value == canon
+
+    def test_le_is_one_token(self):
+        tokens = tokenize('X <= 3')
+        assert [t.kind for t in tokens[:-1]] == [
+            TokenKind.VARIABLE, TokenKind.OP, TokenKind.INT]
+
+
+class TestKeywordsAndSpecials:
+
+    def test_not_keyword(self):
+        assert tokenize('not')[0].kind == TokenKind.NOT
+
+    def test_negation_sign(self):
+        assert tokenize('¬')[0].kind == TokenKind.NOT
+
+    def test_falsum_unicode(self):
+        assert tokenize('⊥')[0].kind == TokenKind.FALSUM
+
+    def test_falsum_ascii(self):
+        assert tokenize('_|_')[0].kind == TokenKind.FALSUM
+
+    def test_falsum_keyword(self):
+        assert tokenize('false')[0].kind == TokenKind.FALSUM
+
+    def test_not_prefix_identifier_is_ident(self):
+        assert tokenize('notation')[0].kind == TokenKind.IDENT
+
+
+class TestCommentsAndPositions:
+
+    def test_comment_skipped(self):
+        assert kinds('% a comment\nr') == [TokenKind.IDENT, TokenKind.EOF]
+
+    def test_comment_to_end_of_input(self):
+        assert kinds('% nothing else') == [TokenKind.EOF]
+
+    def test_line_tracking(self):
+        tokens = tokenize('a\nb\n  c')
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_column_tracking(self):
+        tokens = tokenize('ab cd')
+        assert tokens[0].column == 1
+        assert tokens[1].column == 4
+
+    def test_unexpected_character(self):
+        with pytest.raises(DatalogSyntaxError) as err:
+            tokenize('r(X) ; q(X)')
+        assert 'unexpected character' in str(err.value)
+
+
+class TestFullRuleTokenization:
+
+    def test_paper_rule(self):
+        text = "-r1(X) :- r1(X), not v(X)."
+        assert kinds(text)[:-1] == [
+            TokenKind.MINUS, TokenKind.IDENT, TokenKind.LPAREN,
+            TokenKind.VARIABLE, TokenKind.RPAREN, TokenKind.ARROW,
+            TokenKind.IDENT, TokenKind.LPAREN, TokenKind.VARIABLE,
+            TokenKind.RPAREN, TokenKind.COMMA, TokenKind.NOT,
+            TokenKind.IDENT, TokenKind.LPAREN, TokenKind.VARIABLE,
+            TokenKind.RPAREN, TokenKind.DOT]
+
+    def test_constraint_rule(self):
+        text = "⊥ :- v(X), X > 2."
+        assert kinds(text)[0] == TokenKind.FALSUM

@@ -1,0 +1,116 @@
+"""LVGN-Datalog fragment tests (§3.2): guardedness, linear view,
+classification — using the paper's own examples."""
+
+from repro.core.lvgn import (check_guarded_rule, check_linear_view,
+                             classify, is_lvgn)
+from repro.datalog.parser import parse_program, parse_rule
+
+
+class TestGuardedNegation:
+
+    def test_example_3_2(self):
+        # h(X,Y,Z) :- r1(X,Y,Z), ¬Z = 1, ¬r2(X,Y,Z) — negation guarded.
+        rule = parse_rule(
+            'h(X, Y, Z) :- r1(X, Y, Z), not Z = 1, not r2(X, Y, Z).')
+        assert check_guarded_rule(rule) is None
+
+    def test_unguarded_negated_atom(self):
+        rule = parse_rule('h(X) :- r(X), not s(X, Y), t(Y).')
+        reason = check_guarded_rule(rule)
+        assert reason is not None and 'not guarded' in reason
+
+    def test_unguarded_head(self):
+        # Inner join (footnote 6): head vars spread over two atoms.
+        rule = parse_rule('v(X, Y, Z) :- s1(X, Y), s2(Y, Z).')
+        reason = check_guarded_rule(rule)
+        assert reason is not None and 'head' in reason
+
+    def test_head_guard_helped_by_constant_equality(self):
+        rule = parse_rule("h(X, D) :- r(X), D = 'unknown'.")
+        assert check_guarded_rule(rule) is None
+
+    def test_unguarded_equality_footnote_7(self):
+        # PK constraint: ⊥ :- r(A,B1), r(A,B2), ¬B1 = B2 — not guarded.
+        rule = parse_rule('⊥ :- r(A, B1), r(A, B2), not B1 = B2.')
+        reason = check_guarded_rule(rule)
+        assert reason is not None and 'equality' in reason
+
+    def test_comparison_form_enforced(self):
+        rule = parse_rule('h(X, Y) :- r(X, Y), X < Y.')
+        assert 'X < c' in check_guarded_rule(rule)
+
+    def test_nonstrict_comparison_outside_fragment(self):
+        rule = parse_rule('h(X) :- r(X), X <= 3.')
+        assert '<=' in check_guarded_rule(rule)
+
+    def test_strict_comparison_with_constant_ok(self):
+        rule = parse_rule('h(X) :- r(X), X > 3.')
+        assert check_guarded_rule(rule) is None
+
+    def test_negated_comparison_guarded_by_atom(self):
+        rule = parse_rule('h(X) :- r(X), not X > 3.')
+        assert check_guarded_rule(rule) is None
+
+    def test_anonymous_vars_in_negated_atom_exempt(self):
+        rule = parse_rule('h(E) :- r(E), not ced(E, _).')
+        assert check_guarded_rule(rule) is None
+
+
+class TestLinearView(object):
+
+    def test_example_3_3_rule1_ok(self):
+        program = parse_program(
+            '-r(X, Y, Z) :- r(X, Y, Z), not v(X, Y).')
+        assert check_linear_view(program, 'v') is None
+
+    def test_example_3_3_rule2_projection(self):
+        program = parse_program(
+            '-r(X, Y, Z) :- r(X, Y, Z), not v(X, _).')
+        reason = check_linear_view(program, 'v')
+        assert reason is not None and 'anonymous' in reason.lower()
+
+    def test_example_3_3_rule3_self_join(self):
+        program = parse_program(
+            '+r(X, Y, Z) :- v(X, Y), v(Y, Z), not r(X, Y, Z).')
+        reason = check_linear_view(program, 'v')
+        assert reason is not None and 'self-join' in reason
+
+    def test_view_in_intermediate_rule_rejected(self):
+        program = parse_program("""
+            aux(X) :- v(X).
+            -r(X) :- r(X), not aux(X).
+        """)
+        reason = check_linear_view(program, 'v')
+        assert reason is not None and 'delta rules' in reason
+
+    def test_view_in_constraint_allowed(self):
+        program = parse_program("""
+            ⊥ :- v(X), X > 2.
+            -r(X) :- r(X), not v(X).
+        """)
+        assert check_linear_view(program, 'v') is None
+
+
+class TestClassify:
+
+    def test_union_strategy_is_lvgn(self, union_strategy):
+        report = classify(union_strategy.putdelta, 'v')
+        assert report.lvgn and report.nr_datalog
+        assert str(report) == 'LVGN-Datalog'
+
+    def test_join_strategy_is_not_lvgn(self):
+        program = parse_program("""
+            vt(I, T, A, R) :- tracks1(I, T, A, R, _).
+            +tracks(I, T, A, R) :- tracks1(I, T, A, R, Q),
+                not tracks(I, T, A, R).
+        """)
+        report = classify(program, 'tracks1')
+        assert report.nr_datalog and not report.lvgn
+
+    def test_recursive_program_not_nr(self):
+        program = parse_program('p(X) :- p(X).')
+        report = classify(program, 'v')
+        assert not report.nr_datalog and not report.lvgn
+
+    def test_is_lvgn_helper(self, luxury_strategy):
+        assert is_lvgn(luxury_strategy.putdelta, 'luxuryitems')

@@ -1,0 +1,170 @@
+"""Mutation testing of the validator (soundness of the Z3 substitute).
+
+The substitution argument in DESIGN.md rests on one empirical claim:
+counterexamples to well-behavedness are small, so the bounded solver
+finds them.  This suite takes *valid* catalog strategies, applies
+systematic breaking mutations — dropped rules, flipped literal signs,
+weakened guards, swapped constants — and requires the validator to flag
+every mutant as invalid (with its expected get supplied, so the checks
+target the intended view definition).
+"""
+
+import pytest
+
+from repro.core.strategy import UpdateStrategy
+from repro.core.validation import validate
+from repro.fol.solver import SolverConfig
+from repro.relational.schema import DatabaseSchema
+
+FAST = SolverConfig(random_trials=60)
+
+
+def _is_invalid(name, sources, putdelta, get):
+    strategy = UpdateStrategy.parse(name, sources, putdelta,
+                                    expected_get=get)
+    report = validate(strategy, config=FAST,
+                      derive_when_expected_fails=True)
+    return not report.valid
+
+
+UNION_SOURCES = DatabaseSchema.build(r1={'a': 'int'}, r2={'a': 'int'})
+UNION_GET = 'v(X) :- r1(X).\nv(X) :- r2(X).'
+
+UNION_MUTANTS = {
+    'drop_insertion_rule': """
+        -r1(X) :- r1(X), not v(X).
+        -r2(X) :- r2(X), not v(X).
+    """,
+    'drop_one_deletion_rule': """
+        -r1(X) :- r1(X), not v(X).
+        +r1(X) :- v(X), not r1(X), not r2(X).
+    """,
+    'flip_view_sign_in_deletion': """
+        -r1(X) :- r1(X), v(X).
+        -r2(X) :- r2(X), not v(X).
+        +r1(X) :- v(X), not r1(X), not r2(X).
+    """,
+    'insertion_misses_r2_guard': """
+        -r1(X) :- r1(X), not v(X).
+        -r2(X) :- r2(X), not v(X).
+        +r1(X) :- v(X), not r1(X).
+    """,
+    'contradictory_insert_delete': """
+        -r1(X) :- r1(X), not v(X).
+        -r2(X) :- r2(X), not v(X).
+        +r1(X) :- v(X), not r1(X), not r2(X).
+        +r2(X) :- r2(X), not v(X).
+    """,
+    'delete_wrong_relation': """
+        -r1(X) :- r2(X), not v(X).
+        -r2(X) :- r2(X), not v(X).
+        +r1(X) :- v(X), not r1(X), not r2(X).
+    """,
+}
+
+
+@pytest.mark.parametrize('mutation', sorted(UNION_MUTANTS),
+                         ids=lambda m: m)
+def test_union_mutants_rejected(mutation):
+    assert _is_invalid('v', UNION_SOURCES, UNION_MUTANTS[mutation],
+                       UNION_GET), mutation
+
+
+LUXURY_SOURCES = DatabaseSchema.build(
+    items={'iid': 'int', 'iname': 'string', 'price': 'int'})
+LUXURY_GET = "luxuryitems(I, N, P) :- items(I, N, P), P > 1000."
+
+LUXURY_MUTANTS = {
+    'missing_constraint_allows_cheap_inserts': """
+        +items(I, N, P) :- luxuryitems(I, N, P), not items(I, N, P).
+        expensive(I, N, P) :- items(I, N, P), P > 1000.
+        -items(I, N, P) :- expensive(I, N, P),
+            not luxuryitems(I, N, P).
+    """,
+    'deletion_ignores_selection': """
+        ⊥ :- luxuryitems(I, N, P), not P > 1000.
+        +items(I, N, P) :- luxuryitems(I, N, P), not items(I, N, P).
+        -items(I, N, P) :- items(I, N, P), not luxuryitems(I, N, P).
+    """,
+    'selection_threshold_off_by_one': """
+        ⊥ :- luxuryitems(I, N, P), not P > 1000.
+        +items(I, N, P) :- luxuryitems(I, N, P), not items(I, N, P).
+        expensive(I, N, P) :- items(I, N, P), P > 999.
+        -items(I, N, P) :- expensive(I, N, P),
+            not luxuryitems(I, N, P).
+    """,
+}
+
+
+@pytest.mark.parametrize('mutation', sorted(LUXURY_MUTANTS),
+                         ids=lambda m: m)
+def test_luxury_mutants_rejected(mutation):
+    assert _is_invalid('luxuryitems', LUXURY_SOURCES,
+                       LUXURY_MUTANTS[mutation], LUXURY_GET), mutation
+
+
+CED_SOURCES = DatabaseSchema.build(ed=['emp', 'dept'], eed=['emp', 'dept'])
+CED_GET = 'ced(E, D) :- ed(E, D), not eed(E, D).'
+
+CED_MUTANTS = {
+    'forgets_to_unretire': """
+        +ed(E, D) :- ced(E, D), not ed(E, D).
+        +eed(E, D) :- ed(E, D), not ced(E, D), not eed(E, D).
+    """,
+    'retires_current_members': """
+        +ed(E, D) :- ced(E, D), not ed(E, D).
+        -eed(E, D) :- ced(E, D), eed(E, D).
+        +eed(E, D) :- ed(E, D), ced(E, D), not eed(E, D).
+    """,
+    'deletes_history_instead_of_inserting': """
+        +ed(E, D) :- ced(E, D), not ed(E, D).
+        -eed(E, D) :- ced(E, D), eed(E, D).
+        -ed(E, D) :- ed(E, D), not ced(E, D).
+        +eed(E, D) :- ed(E, D), not ced(E, D), not eed(E, D).
+    """,
+}
+
+
+@pytest.mark.parametrize('mutation', sorted(CED_MUTANTS), ids=lambda m: m)
+def test_ced_mutants_rejected(mutation):
+    assert _is_invalid('ced', CED_SOURCES, CED_MUTANTS[mutation],
+                       CED_GET), mutation
+
+
+EMPLOYEES_SOURCES = DatabaseSchema.build(
+    residents={'emp_name': 'string', 'birth_date': 'date',
+               'gender': 'string'},
+    ced={'emp_name': 'string', 'dept_name': 'string'})
+EMPLOYEES_GET = "employees(E, B, G) :- residents(E, B, G), ced(E, _)."
+
+EMPLOYEES_MUTANTS = {
+    'drop_inclusion_constraint': """
+        +residents(E, B, G) :- employees(E, B, G),
+            not residents(E, B, G).
+        -residents(E, B, G) :- residents(E, B, G), ced(E, _),
+            not employees(E, B, G).
+    """,
+    'unguarded_deletion': """
+        ⊥ :- employees(E, B, G), not ced(E, _).
+        +residents(E, B, G) :- employees(E, B, G),
+            not residents(E, B, G).
+        -residents(E, B, G) :- residents(E, B, G),
+            not employees(E, B, G).
+    """,
+}
+
+
+@pytest.mark.parametrize('mutation', sorted(EMPLOYEES_MUTANTS),
+                         ids=lambda m: m)
+def test_employees_mutants_rejected(mutation):
+    assert _is_invalid('employees', EMPLOYEES_SOURCES,
+                       EMPLOYEES_MUTANTS[mutation], EMPLOYEES_GET), mutation
+
+
+def test_originals_still_valid():
+    """Sanity: the unmutated strategies all validate (so the rejections
+    above measure the mutations, not the fixtures)."""
+    from repro.benchsuite.catalog import entry_by_name
+    for name in ('luxuryitems', 'ced', 'employees'):
+        report = validate(entry_by_name(name).strategy(), config=FAST)
+        assert report.valid, name

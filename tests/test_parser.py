@@ -1,0 +1,174 @@
+"""Unit tests for the Datalog parser."""
+
+import pytest
+
+from repro.datalog.ast import Atom, BuiltinLit, Const, Lit, Var
+from repro.datalog.parser import parse_atom, parse_program, parse_rule
+from repro.errors import DatalogSyntaxError
+
+
+class TestAtoms:
+
+    def test_simple_atom(self):
+        atom = parse_atom('r(X, Y)')
+        assert atom == Atom('r', (Var('X'), Var('Y')))
+
+    def test_constants(self):
+        atom = parse_atom("r(1, 2.5, 'abc')")
+        assert atom.args == (Const(1), Const(2.5), Const('abc'))
+
+    def test_negative_number(self):
+        atom = parse_atom('r(-1)')
+        assert atom.args == (Const(-1),)
+
+    def test_negative_float(self):
+        assert parse_atom('r(-2.5)').args == (Const(-2.5),)
+
+    def test_delta_insert_atom(self):
+        assert parse_atom('+r(X)').pred == '+r'
+
+    def test_delta_delete_atom(self):
+        assert parse_atom('-r(X)').pred == '-r'
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_atom('r(X) extra')
+
+    def test_missing_paren(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_atom('r(X')
+
+
+class TestRules:
+
+    def test_fact_like_rule(self):
+        rule = parse_rule('r(1).')
+        assert rule.head == Atom('r', (Const(1),))
+        assert rule.body == ()
+
+    def test_positive_body(self):
+        rule = parse_rule('h(X) :- r(X), s(X).')
+        assert len(rule.body) == 2
+        assert all(isinstance(l, Lit) and l.positive for l in rule.body)
+
+    def test_negated_atom_with_not(self):
+        rule = parse_rule('h(X) :- r(X), not s(X).')
+        assert not rule.body[1].positive
+
+    def test_negated_atom_with_sign(self):
+        rule = parse_rule('h(X) :- r(X), ¬s(X).')
+        assert not rule.body[1].positive
+
+    def test_builtin_equality(self):
+        rule = parse_rule("h(X) :- r(X, Y), Y = 'a'.")
+        builtin = rule.body[1]
+        assert isinstance(builtin, BuiltinLit)
+        assert builtin.op == '='
+        assert builtin.positive
+
+    def test_negated_equality(self):
+        rule = parse_rule('h(X) :- r(X, Y), not Y = 1.')
+        assert not rule.body[1].positive
+
+    def test_inequality_becomes_negated_equality(self):
+        rule = parse_rule('h(X) :- r(X, Y), X <> Y.')
+        builtin = rule.body[1]
+        assert builtin.op == '=' and not builtin.positive
+
+    def test_not_inequality_becomes_positive_equality(self):
+        rule = parse_rule('h(X) :- r(X, Y), not X <> Y.')
+        builtin = rule.body[1]
+        assert builtin.op == '=' and builtin.positive
+
+    def test_comparison(self):
+        rule = parse_rule('h(X) :- r(X), X > 5.')
+        assert rule.body[1].op == '>'
+
+    def test_comparison_with_constant_left(self):
+        rule = parse_rule('h(X) :- r(X), 5 < X.')
+        assert rule.body[1].op == '<'
+        assert rule.body[1].left == Const(5)
+
+    def test_constraint_rule_unicode(self):
+        rule = parse_rule('⊥ :- v(X), X > 2.')
+        assert rule.is_constraint
+
+    def test_constraint_rule_keyword(self):
+        assert parse_rule('false :- v(X).').is_constraint
+
+    def test_constraint_rule_ascii(self):
+        assert parse_rule('_|_ :- v(X).').is_constraint
+
+    def test_delta_heads(self):
+        rule = parse_rule('+r1(X) :- v(X), not r1(X).')
+        assert rule.head.pred == '+r1'
+
+    def test_missing_dot(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule('h(X) :- r(X)')
+
+
+class TestAnonymousVariables:
+
+    def test_each_anon_is_fresh(self):
+        rule = parse_rule('h(X) :- r(X, _, _).')
+        atom = rule.body[0].atom
+        first, second = atom.args[1], atom.args[2]
+        assert first != second
+        assert first.name.startswith('_')
+
+    def test_anon_in_negated_atom(self):
+        rule = parse_rule('h(X) :- r(X), not s(X, _).')
+        assert rule.body[1].atom.args[1].name.startswith('_anon')
+
+
+class TestPrograms:
+
+    def test_multiple_rules(self):
+        program = parse_program("""
+            v(X) :- r1(X).
+            v(X) :- r2(X).
+        """)
+        assert len(program) == 2
+        assert program.idb_preds() == {'v'}
+        assert program.edb_preds() == {'r1', 'r2'}
+
+    def test_comments_between_rules(self):
+        program = parse_program("""
+            % update strategy
+            +r(X) :- v(X).  % insert
+            -r(X) :- r(X), not v(X).
+        """)
+        assert len(program) == 2
+
+    def test_empty_program(self):
+        assert len(parse_program('')) == 0
+
+    def test_example_3_1(self):
+        program = parse_program("""
+            -r1(X) :- r1(X), not v(X).
+            -r2(X) :- r2(X), not v(X).
+            +r1(X) :- v(X), not r1(X), not r2(X).
+        """)
+        assert program.delta_preds() == {'-r1', '-r2', '+r1'}
+        assert program.edb_preds() == {'r1', 'r2', 'v'}
+
+    def test_case_study_rules_parse(self):
+        program = parse_program("""
+            +male(E,B) :- residents(E,B,'M'), not male(E,B),
+                not others(E,B,'M').
+            -male(E,B) :- male(E,B), not residents(E,B,'M').
+            +others(E,B,G) :- residents(E,B,G), not G='M', not G='F',
+                not others(E,B,G).
+        """)
+        assert len(program) == 3
+
+    def test_constants_collected(self):
+        program = parse_program("v(X) :- r(X, 'a'), X > 10.")
+        assert program.constants() == {Const('a'), Const(10)}
+
+    def test_arity_mismatch_detected(self):
+        program = parse_program('v(X) :- r(X).\nw(X) :- r(X, X).')
+        from repro.errors import SchemaError
+        with pytest.raises(SchemaError):
+            program.arities()

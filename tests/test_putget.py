@@ -1,0 +1,108 @@
+"""Tests for the GetPut / PutGet composition programs (§4.3–4.4)."""
+
+from repro.core.putget import (getput_check_programs, new_source_rules,
+                               putget_check_program)
+from repro.datalog.evaluator import evaluate
+from repro.datalog.parser import parse_program
+from repro.relational.database import Database
+
+
+class TestNewSourceRules:
+
+    def test_rnew_shapes(self, union_strategy):
+        rename, rules = new_source_rules(union_strategy.putdelta,
+                                         union_strategy.sources)
+        assert rename == {'r1': 'r1_new', 'r2': 'r2_new'}
+        # r1 has +/- rules: two rnew rules; r2 only deletion: one rule.
+        r1_rules = [r for r in rules if r.head.pred == 'r1_new']
+        r2_rules = [r for r in rules if r.head.pred == 'r2_new']
+        assert len(r1_rules) == 2
+        assert len(r2_rules) == 1
+
+    def test_rnew_computes_updated_source(self, union_strategy):
+        _rename, rules = new_source_rules(union_strategy.putdelta,
+                                          union_strategy.sources)
+        program = parse_program('')
+        from repro.datalog.ast import Program
+        program = Program(union_strategy.putdelta.proper_rules() + rules)
+        edb = Database.from_dict({'r1': {(1,)}, 'r2': {(2,), (4,)},
+                                  'v': {(1,), (3,), (4,)}})
+        out = evaluate(program, edb)
+        assert out['r1_new'] == {(1,), (3,)}
+        assert out['r2_new'] == {(4,)}
+
+
+class TestPutGetComposition:
+
+    def test_putget_program_matches_paper(self, union_strategy):
+        # §4.4 lists the exact composed program for Example 4.1; check the
+        # composed result semantically: v_new == get(put(S, V)).
+        program, extra, missing = putget_check_program(
+            union_strategy.putdelta, union_strategy.expected_get, 'v', 1,
+            union_strategy.sources)
+        edb = Database.from_dict({'r1': {(1,)}, 'r2': {(2,), (4,)},
+                                  'v': {(1,), (3,), (4,)}})
+        out = evaluate(program, edb)
+        assert out['v_new'] == {(1,), (3,), (4,)}
+        assert not out[extra]
+        assert not out[missing]
+
+    def test_putget_detects_extra_tuples(self, union_sources):
+        # A bad strategy that inserts into BOTH relations yields no
+        # violation, but one that fails to delete does.
+        from repro.core.strategy import UpdateStrategy
+        bad = UpdateStrategy.parse('v', union_sources, """
+            +r1(X) :- v(X), not r1(X), not r2(X).
+        """, expected_get='v(X) :- r1(X).\nv(X) :- r2(X).')
+        program, extra, missing = putget_check_program(
+            bad.putdelta, bad.expected_get, 'v', 1, bad.sources)
+        # Source tuple (9,) not in updated view V={(1,)}: never deleted.
+        edb = Database.from_dict({'r1': {(9,)}, 'r2': set(),
+                                  'v': {(1,)}})
+        out = evaluate(program, edb)
+        assert (9,) in out[extra]
+
+    def test_putget_detects_missing_tuples(self, union_sources):
+        from repro.core.strategy import UpdateStrategy
+        bad = UpdateStrategy.parse('v', union_sources, """
+            -r1(X) :- r1(X), not v(X).
+            -r2(X) :- r2(X), not v(X).
+        """, expected_get='v(X) :- r1(X).\nv(X) :- r2(X).')
+        program, extra, missing = putget_check_program(
+            bad.putdelta, bad.expected_get, 'v', 1, bad.sources)
+        # Inserting (3,) into the view is never propagated.
+        edb = Database.from_dict({'r1': set(), 'r2': set(), 'v': {(3,)}})
+        out = evaluate(program, edb)
+        assert (3,) in out[missing]
+
+
+class TestGetPutPrograms:
+
+    def test_one_check_per_delta(self, union_strategy):
+        checks = getput_check_programs(
+            union_strategy.putdelta, union_strategy.expected_get, 'v',
+            union_strategy.sources)
+        goals = {goal for goal, _ in checks}
+        assert goals == {'__gp_ins_r1__', '__gp_del_r1__',
+                         '__gp_del_r2__'}
+
+    def test_steady_state_has_no_effective_delta(self, union_strategy):
+        checks = getput_check_programs(
+            union_strategy.putdelta, union_strategy.expected_get, 'v',
+            union_strategy.sources)
+        edb = Database.from_dict({'r1': {(1,)}, 'r2': {(2,)}})
+        for goal, program in checks:
+            assert not evaluate(program, edb)[goal], goal
+
+    def test_violating_get_produces_witness_rows(self, union_sources):
+        from repro.core.strategy import UpdateStrategy
+        # Wrong expected get (only r1): deleting r2 rows in steady state.
+        strategy = UpdateStrategy.parse('v', union_sources, """
+            -r2(X) :- r2(X), not v(X).
+        """, expected_get='v(X) :- r1(X).')
+        checks = getput_check_programs(
+            strategy.putdelta, strategy.expected_get, 'v',
+            strategy.sources)
+        edb = Database.from_dict({'r1': set(), 'r2': {(7,)}})
+        (goal, program), = checks
+        assert evaluate(program, edb)[goal] == {(7,)}

@@ -1,0 +1,67 @@
+"""Safety (range restriction) analysis tests."""
+
+import pytest
+
+from repro.datalog.parser import parse_rule
+from repro.datalog.safety import (bound_variables, check_rule_safety,
+                                  is_safe)
+from repro.errors import SafetyError
+
+
+class TestBoundVariables:
+
+    def test_positive_atoms_bind(self):
+        rule = parse_rule('h(X, Y) :- r(X), s(Y).')
+        assert bound_variables(rule) == {'X', 'Y'}
+
+    def test_equality_with_constant_binds(self):
+        rule = parse_rule("h(X) :- X = 'a'.")
+        assert bound_variables(rule) == {'X'}
+
+    def test_equality_chain_binds(self):
+        rule = parse_rule("h(Z) :- X = 1, Y = X, Z = Y.")
+        assert bound_variables(rule) == {'X', 'Y', 'Z'}
+
+    def test_negation_binds_nothing(self):
+        rule = parse_rule('h(X) :- r(X), not s(X, Y).')
+        assert 'Y' not in bound_variables(rule)
+
+    def test_comparison_binds_nothing(self):
+        rule = parse_rule('h(X) :- r(X), Y > 2.')
+        assert 'Y' not in bound_variables(rule)
+
+
+class TestSafetyCheck:
+
+    def test_safe_rule(self):
+        check_rule_safety(parse_rule('h(X) :- r(X), not s(X).'))
+
+    def test_head_variable_unbound(self):
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule('h(X, Y) :- r(X).'))
+
+    def test_negated_variable_unbound(self):
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule('h(X) :- r(X), not s(Y).'))
+
+    def test_comparison_variable_unbound(self):
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule('h(X) :- r(X), Y > 1.'))
+
+    def test_negated_equality_needs_bound_vars(self):
+        assert not is_safe(parse_rule('h(X) :- r(X), not X = Y.'))
+
+    def test_anonymous_in_negated_atom_is_exempt(self):
+        # The paper's retired strategy relies on `not ced(E, _)`.
+        rule = parse_rule('h(E) :- r(E), not ced(E, _).')
+        check_rule_safety(rule)
+
+    def test_anonymous_in_positive_atom_is_plain_variable(self):
+        check_rule_safety(parse_rule('h(X) :- r(X, _).'))
+
+    def test_constraint_rule_safety(self):
+        check_rule_safety(parse_rule('⊥ :- v(X), X > 2.'))
+
+    def test_equality_to_constant_in_head(self):
+        check_rule_safety(
+            parse_rule("h(X, D) :- r(X), D = 'unknown'."))

@@ -1,0 +1,191 @@
+"""Bounded satisfiability solver tests (the Z3 substitute, §4)."""
+
+import pytest
+
+from repro.datalog.evaluator import evaluate
+from repro.datalog.parser import parse_program
+from repro.fol.solver import (Clause, SatStatus, SolverConfig,
+                              check_satisfiable, unfold_to_clauses)
+from repro.relational.schema import DatabaseSchema
+
+FAST = SolverConfig(random_trials=40)
+
+
+def sat(text, goal='q', **kwargs):
+    return check_satisfiable(parse_program(text), goal,
+                             config=kwargs.pop('config', FAST), **kwargs)
+
+
+class TestBasicSatisfiability:
+
+    def test_single_atom_sat(self):
+        assert sat('q(X) :- r(X).').is_sat
+
+    def test_contradiction_unsat(self):
+        assert not sat('q(X) :- r(X), not r(X).').is_sat
+
+    def test_join_sat(self):
+        assert sat('q(X) :- r(X, Y), s(Y, X).').is_sat
+
+    def test_disjoint_negation_sat(self):
+        assert sat('q(X) :- r(X), not s(X).').is_sat
+
+    def test_witness_is_verified(self):
+        result = sat('q(X) :- r(X), not s(X).')
+        program = parse_program('q(X) :- r(X), not s(X).')
+        assert evaluate(program, result.witness)['q']
+
+    def test_empty_definition_unsat(self):
+        # No rule for the goal at all.
+        program = parse_program('other(X) :- r(X).')
+        result = check_satisfiable(program, 'q', config=FAST)
+        assert not result.is_sat
+
+
+class TestEqualityReasoning:
+
+    def test_equality_chain_sat(self):
+        assert sat("q(X) :- r(X), X = 'a'.").is_sat
+
+    def test_conflicting_constants_unsat(self):
+        assert not sat("q(X) :- r(X), X = 'a', X = 'b'.").is_sat
+
+    def test_disequality_needs_two_values(self):
+        assert sat('q(X, Y) :- r(X), r(Y), not X = Y.').is_sat
+
+    def test_unsatisfiable_disequality(self):
+        assert not sat("q(X) :- r(X), X = 'a', not X = 'a'.").is_sat
+
+    def test_variable_merge_through_equality(self):
+        assert sat('q(X, Y) :- r(X), s(Y), X = Y.').is_sat
+
+
+class TestComparisons:
+
+    def test_open_interval_sat(self):
+        result = sat('q(X) :- r(X), X > 5, X < 10.')
+        assert result.is_sat
+        value = next(iter(result.witness['r']))[0]
+        assert 5 < value < 10
+
+    def test_empty_interval_unsat(self):
+        assert not sat('q(X) :- r(X), X > 10, X < 5.').is_sat
+
+    def test_adjacent_ints_unsat(self):
+        assert not sat('q(X) :- r(X), X > 5, X < 6.').is_sat
+
+    def test_loose_bounds_allow_equality(self):
+        result = sat('q(X) :- r(X), X >= 5, X <= 5.')
+        assert result.is_sat
+        assert next(iter(result.witness['r']))[0] == 5
+
+    def test_string_interval(self):
+        result = sat("q(X) :- r(X), X > '1962-01-01', X < '1962-12-31'.")
+        assert result.is_sat
+
+    def test_var_var_comparison(self):
+        assert sat('q(X, Y) :- r(X, Y), X < Y.').is_sat
+
+    def test_var_var_comparison_contradiction(self):
+        assert not sat('q(X, Y) :- r(X, Y), X < Y, Y < X.').is_sat
+
+
+class TestUnderConstraints:
+
+    def test_constraint_blocks_witness(self):
+        text = """
+            q(X) :- r(X), X > 5.
+            ⊥ :- r(X), X > 3.
+        """
+        assert not sat(text).is_sat
+
+    def test_constraint_leaves_room(self):
+        text = """
+            q(X) :- r(X), X > 5.
+            ⊥ :- r(X), X > 100.
+        """
+        assert sat(text).is_sat
+
+    def test_constraints_via_keyword(self):
+        program = parse_program('q(X) :- r(X).')
+        constraints = parse_program('⊥ :- r(X).')
+        result = check_satisfiable(program, 'q', constraints=constraints,
+                                   config=FAST)
+        assert not result.is_sat
+
+    def test_functional_dependency_constraint(self):
+        # Witness must satisfy the FD; two rows needed but FD forbids.
+        text = """
+            q(A) :- v(A, B1), v(A, B2), not B1 = B2.
+            ⊥ :- v(A, B1), v(A, B2), not B1 = B2.
+        """
+        assert not sat(text).is_sat
+
+
+class TestUnfolding:
+
+    def test_idb_expansion(self):
+        program = parse_program("""
+            mid(X) :- r(X), X > 1.
+            q(X) :- mid(X), s(X).
+        """)
+        clauses = unfold_to_clauses(program, 'q')
+        assert len(clauses) == 1
+        preds = {a.pred for a in clauses[0].pos_atoms}
+        assert preds == {'r', 's'}
+
+    def test_union_expansion(self):
+        program = parse_program("""
+            mid(X) :- r1(X).
+            mid(X) :- r2(X).
+            q(X) :- mid(X).
+        """)
+        assert len(unfold_to_clauses(program, 'q')) == 2
+
+    def test_negated_idb_kept_as_check(self):
+        program = parse_program("""
+            mid(X) :- r(X).
+            q(X) :- s(X), not mid(X).
+        """)
+        clauses = unfold_to_clauses(program, 'q')
+        assert clauses[0].neg_atoms[0].pred == 'mid'
+
+    def test_clause_cap(self):
+        program = parse_program("""
+            mid(X) :- r1(X).
+            mid(X) :- r2(X).
+            q(X) :- mid(X), mid(X).
+        """)
+        assert len(unfold_to_clauses(program, 'q', max_clauses=3)) == 3
+
+    def test_through_idb_with_schema_types(self):
+        schema = DatabaseSchema.build(r={'a': 'int'})
+        result = check_satisfiable(
+            parse_program('q(X) :- r(X), X > 5.'), 'q', schema=schema,
+            config=FAST)
+        assert result.is_sat
+        value = next(iter(result.witness['r']))[0]
+        assert isinstance(value, int)
+
+
+class TestGetPutStyleChecks:
+
+    def test_union_strategy_delta_conditions(self):
+        # With v = r1 ∪ r2 the effective deltas must be unsatisfiable —
+        # exactly the GetPut reduction of §4.3.
+        text = """
+            v(X) :- r1(X).
+            v(X) :- r2(X).
+            -r1(X) :- r1(X), not v(X).
+            +r1(X) :- v(X), not r1(X), not r2(X).
+            q(X) :- -r1(X), r1(X).
+        """
+        assert not sat(text).is_sat
+
+    def test_wrong_get_makes_delta_satisfiable(self):
+        text = """
+            v(X) :- r1(X).
+            -r2(X) :- r2(X), not v(X).
+            q(X) :- -r2(X), r2(X).
+        """
+        assert sat(text).is_sat

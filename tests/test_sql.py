@@ -1,0 +1,158 @@
+"""SQL compilation tests (§6.1): queries, DDL, trigger programs."""
+
+import pytest
+
+from repro.core.validation import validate
+from repro.datalog.parser import parse_program
+from repro.errors import TransformationError
+from repro.fol.solver import SolverConfig
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.sql.ddl import create_schema, create_table, create_view
+from repro.sql.translate import (ColumnNamer, query_to_sql, rule_to_select,
+                                 sql_literal)
+from repro.sql.triggers import (compile_strategy_to_sql,
+                                constraint_checks_sql, delta_queries_sql,
+                                trigger_program)
+
+FAST = SolverConfig(random_trials=40)
+
+
+class TestSqlLiterals:
+
+    def test_string_escaping(self):
+        assert sql_literal("it's") == "'it''s'"
+
+    def test_numbers(self):
+        assert sql_literal(42) == '42'
+        assert sql_literal(2.5) == '2.5'
+
+
+class TestQueryTranslation:
+
+    def test_select_join_where(self):
+        program = parse_program('q(X, Z) :- r(X, Y), s(Y, Z), X > 1.')
+        sql = query_to_sql(program, 'q')
+        assert 'FROM r t0, s t1' in sql
+        assert 't0.c1 = t1.c0' in sql
+        assert 't0.c0 > 1' in sql
+
+    def test_schema_column_names(self):
+        schema = DatabaseSchema.build(r={'alpha': 'int', 'beta': 'string'})
+        program = parse_program("q(X) :- r(X, 'z').")
+        sql = query_to_sql(program, 'q', ColumnNamer(schema))
+        assert 't0.alpha' in sql
+        assert "t0.beta = 'z'" in sql
+
+    def test_negation_becomes_not_exists(self):
+        program = parse_program('q(X) :- r(X), not s(X).')
+        sql = query_to_sql(program, 'q')
+        assert 'NOT EXISTS (SELECT 1 FROM s s' in sql
+
+    def test_negated_atom_with_wildcard(self):
+        program = parse_program('q(X) :- r(X), not s(X, _).')
+        sql = query_to_sql(program, 'q')
+        # Only the bound column is constrained inside the subquery.
+        assert 'NOT EXISTS' in sql and 's.c1' not in sql
+
+    def test_union_as_cte_union(self):
+        program = parse_program('q(X) :- r1(X).\nq(X) :- r2(X).')
+        sql = query_to_sql(program, 'q')
+        assert sql.count('SELECT DISTINCT') == 2
+        assert 'UNION' in sql
+
+    def test_equality_bound_constant_select(self):
+        program = parse_program("q(X, T) :- r(X), T = 'tag'.")
+        sql = query_to_sql(program, 'q')
+        assert "'tag' AS c1" in sql
+
+    def test_layered_idb_becomes_cte_chain(self):
+        program = parse_program("""
+            mid(X) :- r(X), X > 1.
+            q(X) :- mid(X), not s(X).
+        """)
+        sql = query_to_sql(program, 'q')
+        assert sql.index('mid AS') < sql.index('SELECT * FROM q')
+
+    def test_delta_predicates_become_identifiers(self):
+        program = parse_program('+r(X) :- v(X), not r(X).')
+        sql = query_to_sql(program, '+r')
+        assert 'delta_ins_r' in sql
+        assert '+r' not in sql.replace('-- ', '')
+
+
+class TestDdl:
+
+    def test_create_table_types(self):
+        rel = RelationSchema('t', ('a', 'b', 'c', 'd'),
+                             ('int', 'float', 'string', 'date'))
+        ddl = create_table(rel)
+        assert 'a integer' in ddl
+        assert 'b double precision' in ddl
+        assert 'c text' in ddl
+        assert 'd date' in ddl
+
+    def test_create_schema_joins_tables(self):
+        schema = DatabaseSchema.build(r=['a'], s=['b'])
+        ddl = create_schema(schema)
+        assert ddl.count('CREATE TABLE') == 2
+
+    def test_create_view_avoids_self_shadowing(self, union_strategy):
+        sql = create_view(union_strategy.view,
+                          union_strategy.expected_get,
+                          union_strategy.sources)
+        assert sql.startswith('CREATE OR REPLACE VIEW v AS')
+        assert 'WITH v AS' not in sql
+
+
+class TestTriggerProgram:
+
+    def test_full_compilation_structure(self, union_strategy):
+        report = validate(union_strategy, config=FAST)
+        sql = compile_strategy_to_sql(union_strategy,
+                                      report.view_definition)
+        assert 'CREATE OR REPLACE VIEW v AS' in sql
+        assert 'INSTEAD OF INSERT OR UPDATE OR DELETE ON v' in sql
+        assert 'CREATE TEMP TABLE IF NOT EXISTS delta_ins_v' in sql
+        assert 'delta_del_v' in sql
+        assert 'RETURN NULL;' in sql
+
+    def test_constraint_check_raises(self, luxury_strategy):
+        sql = trigger_program(luxury_strategy)
+        assert 'RAISE EXCEPTION' in sql
+        assert 'luxuryitems_updated' in sql
+
+    def test_constraint_queries_target_updated_view(self, luxury_strategy):
+        checks = constraint_checks_sql(luxury_strategy)
+        assert len(checks) == 1
+        _text, query = checks[0]
+        assert 'luxuryitems_updated' in query
+
+    def test_incremental_deltas_read_delta_tables(self, union_strategy):
+        queries = dict(delta_queries_sql(union_strategy,
+                                         incremental=True))
+        assert 'delta_ins_v' in queries['+r1']
+        assert 'delta_del_v' in queries['-r1']
+
+    def test_full_deltas_read_updated_view(self, union_strategy):
+        queries = dict(delta_queries_sql(union_strategy,
+                                         incremental=False))
+        assert 'v_updated' in queries['+r1']
+
+    def test_compile_without_view_definition_fails(self, union_sources):
+        from repro.core.strategy import UpdateStrategy
+        from repro.errors import ValidationError
+        strategy = UpdateStrategy.parse('v', union_sources,
+                                        '+r1(X) :- v(X), not r1(X).')
+        with pytest.raises(ValidationError):
+            compile_strategy_to_sql(strategy)
+
+    def test_sql_size_scales_with_program(self, union_strategy,
+                                          luxury_strategy):
+        # Table 1's observation: bigger strategies compile to bigger SQL.
+        report_a = validate(union_strategy, config=FAST)
+        report_b = validate(luxury_strategy, config=FAST)
+        sql_a = compile_strategy_to_sql(union_strategy,
+                                        report_a.view_definition)
+        sql_b = compile_strategy_to_sql(luxury_strategy,
+                                        report_b.view_definition)
+        assert len(sql_a) > 500 and len(sql_b) > 500

@@ -1,0 +1,126 @@
+"""Program transformation tests (simplify / inline / prune / rename)."""
+
+import random
+
+from repro.datalog.evaluator import evaluate
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.pretty import pretty_rule
+from repro.datalog.transform import (dedupe_literals,
+                                     drop_trivial_builtins,
+                                     eliminate_var_equalities,
+                                     inline_single_rule_predicates,
+                                     prune_unreachable, rename_predicates,
+                                     rename_rule_variables, simplify_rule,
+                                     tidy_program)
+from repro.relational.database import Database
+
+
+class TestRuleSimplification:
+
+    def test_var_var_equality_eliminated(self):
+        rule = parse_rule('h(X) :- r(X), s(Y), X = Y.')
+        result = eliminate_var_equalities(rule)
+        assert pretty_rule(result) == 'h(X) :- r(X), s(X).'
+
+    def test_head_variable_preferred(self):
+        rule = parse_rule('h(X) :- r(Y), X = Y.')
+        result = eliminate_var_equalities(rule)
+        assert pretty_rule(result) == 'h(X) :- r(X).'
+
+    def test_constant_substitution(self):
+        rule = parse_rule("h(X) :- r(X, Y), Y = 'a'.")
+        result = eliminate_var_equalities(rule)
+        assert pretty_rule(result) == "h(X) :- r(X, 'a')."
+
+    def test_duplicate_literals_removed(self):
+        rule = parse_rule('h(X) :- r(X), r(X), s(X).')
+        assert len(dedupe_literals(rule).body) == 2
+
+    def test_trivial_builtins_dropped(self):
+        rule = parse_rule('h(X) :- r(X), X = X, 1 < 2.')
+        assert len(drop_trivial_builtins(rule).body) == 1
+
+    def test_simplify_preserves_semantics(self):
+        rule = parse_rule("h(X, Z) :- r(X, Y), X = W, Y = Z, r(W, Y).")
+        program_a = parse_program(pretty_rule(rule))
+        program_b = parse_program(pretty_rule(simplify_rule(rule)))
+        rng = random.Random(2)
+        for _ in range(15):
+            db = Database.from_dict({
+                'r': {(rng.randint(0, 2), rng.randint(0, 2))
+                      for _ in range(4)}})
+            assert evaluate(program_a, db)['h'] == \
+                evaluate(program_b, db)['h']
+
+    def test_rename_strips_machine_suffixes(self):
+        rule = parse_rule('h(X) :- r(X), s(Y).').substitute(
+            {'Y': __import__('repro.datalog.ast',
+                             fromlist=['Var']).Var('Y#c3')})
+        renamed = rename_rule_variables(rule)
+        assert 'Y#c3' not in {str(v) for v in renamed.variables()}
+        assert 'Y' in renamed.variables()
+
+
+class TestProgramTransforms:
+
+    def test_prune_unreachable(self):
+        program = parse_program("""
+            a(X) :- r(X).
+            b(X) :- a(X).
+            dead(X) :- s(X).
+        """)
+        pruned = prune_unreachable(program, {'b'})
+        assert pruned.idb_preds() == {'a', 'b'}
+
+    def test_prune_keeps_constraints(self):
+        program = parse_program("""
+            a(X) :- r(X).
+            ⊥ :- s(X).
+        """)
+        pruned = prune_unreachable(program, {'a'})
+        assert len(pruned.constraints()) == 1
+
+    def test_inline_single_rule(self):
+        program = parse_program("""
+            aux(X, Y) :- r(X, Y), Y > 1.
+            v(X) :- aux(X, Y), s(Y).
+        """)
+        inlined = inline_single_rule_predicates(program, {'v'})
+        assert inlined.idb_preds() == {'v'}
+        db = Database.from_dict({'r': {(1, 2), (3, 0)}, 's': {(2,)}})
+        assert evaluate(inlined, db)['v'] == {(1,)}
+
+    def test_inline_skips_negated_predicates(self):
+        program = parse_program("""
+            aux(X) :- r(X), s(X).
+            v(X) :- r(X), not aux(X).
+        """)
+        inlined = inline_single_rule_predicates(program, {'v'})
+        assert 'aux' in inlined.idb_preds()
+
+    def test_inline_skips_multi_rule_predicates(self):
+        program = parse_program("""
+            aux(X) :- r1(X).
+            aux(X) :- r2(X).
+            v(X) :- aux(X).
+        """)
+        inlined = inline_single_rule_predicates(program, {'v'})
+        assert 'aux' in inlined.idb_preds()
+
+    def test_rename_predicates(self):
+        program = parse_program('v(X) :- r(X), not s(X).')
+        renamed = rename_predicates(program, {'r': 'r_new', 'v': 'w'})
+        assert renamed.idb_preds() == {'w'}
+        assert renamed.rules[0].body_preds() == {'r_new', 's'}
+
+    def test_tidy_end_to_end_semantics(self):
+        program = parse_program("""
+            step1(X, Y) :- r(X, Y).
+            step2(X) :- step1(X, Y), Y = 1.
+            v(X) :- step2(X).
+            dead(X) :- nothing(X).
+        """)
+        tidied = tidy_program(program, {'v'})
+        assert 'dead' not in tidied.idb_preds()
+        db = Database.from_dict({'r': {(7, 1), (8, 2)}})
+        assert evaluate(tidied, db)['v'] == {(7,)}
