@@ -1,0 +1,112 @@
+"""Steady-state plan-cache benchmark: compile once vs. recompile per call.
+
+Measures the repeated-``put`` steady state the engine lives in after a
+view is defined: for each measured update, the incrementalized putback
+program ``∂put`` is evaluated over ``S ∪ {v, +v, -v}`` with a
+single-tuple view delta.
+
+* ``reuse``     — the plan compiled at ``define_view`` time is executed
+  directly (what `Engine` now does on every statement);
+* ``recompile`` — the same program is re-planned before every execution
+  (stratification, safety, scheduling, binding-mask resolution), which
+  is the static work the pre-plan evaluator re-did on each call.
+
+Two Figure-6 catalog strategies are covered: ``luxuryitems`` (selection)
+and ``outstanding_task`` (projection + semi-join, the widest schema in
+the suite).
+
+Run:  pytest benchmarks/bench_plan_cache.py --benchmark-only
+ or:  python benchmarks/bench_plan_cache.py          # plain timing table
+"""
+
+import itertools
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / 'src'))
+
+from repro.benchsuite.catalog import entry_by_name                # noqa: E402
+from repro.benchsuite.workload import (build_engine,              # noqa: E402
+                                       update_statement)
+from repro.datalog.ast import delete_pred, insert_pred            # noqa: E402
+from repro.datalog.plan import compile_program                    # noqa: E402
+
+VIEWS = ('luxuryitems', 'outstanding_task')
+SIZE = 20_000
+
+_COUNTERS = itertools.count(1)
+_SETUPS: dict = {}
+
+
+def _steady_state(view: str, reuse: bool):
+    """One repeated-put step: evaluate ∂put for a fresh one-tuple view
+    insertion against a warmed engine at scale ``SIZE``."""
+    if view not in _SETUPS:
+        entry = entry_by_name(view)
+        engine = build_engine(entry, SIZE, incremental=True)
+        engine.rows(view)                       # materialise the cache
+        engine.insert(view, update_statement(entry, engine,
+                                             next(_COUNTERS)))  # warm up
+        _SETUPS[view] = (entry, engine)
+    entry, engine = _SETUPS[view]
+    view_entry = engine.view(view)
+    program = view_entry.incremental_program
+    plan = view_entry.incremental_plan
+
+    def one_update():
+        row = update_statement(entry, engine, next(_COUNTERS))
+        edb = {s: engine._indexed(s) for s in view_entry.source_names}
+        edb[insert_pred(view)] = {row}
+        edb[delete_pred(view)] = set()
+        edb[view] = engine.rows(view)
+        p = plan if reuse else compile_program(program, cache=False)
+        if p.constraint_plans:
+            p.constraint_violations(edb)
+        p.evaluate(edb, goals=p.delta_goals)
+
+    return one_update
+
+
+try:
+    import pytest
+
+    @pytest.mark.parametrize('view', VIEWS)
+    def test_plan_reuse(benchmark, view):
+        benchmark.extra_info.update(view=view, size=SIZE, mode='reuse')
+        benchmark.pedantic(_steady_state(view, reuse=True),
+                           rounds=30, iterations=1)
+
+    @pytest.mark.parametrize('view', VIEWS)
+    def test_recompile_each_call(benchmark, view):
+        benchmark.extra_info.update(view=view, size=SIZE, mode='recompile')
+        benchmark.pedantic(_steady_state(view, reuse=False),
+                           rounds=30, iterations=1)
+
+except ImportError:                                   # pragma: no cover
+    pass
+
+
+def _main() -> None:                                  # pragma: no cover
+    import time
+
+    rounds = 200
+    print(f'steady-state repeated put, {rounds} rounds, '
+          f'base size {SIZE:,}')
+    print(f'{"view":<18} {"reuse µs":>10} {"recompile µs":>13} '
+          f'{"speedup":>8}')
+    for view in VIEWS:
+        timings = {}
+        for mode, reuse in (('reuse', True), ('recompile', False)):
+            step = _steady_state(view, reuse)
+            step()                                    # warm indexes
+            start = time.perf_counter()
+            for _ in range(rounds):
+                step()
+            timings[mode] = (time.perf_counter() - start) / rounds
+        speedup = timings['recompile'] / timings['reuse']
+        print(f'{view:<18} {timings["reuse"] * 1e6:>10.1f} '
+              f'{timings["recompile"] * 1e6:>13.1f} {speedup:>7.1f}x')
+
+
+if __name__ == '__main__':                            # pragma: no cover
+    _main()

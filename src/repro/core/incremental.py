@@ -36,7 +36,7 @@ from repro.datalog.transform import tidy_program
 from repro.errors import FragmentError, TransformationError
 
 __all__ = ['incrementalize_lvgn', 'incrementalize_general',
-           'incrementalize', 'binarize']
+           'incrementalize', 'incrementalize_plan', 'binarize']
 
 
 # ---------------------------------------------------------------------------
@@ -110,8 +110,8 @@ def incrementalize_lvgn(putdelta: Program, view: str) -> Program:
 def _schedule_body(rule: Rule) -> list[Literal]:
     """Order body literals for left-to-right evaluability (positive atoms
     bind; builtins and negations follow once bound)."""
-    from repro.datalog.evaluator import _schedule
-    return _schedule(rule.body)
+    from repro.datalog.plan import schedule_body
+    return schedule_body(rule.body)
 
 
 def binarize(program: Program, *, prefix: str = '__b'
@@ -502,3 +502,19 @@ def incrementalize(putdelta: Program, view: str, *,
     if lvgn:
         return incrementalize_lvgn(putdelta, view)
     return incrementalize_general(putdelta, view)
+
+
+def incrementalize_plan(putdelta: Program, view: str, *,
+                        lvgn: bool | None = None):
+    """Incrementalize and *compile* in one shot.
+
+    Returns ``(∂put, plan)`` where ``plan`` is the compiled
+    :class:`~repro.datalog.plan.ExecutionPlan` of the incremental
+    program.  Both artifacts are produced exactly once per strategy —
+    the RDBMS engine stores them in its view registry and reuses them
+    for every subsequent update, so the per-statement cost is pure
+    execution.
+    """
+    from repro.datalog.plan import compile_program
+    program = incrementalize(putdelta, view, lvgn=lvgn)
+    return program, compile_program(program)

@@ -20,8 +20,8 @@ from dataclasses import dataclass, field
 
 from repro.datalog.ast import (Program, Rule, delta_base, is_delta_pred)
 from repro.datalog.dependency import check_nonrecursive
-from repro.datalog.evaluator import constraint_violations, evaluate
 from repro.datalog.parser import parse_program
+from repro.datalog.plan import ExecutionPlan, compile_program
 from repro.datalog.pretty import pretty, pretty_rule
 from repro.datalog.safety import check_program_safety
 from repro.errors import (ConstraintViolation, SchemaError, ViewUpdateError)
@@ -134,6 +134,17 @@ class UpdateStrategy:
 
     def __post_init__(self):
         self._check_shape()
+        # Compile-once: the putback and expected-get plans are memoized
+        # for the lifetime of the strategy, so every `put` after the
+        # first pays execution cost only (no re-stratification, no
+        # re-scheduling).  The dataclass is frozen; the plans are
+        # derived state, set via object.__setattr__ like a cached field.
+        object.__setattr__(self, '_putdelta_plan',
+                           compile_program(self.putdelta))
+        object.__setattr__(
+            self, '_get_plan',
+            compile_program(self.expected_get)
+            if self.expected_get is not None else None)
 
     # -- construction ------------------------------------------------------
 
@@ -205,6 +216,16 @@ class UpdateStrategy:
     def name(self) -> str:
         return self.view.name
 
+    @property
+    def putdelta_plan(self) -> ExecutionPlan:
+        """The compiled putback program (one plan per strategy object)."""
+        return self._putdelta_plan
+
+    @property
+    def get_plan(self) -> ExecutionPlan | None:
+        """The compiled expected view definition, when one was given."""
+        return self._get_plan
+
     def delta_preds(self) -> set[str]:
         return self.putdelta.delta_preds()
 
@@ -241,15 +262,20 @@ class UpdateStrategy:
         """Raise :class:`ConstraintViolation` when ``(S, V')`` violates a
         declared ⊥-constraint."""
         instance = self._combined(source, view_rows)
-        violations = constraint_violations(self.putdelta, instance)
+        violations = self._putdelta_plan.constraint_violations(instance)
         if violations:
             rule, witness = violations[0]
             raise ConstraintViolation(pretty_rule(rule), witness)
 
     def compute_delta(self, source: Database, view_rows) -> DeltaSet:
-        """Evaluate the putback program: ``putdelta(S, V')`` (§3.1)."""
+        """Evaluate the putback program: ``putdelta(S, V')`` (§3.1).
+
+        Runs the memoized plan with the delta predicates as goals, so
+        auxiliary predicates that are only probed never materialise.
+        """
         instance = self._combined(source, view_rows)
-        output = evaluate(self.putdelta, instance)
+        plan = self._putdelta_plan
+        output = plan.evaluate(instance, goals=plan.delta_goals)
         return DeltaSet.from_database(output,
                                       relations=self.updated_relations())
 
@@ -272,7 +298,8 @@ class UpdateStrategy:
             raise ViewUpdateError(
                 f'strategy for {self.view.name!r} has no expected_get; run '
                 f'validation to derive one')
-        return evaluate(self.expected_get, source)[self.view.name]
+        name = self.view.name
+        return self._get_plan.evaluate(source, goals=(name,))[name]
 
     def __str__(self) -> str:
         lines = [f'-- update strategy for view {self.view}',

@@ -11,8 +11,10 @@ from repro.datalog.ast import (Atom, BuiltinLit, Const, Lit, Literal,
 from repro.datalog.dependency import (check_nonrecursive, dependency_graph,
                                       is_nonrecursive, stratify)
 from repro.datalog.evaluator import (constraint_violations, evaluate,
-                                     evaluate_query, holds)
+                                     evaluate_query, execute_plan, holds)
 from repro.datalog.parser import parse_atom, parse_program, parse_rule
+from repro.datalog.plan import (ExecutionPlan, RulePlan, compile_program,
+                                compile_rule)
 from repro.datalog.pretty import pretty
 from repro.datalog.safety import (check_program_safety, check_rule_safety,
                                   is_safe)
@@ -23,6 +25,8 @@ __all__ = [
     'is_delete_pred', 'is_delta_pred', 'is_insert_pred',
     'check_nonrecursive', 'dependency_graph', 'is_nonrecursive', 'stratify',
     'constraint_violations', 'evaluate', 'evaluate_query', 'holds',
+    'execute_plan', 'ExecutionPlan', 'RulePlan', 'compile_program',
+    'compile_rule',
     'parse_atom', 'parse_program', 'parse_rule', 'pretty',
     'check_program_safety', 'check_rule_safety', 'is_safe',
 ]

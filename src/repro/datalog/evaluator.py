@@ -1,35 +1,47 @@
-"""Bottom-up evaluation of nonrecursive Datalog with negation and builtins.
+"""Plan executor for nonrecursive Datalog with negation and builtins.
 
-The evaluator processes IDB predicates in stratification (topological) order
-and evaluates each rule with sideways information passing:
+The static work — safety checks, stratification, literal scheduling,
+binding-mask resolution — lives in :mod:`repro.datalog.plan`; this
+module only *runs* compiled :class:`~repro.datalog.plan.ExecutionPlan`
+objects against an EDB:
 
-* positive relational atoms are joined left-to-right using lazy hash indexes
-  keyed on the currently bound argument positions (hash-join behaviour);
-* equalities bind variables as soon as one side is known;
-* comparisons and negated literals run once all their variables are bound
-  (safety guarantees this succeeds).
+* :class:`ScanStep`s join through lazy hash indexes keyed on the
+  pre-resolved bound-position masks (hash-join behaviour);
+* fully bound probes short-circuit to set membership, answered top-down
+  for IDB predicates that were never materialised — the key to O(|ΔV|)
+  incremental updates (§5);
+* variable bindings are flat slot arrays, not dictionaries: a compiled
+  rule never hashes a variable name at run time.
 
-Semantics are set-based, matching §3.1.  ``evaluate`` returns a
-:class:`~repro.relational.database.Database` holding *all* IDB relations;
-callers project out what they need (e.g. the delta predicates).
+Semantics are set-based, matching §3.1.  The historical entry points
+(:func:`evaluate`, :func:`evaluate_rule`, :func:`evaluate_query`,
+:func:`holds`, :func:`constraint_violations`) are kept as thin wrappers
+that compile (with memoization) and execute; long-lived callers such as
+the RDBMS engine hold plans directly and skip the compile step
+entirely.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Sequence
+from typing import Sequence
 
-from repro.datalog.ast import (Atom, BuiltinLit, Const, Lit, Literal,
-                               Program, Rule, Term, Var)
-from repro.datalog.dependency import stratify
-from repro.datalog.safety import check_program_safety
+from repro.datalog.ast import Program, Rule
+from repro.datalog.plan import (BindStep, CompareStep, ExecutionPlan,
+                                NegationStep, ProbeStep, RulePlan,
+                                ScanStep, compile_program, compile_rule,
+                                schedule_body)
 from repro.errors import SchemaError
 from repro.relational.database import Database
 
 __all__ = ['evaluate', 'evaluate_rule', 'evaluate_query',
-           'holds', 'constraint_violations']
+           'holds', 'constraint_violations', 'execute_plan',
+           'execute_constraints', 'IndexedRelation']
 
 Row = tuple
-Binding = dict[str, object]
+
+# Backwards-compatible alias: the binarizer schedules bodies with the
+# same order-preserving greedy pass the evaluator historically used.
+_schedule = schedule_body
 
 
 class IndexedRelation:
@@ -50,17 +62,26 @@ class IndexedRelation:
     def contains(self, row: tuple) -> bool:
         return row in self.rows
 
+    def ensure_index(self, positions: tuple[int, ...]) -> None:
+        """Build the hash index for ``positions`` now (a no-op when it
+        already exists).  The engine calls this ahead of time for every
+        mask a view's compiled plan declares."""
+        if not positions or positions in self._indexes:
+            return
+        index: dict = {}
+        for row in self.rows:
+            row_key = tuple(row[p] for p in positions)
+            index.setdefault(row_key, []).append(row)
+        self._indexes[positions] = index
+
     def lookup(self, positions: tuple[int, ...], key: tuple) -> Sequence[Row]:
         """Rows whose values at ``positions`` equal ``key``."""
         if not positions:
             return self.rows
         index = self._indexes.get(positions)
         if index is None:
-            index = {}
-            for row in self.rows:
-                row_key = tuple(row[p] for p in positions)
-                index.setdefault(row_key, []).append(row)
-            self._indexes[positions] = index
+            self.ensure_index(positions)
+            index = self._indexes[positions]
         return index.get(key, ())
 
     def exists(self, positions: tuple[int, ...], key: tuple,
@@ -100,104 +121,14 @@ class IndexedRelation:
 _IndexedRelation = IndexedRelation
 
 
-class _EvalContext:
-    """Shared relation store for one evaluation run.
+class _Unbound:
+    __slots__ = ()
 
-    Accepts a :class:`Database` or a plain ``{name: rows}`` mapping whose
-    values may be sets/frozensets or pre-indexed :class:`IndexedRelation`
-    objects (the RDBMS engine shares its persistent indexes this way).
+    def __repr__(self):
+        return '<unbound>'
 
-    When constructed with a program, IDB relations are materialised *on
-    demand*: iterating a predicate materialises it (and its dependencies),
-    while fully-bound probes of an unmaterialised predicate are answered
-    top-down without materialising anything — the key to O(|ΔV|)
-    incremental updates (§5)."""
 
-    def __init__(self, edb, program: Program | None = None):
-        self._store: dict[str, IndexedRelation] = {}
-        if isinstance(edb, Database):
-            items = edb.relations.items()
-        else:
-            items = edb.items()
-        for name, rows in items:
-            if isinstance(rows, IndexedRelation):
-                self._store[name] = rows
-            else:
-                self._store[name] = IndexedRelation(rows)
-        self.program = program
-        self._idb: set[str] = set()
-        self._materialized: set[str] = set()
-        self._in_progress: set[str] = set()
-        if program is not None:
-            self._idb = program.without_constraints().idb_preds()
-            # Shadowing: IDB names hide same-named EDB input relations.
-            for name in self._idb & set(self._store):
-                del self._store[name]
-
-    def is_pending_idb(self, name: str) -> bool:
-        return name in self._idb and name not in self._materialized
-
-    def relation(self, name: str) -> IndexedRelation:
-        if self.is_pending_idb(name):
-            self.materialize(name)
-        rel = self._store.get(name)
-        if rel is None:
-            rel = IndexedRelation(frozenset())
-            self._store[name] = rel
-        return rel
-
-    def estimated_size(self, name: str) -> int:
-        """Relation size for join ordering; pending IDB predicates are
-        treated as large so the scheduler does not force materialisation
-        just to measure them."""
-        if self.is_pending_idb(name):
-            return 10 ** 9
-        rel = self._store.get(name)
-        return len(rel.rows) if rel is not None else 0
-
-    def materialize(self, name: str) -> None:
-        if name in self._in_progress:
-            from repro.errors import RecursionError_
-            raise RecursionError_(f'cycle through predicate {name!r}')
-        self._in_progress.add(name)
-        try:
-            rows: set[Row] = set()
-            for rule in self.program.rules_for(name):
-                _eval_rule_into(rule, self, rows)
-            self._store[name] = IndexedRelation(frozenset(rows))
-            self._materialized.add(name)
-        finally:
-            self._in_progress.discard(name)
-
-    def probe(self, name: str, row: tuple) -> bool:
-        """Top-down existence check of ``name(row)`` for a pending IDB
-        predicate — no materialisation."""
-        for rule in self.program.rules_for(name):
-            binding: Binding = {}
-            matched = True
-            for term, value in zip(rule.head.args, row):
-                if isinstance(term, Const):
-                    if term.value != value:
-                        matched = False
-                        break
-                else:
-                    if term.name in binding and binding[term.name] != value:
-                        matched = False
-                        break
-                    binding[term.name] = value
-            if not matched:
-                continue
-            if _body_satisfiable(rule.body, self, binding):
-                return True
-        return False
-
-    def set_relation(self, name: str, rows) -> None:
-        self._store[name] = IndexedRelation(rows)
-        self._materialized.add(name)
-
-    def snapshot(self, names) -> Database:
-        return Database({name: frozenset(self._store[name].rows)
-                         for name in names if name in self._store})
+_UNBOUND = _Unbound()
 
 
 def _compare(op: str, left, right) -> bool:
@@ -225,258 +156,256 @@ def _compare(op: str, left, right) -> bool:
     raise SchemaError(f'unknown comparison operator {op!r}')
 
 
-def _term_value(term: Term, binding: Binding):
-    """The value of ``term`` under ``binding``; None when unbound."""
-    if isinstance(term, Const):
-        return term.value
-    return binding.get(term.name, _UNBOUND)
+class _PlanContext:
+    """Shared relation store for one plan execution.
 
+    Accepts a :class:`Database` or a plain ``{name: rows}`` mapping whose
+    values may be sets/frozensets or pre-indexed :class:`IndexedRelation`
+    objects (the RDBMS engine shares its persistent indexes this way).
 
-class _Unbound:
-    __slots__ = ()
+    IDB relations are materialised *on demand*: a scan of a predicate
+    materialises it (and its dependencies), while fully-bound probes of
+    an unmaterialised predicate are answered top-down without
+    materialising anything."""
 
-    def __repr__(self):
-        return '<unbound>'
+    __slots__ = ('_store', 'plan', '_idb', '_materialized', '_in_progress')
 
-
-_UNBOUND = _Unbound()
-
-
-def _schedule(body: Sequence[Literal]) -> list[Literal]:
-    """Order body literals so each is evaluable when reached.
-
-    Greedy: repeatedly pick the first literal that is ready given the
-    currently bound variables — positive atoms are always ready (they bind),
-    equalities are ready when one side is bound or constant, comparisons and
-    negations when fully bound.  Safety guarantees termination.
-    """
-    remaining = list(body)
-    ordered: list[Literal] = []
-    bound: set[str] = set()
-    while remaining:
-        progressed = False
-        for i, literal in enumerate(remaining):
-            if _ready(literal, bound):
-                ordered.append(literal)
-                bound |= _binds(literal, bound)
-                del remaining[i]
-                progressed = True
-                break
-        if not progressed:
-            # Unsafe rule slipped through; surface a clear error.
-            from repro.errors import SafetyError
-            raise SafetyError(
-                f'cannot schedule literals {[str(l) for l in remaining]}; '
-                f'rule is unsafe')
-    return ordered
-
-
-def _ready(literal: Literal, bound: set[str]) -> bool:
-    if isinstance(literal, Lit):
-        if literal.positive:
-            return True
-        from repro.datalog.ast import is_anonymous
-        required = {t.name for t in literal.atom.variables()
-                    if not is_anonymous(t)}
-        return required <= bound
-    if literal.op == '=' and literal.positive:
-        left_ok = not isinstance(literal.left, Var) \
-            or literal.left.name in bound
-        right_ok = not isinstance(literal.right, Var) \
-            or literal.right.name in bound
-        return left_ok or right_ok
-    return literal.var_names() <= bound
-
-
-def _binds(literal: Literal, bound: set[str]) -> set[str]:
-    if isinstance(literal, Lit) and literal.positive:
-        return literal.var_names()
-    if isinstance(literal, BuiltinLit) and literal.op == '=' \
-            and literal.positive:
-        return literal.var_names()
-    return set()
-
-
-def _match_atom(atom: Atom, ctx: _EvalContext,
-                binding: Binding) -> Iterator[Binding]:
-    """Extend ``binding`` with all matches of a positive atom."""
-    positions: list[int] = []
-    key: list = []
-    free: list[tuple[int, str]] = []
-    checks: list[tuple[int, int]] = []  # repeated-variable positions
-    seen_vars: dict[str, int] = {}
-    for pos, term in enumerate(atom.args):
-        value = _term_value(term, binding)
-        if value is not _UNBOUND:
-            positions.append(pos)
-            key.append(value)
+    def __init__(self, edb, plan: ExecutionPlan | None = None):
+        self._store: dict[str, IndexedRelation] = {}
+        if isinstance(edb, Database):
+            items = edb.relations.items()
         else:
-            name = term.name  # must be a Var if unbound
-            if name in seen_vars:
-                checks.append((seen_vars[name], pos))
+            items = edb.items()
+        for name, rows in items:
+            if isinstance(rows, IndexedRelation):
+                self._store[name] = rows
             else:
-                seen_vars[name] = pos
-                free.append((pos, name))
-    if not free:
-        # Fully bound: a membership probe (top-down for pending IDB).
-        row = tuple(key)
-        if ctx.is_pending_idb(atom.pred):
-            if ctx.probe(atom.pred, row):
-                yield binding
-            return
-        if ctx.relation(atom.pred).contains(row):
-            yield binding
-        return
-    relation = ctx.relation(atom.pred)
-    for row in relation.lookup(tuple(positions), tuple(key)):
-        if any(row[a] != row[b] for a, b in checks):
-            continue
-        extended = dict(binding)
-        for pos, name in free:
-            extended[name] = row[pos]
-        yield extended
+                self._store[name] = IndexedRelation(rows)
+        self.plan = plan
+        self._idb: frozenset = plan.idb if plan is not None else frozenset()
+        self._materialized: set[str] = set()
+        self._in_progress: set[str] = set()
+        # Shadowing: IDB names hide same-named EDB input relations.
+        for name in self._idb & set(self._store):
+            del self._store[name]
 
+    def is_pending_idb(self, name: str) -> bool:
+        return name in self._idb and name not in self._materialized
 
-def _atom_holds(atom: Atom, ctx: _EvalContext, binding: Binding) -> bool:
-    """Existence test for a negated atom.
+    def relation(self, name: str) -> IndexedRelation:
+        if self.is_pending_idb(name):
+            self.materialize(name)
+        rel = self._store.get(name)
+        if rel is None:
+            rel = IndexedRelation(frozenset())
+            self._store[name] = rel
+        return rel
 
-    Unbound *anonymous* variables act as wildcards (``not r(X, _)`` holds
-    when no tuple of ``r`` has ``X`` in the first column); any other
-    unbound variable is a safety violation.
-    """
-    from repro.datalog.ast import is_anonymous
-    positions: list[int] = []
-    key: list = []
-    for pos, term in enumerate(atom.args):
-        value = _term_value(term, binding)
-        if value is _UNBOUND:
-            if is_anonymous(term):
-                continue
-            from repro.errors import SafetyError
-            raise SafetyError(f'negated atom {atom} reached with unbound '
-                              f'variable {term}')
-        positions.append(pos)
-        key.append(value)
-    if len(positions) == len(atom.args) and ctx.is_pending_idb(atom.pred):
-        return ctx.probe(atom.pred, tuple(key))
-    relation = ctx.relation(atom.pred)
-    return relation.exists(tuple(positions), tuple(key), len(atom.args))
+    def materialize(self, name: str) -> None:
+        if name in self._in_progress:
+            from repro.errors import RecursionError_
+            raise RecursionError_(f'cycle through predicate {name!r}')
+        self._in_progress.add(name)
+        try:
+            rows: set[Row] = set()
+            for rule_plan in self.plan.rules_for(name):
+                _run_rule(rule_plan, self, rows)
+            self._store[name] = IndexedRelation(frozenset(rows))
+            self._materialized.add(name)
+        finally:
+            self._in_progress.discard(name)
 
-
-def _eval_literal(literal: Literal, ctx: _EvalContext,
-                  binding: Binding) -> Iterator[Binding]:
-    if isinstance(literal, Lit):
-        if literal.positive:
-            yield from _match_atom(literal.atom, ctx, binding)
-        else:
-            if not _atom_holds(literal.atom, ctx, binding):
-                yield binding
-        return
-    # Builtin literal.
-    left = _term_value(literal.left, binding)
-    right = _term_value(literal.right, binding)
-    if literal.op == '=' and literal.positive:
-        if left is _UNBOUND and right is not _UNBOUND:
-            extended = dict(binding)
-            extended[literal.left.name] = right
-            yield extended
-            return
-        if right is _UNBOUND and left is not _UNBOUND:
-            extended = dict(binding)
-            extended[literal.right.name] = left
-            yield extended
-            return
-    if left is _UNBOUND or right is _UNBOUND:
-        from repro.errors import SafetyError
-        raise SafetyError(f'builtin {literal} reached with unbound variable')
-    result = _compare(literal.op, left, right)
-    if result == literal.positive:
-        yield binding
-
-
-def _schedule_sized(body: Sequence[Literal],
-                    ctx: _EvalContext) -> list[Literal]:
-    """Size-aware variant of :func:`_schedule`: among the ready literals,
-    cheap filters (builtins, negations) go first and the positive atom
-    over the smallest relation is joined next.  With the delta relations
-    of §5 this realises the "delta-first" join order that makes
-    incremental updates O(|ΔV|)."""
-    remaining = list(body)
-    ordered: list[Literal] = []
-    bound: set[str] = set()
-    while remaining:
-        filter_index = None
-        best_index = None
-        best_size = None
-        for i, literal in enumerate(remaining):
-            if not _ready(literal, bound):
-                continue
-            is_join = isinstance(literal, Lit) and literal.positive \
-                and not literal.var_names() <= bound
-            if not is_join:
-                filter_index = i
-                break
-            size = ctx.estimated_size(literal.atom.pred)
-            if best_size is None or size < best_size:
-                best_size = size
-                best_index = i
-        index = filter_index if filter_index is not None else best_index
-        if index is None:
-            from repro.errors import SafetyError
-            raise SafetyError(
-                f'cannot schedule literals {[str(l) for l in remaining]}; '
-                f'rule is unsafe')
-        literal = remaining.pop(index)
-        ordered.append(literal)
-        bound |= _binds(literal, bound)
-    return ordered
-
-
-def _eval_rule_into(rule: Rule, ctx: _EvalContext, out: set[Row]) -> None:
-    ordered = _schedule_sized(rule.body, ctx)
-
-    def recurse(index: int, binding: Binding) -> None:
-        if index == len(ordered):
-            row = tuple(_term_value(t, binding) for t in rule.head.args)
-            out.add(row)
-            return
-        for extended in _eval_literal(ordered[index], ctx, binding):
-            recurse(index + 1, extended)
-
-    recurse(0, {})
-
-
-def _body_satisfiable(body: Sequence[Literal], ctx: _EvalContext,
-                      binding: Binding) -> bool:
-    """Does the body have at least one solution extending ``binding``?
-
-    Used by top-down probes; the static schedule is computed without the
-    initial binding, which only makes more literals ready earlier."""
-    ordered = _schedule_sized(body, ctx)
-
-    def recurse(index: int, current: Binding) -> bool:
-        if index == len(ordered):
-            return True
-        for extended in _eval_literal(ordered[index], ctx, current):
-            if recurse(index + 1, extended):
+    def probe(self, name: str, row: tuple) -> bool:
+        """Top-down existence check of ``name(row)`` for a pending IDB
+        predicate — no materialisation."""
+        for rule_plan in self.plan.rules_for(name):
+            if _probe_rule(rule_plan, self, row):
                 return True
         return False
 
-    return recurse(0, dict(binding))
+    def set_relation(self, name: str, rows) -> None:
+        self._store[name] = IndexedRelation(rows)
+        self._materialized.add(name)
+
+    def snapshot(self, names) -> Database:
+        return Database({name: frozenset(self._store[name].rows)
+                         for name in names if name in self._store})
 
 
-def _evaluate_into_context(program: Program, edb, *,
-                           check_safety: bool = True,
-                           goals=None) -> _EvalContext:
-    proper = program.without_constraints()
-    if check_safety:
-        check_program_safety(proper)
-    stratify(proper)  # rejects recursion up front
-    ctx = _EvalContext(edb, proper)
-    for pred in (goals if goals is not None else proper.idb_preds()):
-        if pred in proper.idb_preds() and ctx.is_pending_idb(pred):
+# ---------------------------------------------------------------------------
+# Step execution
+# ---------------------------------------------------------------------------
+
+
+def _run_rule(rule_plan: RulePlan, ctx: _PlanContext, out: set[Row]) -> None:
+    """Run one compiled rule bottom-up, adding head rows to ``out``."""
+    steps = rule_plan.steps
+    nsteps = len(steps)
+    head = rule_plan.head
+    env = [_UNBOUND] * rule_plan.nslots
+
+    def advance(i: int) -> None:
+        while i < nsteps:
+            step = steps[i]
+            cls = step.__class__
+            if cls is ScanStep:
+                key = tuple(c if s < 0 else env[s] for s, c in step.key)
+                relation = ctx.relation(step.pred)
+                checks = step.checks
+                free = step.free
+                for row in relation.lookup(step.positions, key):
+                    if checks and any(row[a] != row[b]
+                                      for a, b in checks):
+                        continue
+                    for pos, slot in free:
+                        env[slot] = row[pos]
+                    advance(i + 1)
+                return
+            if cls is ProbeStep:
+                row = tuple(c if s < 0 else env[s] for s, c in step.key)
+                if ctx.is_pending_idb(step.pred):
+                    if not ctx.probe(step.pred, row):
+                        return
+                elif not ctx.relation(step.pred).contains(row):
+                    return
+            elif cls is NegationStep:
+                key = tuple(c if s < 0 else env[s] for s, c in step.key)
+                if len(step.positions) == step.arity \
+                        and ctx.is_pending_idb(step.pred):
+                    if ctx.probe(step.pred, key):
+                        return
+                elif ctx.relation(step.pred).exists(step.positions, key,
+                                                    step.arity):
+                    return
+            elif cls is CompareStep:
+                s, c = step.left
+                left = c if s < 0 else env[s]
+                s, c = step.right
+                right = c if s < 0 else env[s]
+                if _compare(step.op, left, right) != step.expect:
+                    return
+            else:                                   # BindStep
+                s, c = step.source
+                env[step.slot] = c if s < 0 else env[s]
+            i += 1
+        out.add(tuple(c if s < 0 else env[s] for s, c in head))
+
+    advance(0)
+
+
+def _probe_rule(rule_plan: RulePlan, ctx: _PlanContext,
+                row: tuple) -> bool:
+    """Top-down: can this rule derive ``row``?  Uses the probe schedule,
+    compiled with every head variable pre-bound."""
+    for pos, value in rule_plan.match_consts:
+        if row[pos] != value:
+            return False
+    env = [_UNBOUND] * rule_plan.nslots
+    for pos, slot in rule_plan.match_binds:
+        env[slot] = row[pos]
+    for pos, slot in rule_plan.match_checks:
+        if row[pos] != env[slot]:
+            return False
+    steps = rule_plan.probe_steps
+    nsteps = len(steps)
+
+    def satisfiable(i: int) -> bool:
+        while i < nsteps:
+            step = steps[i]
+            cls = step.__class__
+            if cls is ScanStep:
+                key = tuple(c if s < 0 else env[s] for s, c in step.key)
+                relation = ctx.relation(step.pred)
+                checks = step.checks
+                free = step.free
+                for candidate in relation.lookup(step.positions, key):
+                    if checks and any(candidate[a] != candidate[b]
+                                      for a, b in checks):
+                        continue
+                    for pos, slot in free:
+                        env[slot] = candidate[pos]
+                    if satisfiable(i + 1):
+                        return True
+                return False
+            if cls is ProbeStep:
+                probe_row = tuple(c if s < 0 else env[s]
+                                  for s, c in step.key)
+                if ctx.is_pending_idb(step.pred):
+                    if not ctx.probe(step.pred, probe_row):
+                        return False
+                elif not ctx.relation(step.pred).contains(probe_row):
+                    return False
+            elif cls is NegationStep:
+                key = tuple(c if s < 0 else env[s] for s, c in step.key)
+                if len(step.positions) == step.arity \
+                        and ctx.is_pending_idb(step.pred):
+                    if ctx.probe(step.pred, key):
+                        return False
+                elif ctx.relation(step.pred).exists(step.positions, key,
+                                                    step.arity):
+                    return False
+            elif cls is CompareStep:
+                s, c = step.left
+                left = c if s < 0 else env[s]
+                s, c = step.right
+                right = c if s < 0 else env[s]
+                if _compare(step.op, left, right) != step.expect:
+                    return False
+            else:                                   # BindStep
+                s, c = step.source
+                env[step.slot] = c if s < 0 else env[s]
+            i += 1
+        return True
+
+    return satisfiable(0)
+
+
+# ---------------------------------------------------------------------------
+# Plan-level execution
+# ---------------------------------------------------------------------------
+
+
+def execute_plan(plan: ExecutionPlan, edb, *, goals=None) -> Database:
+    """Run a compiled plan over ``edb`` and return the IDB relations.
+
+    With ``goals`` given, only those predicates (and what they demand)
+    are materialised — auxiliary predicates that are only probed with
+    fully bound arguments are answered top-down and never computed
+    wholesale.
+    """
+    ctx = _PlanContext(edb, plan)
+    idb = plan.idb
+    for pred in (goals if goals is not None else plan.order):
+        if pred in idb and ctx.is_pending_idb(pred):
             ctx.materialize(pred)
-    return ctx
+    names = goals if goals is not None else plan.order
+    return ctx.snapshot(names)
+
+
+def execute_constraints(plan: ExecutionPlan, edb
+                        ) -> list[tuple[Rule, tuple]]:
+    """Evaluate the plan's compiled ⊥-rules over ``edb`` and return
+    ``(rule, witness_row)`` pairs for each violated constraint.
+
+    Nothing is materialised eagerly: constraint bodies demand exactly
+    what they need (fully bound auxiliaries are just probed).
+    """
+    if not plan.constraint_plans:
+        return []
+    ctx = _PlanContext(edb, plan)
+    violations: list[tuple[Rule, tuple]] = []
+    for constraint in plan.constraint_plans:
+        rows: set[Row] = set()
+        _run_rule(constraint.rule_plan, ctx, rows)
+        if rows:
+            # key=repr: witness columns may mix value types.
+            violations.append((constraint.rule, min(rows, key=repr)))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Historical entry points (compile-and-run wrappers)
+# ---------------------------------------------------------------------------
 
 
 def evaluate(program: Program, edb, *,
@@ -486,23 +415,24 @@ def evaluate(program: Program, edb, *,
     ``edb`` may be a :class:`Database`, a plain ``{name: rows}`` mapping,
     or a mapping holding pre-indexed :class:`IndexedRelation` values.
     With ``goals`` given, only those predicates (and what they demand) are
-    materialised — auxiliary predicates that are only probed with fully
-    bound arguments are answered top-down and never computed wholesale.
-    Constraint rules are ignored here (see :func:`constraint_violations`).
-    EDB relations named like IDB predicates are shadowed by the computed
-    IDB values, as in standard Datalog semantics.
+    materialised.  Constraint rules are ignored here (see
+    :func:`constraint_violations`).  EDB relations named like IDB
+    predicates are shadowed by the computed IDB values, as in standard
+    Datalog semantics.
+
+    Compilation is memoized: repeated calls with an equal program reuse
+    one :class:`~repro.datalog.plan.ExecutionPlan`.
     """
-    ctx = _evaluate_into_context(program, edb, check_safety=check_safety,
-                                 goals=goals)
-    names = (goals if goals is not None
-             else program.without_constraints().idb_preds())
-    return ctx.snapshot(names)
+    plan = compile_program(program, check_safety=check_safety)
+    return execute_plan(plan, edb, goals=goals)
 
 
 def evaluate_rule(rule: Rule, edb: Database) -> frozenset:
     """Evaluate a single rule over ``edb`` (body predicates must be EDB)."""
+    rule_plan = compile_rule(rule)
+    ctx = _PlanContext(edb)
     rows: set[Row] = set()
-    _eval_rule_into(rule, _EvalContext(edb), rows)
+    _run_rule(rule_plan, ctx, rows)
     return frozenset(rows)
 
 
@@ -519,30 +449,12 @@ def holds(program: Program, edb: Database, goal: str) -> bool:
 def constraint_violations(program: Program, edb
                           ) -> list[tuple[Rule, tuple]]:
     """Evaluate every constraint (⊥) rule of ``program`` over ``edb``
-    (after computing the IDB) and return ``(rule, witness_binding_row)``
-    pairs for each violated constraint.
+    (after computing what the constraint bodies demand) and return
+    ``(rule, witness_binding_row)`` pairs for each violated constraint.
 
     A constraint ``⊥ :- body`` is violated when its body is satisfiable in
     the instance; the returned witness row holds the values of the body's
     variables in sorted name order.
     """
-    constraints = program.constraints()
-    if not constraints:
-        return []
-    # goals=(): materialise nothing eagerly — constraint bodies demand
-    # exactly what they need (fully bound auxiliaries are just probed).
-    ctx = _evaluate_into_context(program, edb, goals=())
-    violations: list[tuple[Rule, tuple]] = []
-    for rule in constraints:
-        # Anonymous variables stay unbound inside negated atoms: they
-        # cannot appear in the witness row.
-        names = sorted(n for n in rule.variables()
-                       if not n.startswith('_'))
-        probe = Rule(Atom('__viol__', tuple(Var(n) for n in names)),
-                     rule.body)
-        rows: set[Row] = set()
-        _eval_rule_into(probe, ctx, rows)
-        if rows:
-            # key=repr: witness columns may mix value types.
-            violations.append((rule, min(rows, key=repr)))
-    return violations
+    plan = compile_program(program)
+    return execute_constraints(plan, edb)

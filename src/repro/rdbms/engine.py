@@ -27,13 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
-from repro.core.incremental import (incrementalize_general,
-                                    incrementalize_lvgn)
+from repro.core.incremental import incrementalize_plan
 from repro.core.lvgn import is_lvgn
 from repro.core.strategy import UpdateStrategy
 from repro.core.validation import ValidationReport, validate
 from repro.datalog.ast import Program, delete_pred, insert_pred
-from repro.datalog.evaluator import constraint_violations, evaluate
+from repro.datalog.evaluator import IndexedRelation
+from repro.datalog.plan import ExecutionPlan, compile_program
 from repro.datalog.pretty import pretty_rule
 from repro.errors import (ConstraintViolation, ContradictionError,
                           SchemaError, ValidationError, ViewUpdateError)
@@ -48,11 +48,19 @@ __all__ = ['Engine', 'Transaction', 'ViewEntry']
 
 @dataclass
 class ViewEntry:
-    """Everything the engine knows about one updatable view."""
+    """Everything the engine knows about one updatable view.
+
+    Plans are compiled exactly once, at :meth:`Engine.define_view` time,
+    and reused verbatim for every subsequent ``insert``/``delete``/
+    ``update``/``execute_many`` batch — the engine's analogue of the
+    SQL triggers BIRDS installs ahead of time.
+    """
 
     strategy: UpdateStrategy
     get_program: Program
+    get_plan: ExecutionPlan
     incremental_program: Program | None
+    incremental_plan: ExecutionPlan | None
     lvgn: bool
     use_incremental: bool
     source_names: tuple[str, ...]
@@ -65,6 +73,13 @@ class ViewEntry:
     @property
     def schema(self) -> RelationSchema:
         return self.strategy.view
+
+    def plans(self) -> tuple[ExecutionPlan, ...]:
+        """Every plan this view can run (for index pre-building)."""
+        plans = [self.get_plan, self.strategy.putdelta_plan]
+        if self.incremental_plan is not None:
+            plans.append(self.incremental_plan)
+        return tuple(plans)
 
 
 def _compose(first: Delta, second: Delta) -> Delta:
@@ -138,12 +153,14 @@ class Engine:
     """
 
     def __init__(self, schema: DatabaseSchema):
-        from repro.datalog.evaluator import IndexedRelation
         self.schema = schema
         self._tables: dict[str, IndexedRelation] = {
             rel.name: IndexedRelation(set()) for rel in schema}
         self._views: dict[str, ViewEntry] = {}
         self._cache: dict = {}
+        # relation -> hash-index masks declared by registered plans;
+        # applied eagerly to tables and to view caches on (re)build.
+        self._index_hints: dict[str, set[tuple[int, ...]]] = {}
 
     # -- basic access ------------------------------------------------------
 
@@ -159,9 +176,13 @@ class Engine:
     def relations(self) -> tuple[str, ...]:
         return tuple(self._tables) + tuple(self._views)
 
+    def _apply_index_hints(self, name: str,
+                           relation: IndexedRelation) -> None:
+        for positions in self._index_hints.get(name, ()):
+            relation.ensure_index(positions)
+
     def _indexed(self, name: str):
         """The persistent indexed relation behind a table or view."""
-        from repro.datalog.evaluator import IndexedRelation
         if name in self._tables:
             return self._tables[name]
         if name in self._views:
@@ -170,9 +191,10 @@ class Engine:
                 entry = self._views[name]
                 source_db = {s: self._indexed(s)
                              for s in entry.source_names}
-                rows = evaluate(entry.get_program, source_db,
-                                goals=(entry.name,))[entry.name]
+                rows = entry.get_plan.evaluate(
+                    source_db, goals=(entry.name,))[entry.name]
                 cached = IndexedRelation(set(rows))
+                self._apply_index_hints(name, cached)
                 self._cache[name] = cached
             return cached
         raise SchemaError(f'unknown relation {name!r}')
@@ -191,13 +213,14 @@ class Engine:
 
     def load(self, name: str, rows: Iterable[tuple]) -> None:
         """Bulk-load a base table (replacing its contents)."""
-        from repro.datalog.evaluator import IndexedRelation
         if name not in self._tables:
             raise SchemaError(f'{name!r} is not a base table')
         loaded = {tuple(r) for r in rows}
         for row in loaded:
             self.schema[name].validate_tuple(row)
-        self._tables[name] = IndexedRelation(loaded)
+        table = IndexedRelation(loaded)
+        self._apply_index_hints(name, table)
+        self._tables[name] = table
         self._invalidate_dependents({name})
 
     # -- view definition ---------------------------------------------------------
@@ -238,16 +261,14 @@ class Engine:
                                              set(self._views))))
         lvgn = is_lvgn(strategy.putdelta, name)
         incremental_program = None
+        incremental_plan = None
         if use_incremental:
             try:
-                if lvgn:
-                    incremental_program = incrementalize_lvgn(
-                        strategy.putdelta, name)
-                else:
-                    incremental_program = incrementalize_general(
-                        strategy.putdelta, name)
+                incremental_program, incremental_plan = incrementalize_plan(
+                    strategy.putdelta, name, lvgn=lvgn)
             except Exception:
                 incremental_program = None  # fall back to full put
+                incremental_plan = None
         closure: set[str] = set()
         for source in source_names:
             if source in self._views:
@@ -255,14 +276,33 @@ class Engine:
             else:
                 closure.add(source)
         entry = ViewEntry(strategy=strategy, get_program=get_program,
+                          get_plan=compile_program(get_program),
                           incremental_program=incremental_program,
+                          incremental_plan=incremental_plan,
                           lvgn=lvgn,
                           use_incremental=use_incremental and
-                          incremental_program is not None,
+                          incremental_plan is not None,
                           source_names=source_names,
                           base_closure=frozenset(closure))
         self._views[name] = entry
+        self._register_index_hints(entry)
         return entry
+
+    def _register_index_hints(self, entry: ViewEntry) -> None:
+        """Pre-build the persistent hash indexes the view's compiled
+        plans declare, the way a live RDBMS creates its B-trees at
+        ``CREATE VIEW`` time rather than during the first update."""
+        for plan in entry.plans():
+            for pred, positions in plan.index_requirements:
+                if pred not in self._tables and pred not in self._views:
+                    continue  # delta inputs / auxiliary IDB predicates
+                self._index_hints.setdefault(pred, set()).add(positions)
+                if pred in self._tables:
+                    self._tables[pred].ensure_index(positions)
+                else:
+                    cached = self._cache.get(pred)
+                    if cached is not None:
+                        cached.ensure_index(positions)
 
     # -- DML -------------------------------------------------------------------
 
@@ -327,7 +367,7 @@ class Engine:
 
         if entry.use_incremental:
             incremental_constraints = bool(
-                entry.incremental_program.constraints())
+                entry.incremental_plan.constraint_plans)
             if entry.strategy.constraints() and not incremental_constraints:
                 # General-path ∂put has no constraint rules: full check.
                 new_rows = (current - effective.deletions) \
@@ -371,18 +411,17 @@ class Engine:
         incremental program are checked on the deltas (Lemma 5.2 applied
         to ⊥-rules)."""
         name = entry.name
-        program = entry.incremental_program
+        plan = entry.incremental_plan
         edb = dict(source_db)
         edb[insert_pred(name)] = delta.insertions
         edb[delete_pred(name)] = delta.deletions
         edb[name] = current
-        if program.constraints():
-            violations = constraint_violations(program, edb)
+        if plan.constraint_plans:
+            violations = plan.constraint_violations(edb)
             if violations:
                 rule, witness = violations[0]
                 raise ConstraintViolation(pretty_rule(rule), witness)
-        goals = tuple(program.delta_preds())
-        output = evaluate(program, edb, goals=goals)
+        output = plan.evaluate(edb, goals=plan.delta_goals)
         return DeltaSet.from_database(
             output, relations=entry.strategy.updated_relations())
 

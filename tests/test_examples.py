@@ -1,5 +1,6 @@
 """The shipped examples must run clean — they are documentation."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,12 +8,19 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / 'examples'
+SRC = EXAMPLES.parent / 'src'
 
 
 def run_example(name: str, timeout: int = 600) -> str:
+    # pytest's `pythonpath` setting does not reach child processes, so
+    # examples need src/ on PYTHONPATH even when the suite itself runs
+    # from a clean checkout without an editable install.
+    env = dict(os.environ)
+    env['PYTHONPATH'] = os.pathsep.join(
+        p for p in (str(SRC), env.get('PYTHONPATH')) if p)
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name)], capture_output=True,
-        text=True, timeout=timeout)
+        text=True, timeout=timeout, env=env)
     assert result.returncode == 0, result.stderr[-2000:]
     return result.stdout
 

@@ -1,0 +1,216 @@
+"""Planner tests: compile-once semantics, plan reuse in the engine,
+plan-vs-wrapper equivalence on the benchsuite QA catalog, and
+index-requirement declarations."""
+
+import dataclasses
+
+import pytest
+
+from repro.benchsuite.catalog_qa import QA_ENTRIES
+from repro.core.strategy import UpdateStrategy
+from repro.datalog.evaluator import constraint_violations, evaluate
+from repro.datalog.parser import parse_program
+from repro.datalog.plan import (ExecutionPlan, compile_program,
+                                compile_rule, schedule_body)
+from repro.errors import SafetyError
+from repro.rdbms.engine import Engine
+from repro.relational.database import Database
+from repro.relational.generators import random_database
+from repro.relational.schema import DatabaseSchema
+
+
+def db(**relations):
+    return Database.from_dict(relations)
+
+
+class TestCompile:
+
+    def test_plans_are_memoized_across_reparses(self):
+        text = 'v(X, Z) :- r(X, Y), s(Y, Z).'
+        first = compile_program(parse_program(text))
+        second = compile_program(parse_program(text))
+        assert first is second
+
+    def test_cache_bypass_compiles_fresh(self):
+        program = parse_program('v(X) :- r(X).')
+        assert compile_program(program, cache=False) \
+            is not compile_program(program, cache=False)
+
+    def test_plan_is_immutable(self):
+        plan = compile_program(parse_program('v(X) :- r(X).'))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            plan.order = ()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            plan.rules_for('v')[0].nslots = 99
+
+    def test_plans_and_strategies_pickle(self):
+        # Plans are cached inside UpdateStrategy instances; both must
+        # survive pickling (multiprocessing) and deep copies.
+        import copy
+        import pickle
+
+        plan = compile_program(parse_program('v(X, Z) :- r(X, Y), s(Y, Z).'))
+        edb = db(r={(1, 'a')}, s={('a', 2)})
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.evaluate(edb) == plan.evaluate(edb)
+        assert copy.deepcopy(plan).evaluate(edb) == plan.evaluate(edb)
+
+        strategy = UpdateStrategy.parse(
+            'v', DatabaseSchema.build(r={'a': 'int'}),
+            '+r(X) :- v(X), not r(X).\n-r(X) :- r(X), not v(X).',
+            'v(X) :- r(X).')
+        revived = pickle.loads(pickle.dumps(strategy))
+        assert revived.putdelta_plan.evaluate(
+            db(r={(1,)}, v={(1,), (2,)})) \
+            == strategy.putdelta_plan.evaluate(db(r={(1,)}, v={(1,), (2,)}))
+
+    def test_join_declares_index_requirement(self):
+        plan = compile_program(parse_program('v(X, Z) :- r(X, Y), s(Y, Z).'))
+        assert ('s', (0,)) in plan.index_requirements
+
+    def test_delta_and_intermediate_rule_groups(self):
+        plan = compile_program(parse_program("""
+            ⊥ :- luxuryitems(I, N, P), not P > 1000.
+            +items(I, N, P) :- luxuryitems(I, N, P), not items(I, N, P).
+            expensive(I, N, P) :- items(I, N, P), P > 1000.
+            -items(I, N, P) :- expensive(I, N, P),
+                not luxuryitems(I, N, P).
+        """))
+        assert plan.delta_goals == ('+items', '-items')
+        assert plan.intermediate_preds == {'expensive'}
+        assert len(plan.constraint_plans) == 1
+
+    def test_unsafe_program_rejected_at_compile_time(self):
+        with pytest.raises(SafetyError):
+            compile_program(parse_program('v(X, Y) :- r(X).'),
+                            cache=False)
+
+    def test_unschedulable_rule_rejected(self):
+        rule = parse_program('v(X) :- not r(X).').rules[0]
+        with pytest.raises(SafetyError):
+            compile_rule(rule)
+
+    def test_schedule_body_orders_for_evaluability(self):
+        rule = parse_program('v(X) :- X > 1, r(X).').rules[0]
+        ordered = schedule_body(rule.body)
+        assert str(ordered[0]) == 'r(X)'
+
+
+class TestExecution:
+
+    def test_plan_evaluate_matches_wrapper(self):
+        program = parse_program("""
+            a(X) :- r(X, _).
+            v(X) :- a(X), not s(X), X > 1.
+        """)
+        edb = db(r={(1, 'x'), (2, 'y'), (3, 'z')}, s={(3,)})
+        plan = compile_program(program, cache=False)
+        assert plan.evaluate(edb) == evaluate(program, edb)
+
+    def test_goals_limit_materialisation(self):
+        plan = compile_program(parse_program("""
+            cheap(X) :- r(X).
+            expensive(X) :- r(X), s(X).
+            v(X) :- cheap(X).
+        """))
+        out = plan.evaluate(db(r={(1,)}, s={(1,)}), goals=('v',))
+        assert out['v'] == {(1,)}
+        assert 'expensive' not in out.names()
+
+    def test_constraint_violations_via_plan(self):
+        plan = compile_program(parse_program('⊥ :- r(X), X > 2.'))
+        violations = plan.constraint_violations(db(r={(5,)}))
+        assert len(violations) == 1
+        assert violations[0][1] == (5,)
+
+    def test_static_schedule_handles_probe_bindings(self):
+        # The probe schedule is compiled with head variables pre-bound:
+        # `aux` is only ever probed fully bound and never materialised.
+        plan = compile_program(parse_program("""
+            aux(X, Y) :- big(X, Y).
+            v(X) :- small(X), aux(X, X).
+        """))
+        out = plan.evaluate(db(small={(1,), (2,)}, big={(1, 1), (2, 9)}),
+                            goals=('v',))
+        assert out['v'] == {(1,)}
+
+
+def _qa_instances(entry, n=40):
+    """(program, instance) pairs exercising the entry's putback program
+    on a random source instance in steady state and under a deletion."""
+    strategy = entry.strategy()
+    data = random_database(strategy.sources, entry.sizes(n), seed=11,
+                           column_pools=entry.column_pools)
+    view_rows = strategy.get(data)
+    steady = data.with_relation(entry.name, view_rows)
+    yield strategy.putdelta, steady
+    if view_rows:
+        shrunk = set(view_rows)
+        shrunk.discard(min(view_rows, key=repr))
+        yield strategy.putdelta, data.with_relation(entry.name, shrunk)
+
+
+@pytest.mark.parametrize('entry', [e for e in QA_ENTRIES if e.expressible],
+                         ids=lambda e: e.name)
+def test_plan_executor_bit_identical_on_qa_catalog(entry):
+    """`evaluate()` and a freshly compiled plan executor agree exactly
+    (same IDB relations, same constraint witnesses) on every QA view."""
+    for program, instance in _qa_instances(entry):
+        plan = compile_program(program, cache=False)
+        assert plan.evaluate(instance) == evaluate(program, instance)
+        assert plan.constraint_violations(instance) \
+            == constraint_violations(program, instance)
+
+
+class TestEngineReuse:
+
+    SOURCES = DatabaseSchema.build(
+        items={'iid': 'int', 'iname': 'string', 'price': 'int'})
+    PUTDELTA = """
+        ⊥ :- luxuryitems(I, N, P), not P > 1000.
+        +items(I, N, P) :- luxuryitems(I, N, P), not items(I, N, P).
+        expensive(I, N, P) :- items(I, N, P), P > 1000.
+        -items(I, N, P) :- expensive(I, N, P), not luxuryitems(I, N, P).
+    """
+    GET = "luxuryitems(I, N, P) :- items(I, N, P), P > 1000."
+
+    def _engine(self):
+        strategy = UpdateStrategy.parse('luxuryitems', self.SOURCES,
+                                        self.PUTDELTA, self.GET)
+        engine = Engine(strategy.sources)
+        engine.load('items', {(1, 'watch', 5000), (2, 'pen', 10)})
+        entry = engine.define_view(strategy, validate_first=False)
+        return engine, entry
+
+    def test_same_plan_objects_across_repeated_updates(self):
+        engine, entry = self._engine()
+        plans_before = (entry.get_plan, entry.incremental_plan,
+                        entry.strategy.putdelta_plan)
+        for i in range(5):
+            engine.insert('luxuryitems', (100 + i, f'ring{i}', 2000 + i))
+        engine.delete('luxuryitems', where={'iid': 100})
+        entry_after = engine.view('luxuryitems')
+        assert entry_after is entry
+        assert (entry_after.get_plan, entry_after.incremental_plan,
+                entry_after.strategy.putdelta_plan) == plans_before
+        assert entry_after.get_plan is plans_before[0]
+        assert entry_after.incremental_plan is plans_before[1]
+        assert all(isinstance(p, ExecutionPlan) for p in plans_before
+                   if p is not None)
+
+    def test_strategy_compiles_plans_once(self):
+        strategy = UpdateStrategy.parse('luxuryitems', self.SOURCES,
+                                        self.PUTDELTA, self.GET)
+        assert strategy.putdelta_plan is strategy.putdelta_plan
+        assert strategy.get_plan is strategy.get_plan
+
+    def test_engine_prebuilds_declared_indexes(self):
+        from repro.benchsuite.catalog import entry_by_name
+        from repro.benchsuite.workload import build_engine
+        entry = entry_by_name('koncerty')
+        engine = build_engine(entry, 120)
+        view_entry = engine.view('koncerty')
+        # The get plan joins koncert ⋈ venues on the venue id; the
+        # engine builds that persistent index at define_view time.
+        assert ('venues', (0,)) in view_entry.get_plan.index_requirements
+        assert (0,) in engine._tables['venues']._indexes
