@@ -1,0 +1,64 @@
+"""Cross-backend benchmark: interpreted plans vs. compiled SQL on SQLite.
+
+For each Figure 6 catalog view, both backends are measured end to end
+through the public engine API (the full trigger pipeline per statement:
+Algorithm 2 delta derivation, constraint check, ∂put evaluation,
+commit):
+
+* ``get``    — first materialisation of the view cache;
+* ``update`` — steady-state single-tuple view INSERT (median).
+
+Results are printed as a table and written to ``BENCH_backends.json``
+next to this script so the perf trajectory is tracked across PRs.
+
+Run:  python benchmarks/bench_backends.py [--quick] [--json PATH]
+
+``--quick`` shrinks the base size and round count for CI smoke runs.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / 'src'))
+
+from repro.benchsuite.runner import (format_backends,      # noqa: E402
+                                     run_backends)
+from repro.benchsuite.workload import FIG6_PROTOCOL       # noqa: E402
+
+
+def _main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument('--size', type=int, default=20_000)
+    parser.add_argument('--repeats', type=int, default=7)
+    parser.add_argument('--views', nargs='+',
+                        default=list(FIG6_PROTOCOL['views']))
+    parser.add_argument('--quick', action='store_true',
+                        help='small size/rounds: a CI smoke run')
+    parser.add_argument('--json', type=Path,
+                        default=Path(__file__).resolve().parent /
+                        'BENCH_backends.json')
+    args = parser.parse_args(argv)
+    size, repeats = args.size, args.repeats
+    if args.quick:
+        size, repeats = 2_000, 3
+    points = run_backends(args.views, size, repeats=repeats)
+    print(format_backends(points))
+    payload = {
+        'benchmark': 'backends', 'size': size, 'repeats': repeats,
+        'results': [{'view': p.view, 'backend': p.backend,
+                     'base_size': p.base_size,
+                     'materialize_seconds': p.materialize_seconds,
+                     'update_seconds': p.update_seconds,
+                     'sql_fallbacks': p.sql_fallbacks}
+                    for p in points],
+    }
+    args.json.write_text(json.dumps(payload, indent=2) + '\n',
+                         encoding='utf-8')
+    print(f'wrote {args.json}')
+    return 0
+
+
+if __name__ == '__main__':
+    raise SystemExit(_main())

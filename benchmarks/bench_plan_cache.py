@@ -16,10 +16,16 @@ and ``outstanding_task`` (projection + semi-join, the widest schema in
 the suite).
 
 Run:  pytest benchmarks/bench_plan_cache.py --benchmark-only
- or:  python benchmarks/bench_plan_cache.py          # plain timing table
+ or:  python benchmarks/bench_plan_cache.py          # timing table + JSON
+
+The plain-timing run also writes ``BENCH_plan_cache.json`` next to this
+script (override with ``--json PATH``) so the perf trajectory is
+machine-readable across PRs.
 """
 
+import argparse
 import itertools
+import json
 import sys
 from pathlib import Path
 
@@ -43,7 +49,11 @@ def _steady_state(view: str, reuse: bool):
     insertion against a warmed engine at scale ``SIZE``."""
     if view not in _SETUPS:
         entry = entry_by_name(view)
-        engine = build_engine(entry, SIZE, incremental=True)
+        # Always the memory backend: this benchmark measures the
+        # interpreter's plan-reuse steady state (bench_backends.py owns
+        # the cross-backend comparison).
+        engine = build_engine(entry, SIZE, incremental=True,
+                              backend='memory')
         engine.rows(view)                       # materialise the cache
         engine.insert(view, update_statement(entry, engine,
                                              next(_COUNTERS)))  # warm up
@@ -55,7 +65,8 @@ def _steady_state(view: str, reuse: bool):
 
     def one_update():
         row = update_statement(entry, engine, next(_COUNTERS))
-        edb = {s: engine._indexed(s) for s in view_entry.source_names}
+        edb = {s: engine.eval_handle(s)
+               for s in view_entry.source_names}
         edb[insert_pred(view)] = {row}
         edb[delete_pred(view)] = set()
         edb[view] = engine.rows(view)
@@ -86,14 +97,23 @@ except ImportError:                                   # pragma: no cover
     pass
 
 
-def _main() -> None:                                  # pragma: no cover
+def _main(argv=None) -> None:                         # pragma: no cover
     import time
 
-    rounds = 200
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument('--rounds', type=int, default=200)
+    parser.add_argument('--json', type=Path,
+                        default=Path(__file__).resolve().parent /
+                        'BENCH_plan_cache.json',
+                        help='where to write the machine-readable '
+                             'results')
+    args = parser.parse_args(argv)
+    rounds = args.rounds
     print(f'steady-state repeated put, {rounds} rounds, '
           f'base size {SIZE:,}')
     print(f'{"view":<18} {"reuse µs":>10} {"recompile µs":>13} '
           f'{"speedup":>8}')
+    results = []
     for view in VIEWS:
         timings = {}
         for mode, reuse in (('reuse', True), ('recompile', False)):
@@ -106,6 +126,16 @@ def _main() -> None:                                  # pragma: no cover
         speedup = timings['recompile'] / timings['reuse']
         print(f'{view:<18} {timings["reuse"] * 1e6:>10.1f} '
               f'{timings["recompile"] * 1e6:>13.1f} {speedup:>7.1f}x')
+        results.append({'view': view, 'base_size': SIZE,
+                        'rounds': rounds,
+                        'reuse_seconds': timings['reuse'],
+                        'recompile_seconds': timings['recompile'],
+                        'speedup': speedup})
+    payload = {'benchmark': 'plan_cache', 'size': SIZE, 'rounds': rounds,
+               'results': results}
+    args.json.write_text(json.dumps(payload, indent=2) + '\n',
+                         encoding='utf-8')
+    print(f'wrote {args.json}')
 
 
 if __name__ == '__main__':                            # pragma: no cover

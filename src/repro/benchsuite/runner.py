@@ -4,9 +4,13 @@
   the SQL compiler over every catalog entry and prints the Table 1
   columns (fragment membership, validation time, compiled SQL bytes)
   next to the paper's published numbers.
-* ``python -m repro.benchsuite.runner fig6 [--sizes ...]`` — re-runs the
-  Figure 6 sweep (original vs incrementalized view update time against
-  base table size) for the four benchmark views.
+* ``python -m repro.benchsuite.runner fig6 [--sizes ...] [--backend
+  memory|sqlite]`` — re-runs the Figure 6 sweep (original vs
+  incrementalized view update time against base table size) for the
+  four benchmark views, on either storage backend.
+* ``python -m repro.benchsuite.runner backends [--size N]`` — the
+  backend axis: one steady-state single-tuple view update per view,
+  interpreter (memory) vs compiled SQL (sqlite), side by side.
 """
 
 from __future__ import annotations
@@ -24,7 +28,8 @@ from repro.core.validation import validate
 from repro.sql.triggers import compile_strategy_to_sql
 
 __all__ = ['Table1Row', 'run_table1', 'run_fig6', 'format_table1',
-           'Fig6Point', 'format_fig6', 'main']
+           'Fig6Point', 'format_fig6', 'BackendPoint', 'run_backends',
+           'format_backends', 'main']
 
 
 # ---------------------------------------------------------------------------
@@ -141,7 +146,8 @@ def _measure_update(engine, entry, index: int, repeats: int = 3) -> float:
 
 
 def run_fig6(views=None, sizes=(10_000, 25_000, 50_000, 100_000, 200_000),
-             *, repeats: int = 3, progress=None) -> list[Fig6Point]:
+             *, repeats: int = 3, progress=None,
+             backend: str | None = None) -> list[Fig6Point]:
     """The Figure 6 sweep: per view and base size, time one view update
     under the original and the incrementalized strategy."""
     points: list[Fig6Point] = []
@@ -150,11 +156,11 @@ def run_fig6(views=None, sizes=(10_000, 25_000, 50_000, 100_000, 200_000),
         strategy = entry.strategy()
         for i, n in enumerate(sizes):
             original = build_engine(entry, n, incremental=False,
-                                    strategy=strategy)
+                                    strategy=strategy, backend=backend)
             original.rows(view)  # materialise once, as PostgreSQL would
             t_orig = _measure_update(original, entry, i, repeats)
             incremental = build_engine(entry, n, incremental=True,
-                                       strategy=strategy)
+                                       strategy=strategy, backend=backend)
             incremental.rows(view)
             t_inc = _measure_update(incremental, entry, i, repeats)
             point = Fig6Point(view, n, t_orig, t_inc)
@@ -181,6 +187,64 @@ def format_fig6(points: list[Fig6Point]) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Backend axis
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BackendPoint:
+    """Steady-state cost of one view on one backend."""
+
+    view: str
+    backend: str
+    base_size: int
+    materialize_seconds: float    # first engine.rows(view)
+    update_seconds: float         # median single-tuple view INSERT
+    sql_fallbacks: int            # plans running interpreted on sqlite
+
+
+def run_backends(views=None, size: int = 20_000, *, repeats: int = 5,
+                 backends=('memory', 'sqlite'),
+                 progress=None) -> list[BackendPoint]:
+    """The backend comparison: per view and backend, the view
+    materialisation time and the steady-state incremental update time —
+    interpreter over indexed sets vs. compiled SQL on SQLite."""
+    points: list[BackendPoint] = []
+    for view in views or FIGURE6_VIEWS:
+        entry = entry_by_name(view)
+        strategy = entry.strategy()
+        for backend in backends:
+            engine = build_engine(entry, size, incremental=True,
+                                  strategy=strategy, backend=backend)
+            started = time.perf_counter()
+            engine.rows(view)
+            t_mat = time.perf_counter() - started
+            t_upd = _measure_update(engine, entry, 7, repeats)
+            fallbacks = 0
+            if hasattr(engine.backend, 'lowering_fallbacks'):
+                fallbacks = len(engine.backend.lowering_fallbacks(view))
+            point = BackendPoint(view, backend, size, t_mat, t_upd,
+                                 fallbacks)
+            points.append(point)
+            if progress is not None:
+                progress(point)
+    return points
+
+
+def format_backends(points: list[BackendPoint]) -> str:
+    lines = [f'{"view":<18} {"backend":<8} {"n":>8} {"get (s)":>9} '
+             f'{"update (µs)":>12} {"SQL?":>5}']
+    lines.append('-' * len(lines[0]))
+    for p in points:
+        native = ('-' if p.backend != 'sqlite'
+                  else ('part' if p.sql_fallbacks else 'yes'))
+        lines.append(f'{p.view:<18} {p.backend:<8} {p.base_size:>8} '
+                     f'{p.materialize_seconds:>9.4f} '
+                     f'{p.update_seconds * 1e6:>12.1f} {native:>5}')
+    return '\n'.join(lines)
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 
@@ -198,18 +262,36 @@ def main(argv=None) -> int:
                     default=[10_000, 25_000, 50_000, 100_000, 200_000])
     f6.add_argument('--views', nargs='+', default=list(FIGURE6_VIEWS))
     f6.add_argument('--repeats', type=int, default=3)
+    f6.add_argument('--backend', choices=['memory', 'sqlite'],
+                    default=None,
+                    help='storage backend (default: REPRO_BACKEND or '
+                         'memory)')
+    bk = sub.add_parser('backends',
+                        help='compare storage backends on the Figure 6 '
+                             'views')
+    bk.add_argument('--size', type=int, default=20_000)
+    bk.add_argument('--views', nargs='+', default=list(FIGURE6_VIEWS))
+    bk.add_argument('--repeats', type=int, default=5)
     args = parser.parse_args(argv)
     if args.command == 'table1':
         print(format_table1(run_table1(quick=args.quick)))
-    else:
+    elif args.command == 'fig6':
         points = run_fig6(args.views, tuple(args.sizes),
-                          repeats=args.repeats,
+                          repeats=args.repeats, backend=args.backend,
                           progress=lambda p: print(
                               f'  {p.view} n={p.base_size}: '
                               f'orig {p.original_seconds:.4f}s, '
                               f'inc {p.incremental_seconds:.5f}s',
                               file=sys.stderr))
         print(format_fig6(points))
+    else:
+        points = run_backends(args.views, args.size, repeats=args.repeats,
+                              progress=lambda p: print(
+                                  f'  {p.view} [{p.backend}]: '
+                                  f'get {p.materialize_seconds:.4f}s, '
+                                  f'update {p.update_seconds:.5f}s',
+                                  file=sys.stderr))
+        print(format_backends(points))
     return 0
 
 

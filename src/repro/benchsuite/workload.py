@@ -26,12 +26,14 @@ __all__ = ['build_engine', 'update_statement', 'FIG6_PROTOCOL']
 
 def build_engine(entry: BenchmarkEntry, n: int, *, seed: int = 7,
                  incremental: bool = True,
-                 strategy: UpdateStrategy | None = None) -> Engine:
+                 strategy: UpdateStrategy | None = None,
+                 backend: str | None = None) -> Engine:
     """An engine with random base data at scale ``n`` and the entry's
     view registered (trusting the expected get — the strategy is
-    validated separately by the Table 1 harness)."""
+    validated separately by the Table 1 harness).  ``backend`` selects
+    the storage substrate (default: ``REPRO_BACKEND`` or memory)."""
     strategy = strategy or entry.strategy()
-    engine = Engine(strategy.sources)
+    engine = Engine(strategy.sources, backend=backend)
     data = random_database(strategy.sources, entry.sizes(n), seed=seed,
                            column_pools=entry.column_pools)
     for name in strategy.sources.names():

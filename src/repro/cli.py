@@ -108,7 +108,11 @@ def _cmd_compile(args) -> int:
 
 def _cmd_bench(args) -> int:
     from repro.benchsuite import runner
-    return runner.main([args.experiment] + (args.rest or []))
+    rest = list(args.rest or [])
+    if getattr(args, 'backend', None) and args.experiment == 'fig6' \
+            and '--backend' not in rest:
+        rest += ['--backend', args.backend]
+    return runner.main([args.experiment] + rest)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -139,7 +143,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser('bench', help="regenerate the paper's "
                                          'evaluation artifacts')
-    bench.add_argument('experiment', choices=['table1', 'fig6'])
+    bench.add_argument('experiment', choices=['table1', 'fig6',
+                                              'backends'])
+    bench.add_argument('--backend', choices=['memory', 'sqlite'],
+                       help='storage backend for fig6 (default: '
+                            'REPRO_BACKEND or memory)')
     bench.add_argument('rest', nargs=argparse.REMAINDER,
                        help='extra arguments for the bench runner')
     bench.set_defaults(handler=_cmd_bench)

@@ -190,6 +190,22 @@ class ExecutionPlan:
         from repro.datalog.evaluator import execute_plan
         return bool(execute_plan(self, edb, goals=(goal,))[goal])
 
+    # -- lowering (delegated to the SQL translator) ---------------------
+
+    def to_sql(self, goal: str, *, namer=None, schema=None,
+               dialect=None) -> str:
+        """Lower ``goal`` to a ``WITH ... SELECT`` statement over the
+        plan's source program; see :func:`repro.sql.translate.
+        plan_to_sql`.  ``dialect`` is a :class:`~repro.sql.translate.
+        SqlDialect` or its name ('postgresql', 'sqlite')."""
+        from repro.sql.translate import (POSTGRES, dialect_by_name,
+                                         plan_to_sql)
+        if dialect is None:
+            dialect = POSTGRES
+        elif isinstance(dialect, str):
+            dialect = dialect_by_name(dialect)
+        return plan_to_sql(self, goal, namer, schema, dialect)
+
 
 # ---------------------------------------------------------------------------
 # Literal scheduling

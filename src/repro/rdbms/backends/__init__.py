@@ -1,0 +1,66 @@
+"""Pluggable storage backends for the RDBMS engine.
+
+The engine's storage and plan-execution substrate is the
+:class:`~repro.rdbms.backends.base.Backend` interface; two
+implementations ship:
+
+* ``memory`` — :class:`MemoryBackend`, indexed Python sets executed by
+  the compiled-plan interpreter (the original substrate, and the
+  default);
+* ``sqlite`` — :class:`SQLiteBackend`, tables in SQLite with plans
+  lowered to SQL once per view (the paper's run-inside-the-database
+  deployment style).
+
+``create_backend`` resolves a backend by name; the engine (and the
+benchsuite) read the default from the ``REPRO_BACKEND`` environment
+variable, which is how CI runs the whole test suite over each backend.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import SchemaError
+from repro.rdbms.backends.base import Backend, StoredRelation
+from repro.rdbms.backends.memory import MemoryBackend
+from repro.rdbms.backends.sqlite import SQLiteBackend
+
+__all__ = ['Backend', 'StoredRelation', 'MemoryBackend', 'SQLiteBackend',
+           'BACKENDS', 'create_backend', 'default_backend_kind']
+
+BACKENDS = {
+    MemoryBackend.kind: MemoryBackend,
+    SQLiteBackend.kind: SQLiteBackend,
+}
+
+
+def default_backend_kind() -> str:
+    """The backend used when none is requested explicitly: the
+    ``REPRO_BACKEND`` environment variable, defaulting to ``memory``."""
+    kind = os.environ.get('REPRO_BACKEND', 'memory').strip() or 'memory'
+    if kind not in BACKENDS:
+        raise SchemaError(
+            f'REPRO_BACKEND={kind!r} is not a known backend; expected '
+            f'one of {sorted(BACKENDS)}')
+    return kind
+
+
+def create_backend(kind, schema) -> Backend:
+    """Instantiate a backend for ``schema``.
+
+    ``kind`` may be a backend name (``'memory'``/``'sqlite'``), ``None``
+    (resolve via :func:`default_backend_kind`), or an already-built
+    :class:`Backend` instance (returned as-is, so callers can hand the
+    engine a specially configured backend, e.g. a file-backed SQLite
+    database).
+    """
+    if isinstance(kind, Backend):
+        return kind
+    if kind is None:
+        kind = default_backend_kind()
+    try:
+        factory = BACKENDS[kind]
+    except KeyError:
+        raise SchemaError(f'unknown backend {kind!r}; expected one of '
+                          f'{sorted(BACKENDS)}') from None
+    return factory(schema)

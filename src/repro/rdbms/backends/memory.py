@@ -1,0 +1,120 @@
+"""The in-process backend: indexed Python sets, interpreted plans.
+
+This preserves the original engine substrate exactly: tables and view
+caches are :class:`~repro.datalog.evaluator.IndexedRelation` objects
+whose hash indexes persist across updates and are maintained
+incrementally on commit (the role PostgreSQL's B-trees play in the
+paper's Figure 6 experiment), and every plan runs through the
+slot-machine interpreter of :mod:`repro.datalog.evaluator`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.datalog.evaluator import IndexedRelation
+from repro.errors import SchemaError
+from repro.rdbms.backends.base import Backend
+from repro.relational.database import Database
+from repro.relational.delta import Delta, DeltaSet
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ['MemoryBackend']
+
+
+class MemoryBackend(Backend):
+    """Mutable indexed sets; evaluation by the compiled-plan interpreter."""
+
+    kind = 'memory'
+
+    def __init__(self, schema: DatabaseSchema):
+        super().__init__(schema)
+        self._tables: dict[str, IndexedRelation] = {
+            rel.name: IndexedRelation(set()) for rel in schema}
+        self._caches: dict[str, IndexedRelation] = {}
+        # relation -> hash-index masks declared by registered plans;
+        # applied eagerly to tables and to view caches on (re)build.
+        self._index_hints: dict[str, set[tuple[int, ...]]] = {}
+
+    # -- storage ------------------------------------------------------
+
+    def _apply_index_hints(self, name: str,
+                           relation: IndexedRelation) -> None:
+        for positions in self._index_hints.get(name, ()):
+            relation.ensure_index(positions)
+
+    def _relation(self, name: str) -> IndexedRelation:
+        if name in self._tables:
+            return self._tables[name]
+        if name in self._caches:
+            return self._caches[name]
+        raise SchemaError(f'unknown or unmaterialised relation {name!r}')
+
+    def load(self, name: str, rows: set) -> None:
+        table = IndexedRelation(set(rows))
+        self._apply_index_hints(name, table)
+        self._tables[name] = table
+
+    def rows(self, name: str):
+        return self._relation(name).rows
+
+    def snapshot(self) -> Database:
+        return Database({name: frozenset(rel.rows)
+                         for name, rel in self._tables.items()})
+
+    def apply_delta(self, name: str, delta: Delta, *,
+                    is_cache: bool) -> None:
+        relation = self._caches[name] if is_cache else self._tables[name]
+        for row in delta.deletions:
+            relation.discard(row)
+        for row in delta.insertions:
+            relation.add(row)
+
+    # -- view caches --------------------------------------------------
+
+    def has_cache(self, name: str) -> bool:
+        return name in self._caches
+
+    def store_cache(self, name: str, rows: Iterable[tuple]) -> None:
+        cached = IndexedRelation(set(rows))
+        self._apply_index_hints(name, cached)
+        self._caches[name] = cached
+
+    def drop_cache(self, name: str) -> None:
+        self._caches.pop(name, None)
+
+    # -- indexes ------------------------------------------------------
+
+    def add_index_hint(self, name: str, positions: tuple[int, ...]) -> None:
+        self._index_hints.setdefault(name, set()).add(positions)
+        if name in self._tables:
+            self._tables[name].ensure_index(positions)
+        elif name in self._caches:
+            self._caches[name].ensure_index(positions)
+
+    # -- plan execution -----------------------------------------------
+
+    def eval_handle(self, name: str):
+        """The persistent indexed relation itself — evaluation shares
+        its hash indexes, nothing is copied."""
+        return self._relation(name)
+
+    def evaluate_get(self, entry, sources: Mapping[str, object]
+                     ) -> frozenset:
+        return self._interp_get(entry, sources)
+
+    def evaluate_incremental(self, entry, sources: Mapping[str, object],
+                             view_handle, delta: Delta) -> DeltaSet:
+        return self._interp_incremental(entry, sources, view_handle,
+                                        delta)
+
+    def evaluate_putback(self, entry, sources: Mapping[str, object],
+                         new_view_rows, *,
+                         check_constraints: bool = False) -> DeltaSet:
+        return self._interp_putback(entry, sources, new_view_rows,
+                                    check_constraints=check_constraints)
+
+    def check_view_constraints(self, entry,
+                               sources: Mapping[str, object],
+                               new_view_rows) -> None:
+        self._interp_check_constraints(entry, sources, new_view_rows)

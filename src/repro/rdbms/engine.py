@@ -1,4 +1,4 @@
-"""An in-memory RDBMS with programmable updatable views.
+"""An RDBMS with programmable updatable views over pluggable storage.
 
 This is the execution substrate substituting for PostgreSQL (§6.1): base
 tables, views defined by *validated* update strategies, and DML against
@@ -14,12 +14,21 @@ views (the paper's case study defines ``employees`` over the views
 source recursively becomes a view update — the engine cascades the
 translation down to base tables, atomically.
 
-Performance model (what makes Figure 6 reproducible): tables and view
-caches are held as mutable sets; a transaction stages *deltas* and commits
-them in place, so an incrementalized update touches O(|ΔV|) tuples — no
-full-table copies, no full-view rematerialisation.  The full (original)
-putback path evaluates the whole program against the updated view and is
-deliberately O(|S|), as in the paper.
+Storage and plan execution live behind the
+:class:`~repro.rdbms.backends.base.Backend` interface: the engine holds
+only the view catalog and the transaction pipeline, and talks to the
+backend for table/cache contents, committed deltas, index hints, and
+plan evaluation.  ``Engine(schema)`` defaults to the in-process
+:class:`~repro.rdbms.backends.memory.MemoryBackend` (or whatever
+``REPRO_BACKEND`` names); ``Engine(schema, backend='sqlite')`` stores
+relations in SQLite and executes the compiled plans as SQL.
+
+Performance model (what makes Figure 6 reproducible): a transaction
+stages *deltas* and commits them in place, so an incrementalized update
+touches O(|ΔV|) tuples — no full-table copies, no full-view
+rematerialisation.  The full (original) putback path evaluates the
+whole program against the updated view and is deliberately O(|S|), as
+in the paper.
 """
 
 from __future__ import annotations
@@ -31,12 +40,11 @@ from repro.core.incremental import incrementalize_plan
 from repro.core.lvgn import is_lvgn
 from repro.core.strategy import UpdateStrategy
 from repro.core.validation import ValidationReport, validate
-from repro.datalog.ast import Program, delete_pred, insert_pred
-from repro.datalog.evaluator import IndexedRelation
+from repro.datalog.ast import Program
 from repro.datalog.plan import ExecutionPlan, compile_program
-from repro.datalog.pretty import pretty_rule
-from repro.errors import (ConstraintViolation, ContradictionError,
-                          SchemaError, ValidationError, ViewUpdateError)
+from repro.errors import (ContradictionError, SchemaError, ValidationError,
+                          ViewUpdateError)
+from repro.rdbms.backends import Backend, create_backend
 from repro.rdbms.dml import (Delete, Insert, Statement, Update,
                              derive_view_delta)
 from repro.relational.database import Database
@@ -53,7 +61,9 @@ class ViewEntry:
     Plans are compiled exactly once, at :meth:`Engine.define_view` time,
     and reused verbatim for every subsequent ``insert``/``delete``/
     ``update``/``execute_many`` batch — the engine's analogue of the
-    SQL triggers BIRDS installs ahead of time.
+    SQL triggers BIRDS installs ahead of time.  Backends may compile
+    further (the SQLite backend lowers these plans to SQL in its
+    ``register_view`` hook).
     """
 
     strategy: UpdateStrategy
@@ -120,12 +130,12 @@ class _Working:
         return materialized
 
     def relation_for_eval(self, name: str):
-        """What evaluation should read for ``name``: the engine's
-        persistent indexed relation when unstaged, else the staged rows."""
+        """What evaluation should read for ``name``: the backend's
+        stored relation when unstaged, else the staged rows."""
         delta = self.deltas.get(name)
         if (delta is None or delta.is_empty()) \
                 and name not in self._materialized:
-            return self.engine._indexed(name)
+            return self.engine.eval_handle(name)
         return self.rows(name)
 
     def stage(self, name: str, delta: Delta, *, is_view: bool,
@@ -146,21 +156,20 @@ class _Working:
 class Engine:
     """Base tables + updatable views, with atomic cascading updates.
 
-    Tables and view caches are held as :class:`IndexedRelation` objects:
-    hash indexes built during query evaluation persist across updates and
-    are maintained incrementally on commit — the role PostgreSQL's B-tree
-    indexes play in the paper's Figure 6 experiment.
+    ``backend`` selects the storage/execution substrate by name
+    (``'memory'``/``'sqlite'``), accepts a prebuilt
+    :class:`~repro.rdbms.backends.base.Backend` instance, or defaults
+    to the ``REPRO_BACKEND`` environment variable.  The memory backend
+    keeps persistent hash indexes on tables and view caches — the role
+    PostgreSQL's B-tree indexes play in the paper's Figure 6 experiment;
+    the SQLite backend maintains real SQL indexes instead.
     """
 
-    def __init__(self, schema: DatabaseSchema):
+    def __init__(self, schema: DatabaseSchema,
+                 backend: str | Backend | None = None):
         self.schema = schema
-        self._tables: dict[str, IndexedRelation] = {
-            rel.name: IndexedRelation(set()) for rel in schema}
+        self.backend = create_backend(backend, schema)
         self._views: dict[str, ViewEntry] = {}
-        self._cache: dict = {}
-        # relation -> hash-index masks declared by registered plans;
-        # applied eagerly to tables and to view caches on (re)build.
-        self._index_hints: dict[str, set[tuple[int, ...]]] = {}
 
     # -- basic access ------------------------------------------------------
 
@@ -174,53 +183,51 @@ class Engine:
             raise SchemaError(f'unknown view {name!r}') from None
 
     def relations(self) -> tuple[str, ...]:
-        return tuple(self._tables) + tuple(self._views)
+        return self.schema.names() + tuple(self._views)
 
-    def _apply_index_hints(self, name: str,
-                           relation: IndexedRelation) -> None:
-        for positions in self._index_hints.get(name, ()):
-            relation.ensure_index(positions)
+    def _ensure_view_cache(self, name: str) -> None:
+        """Materialise view ``name`` (and, recursively, its view
+        sources) into the backend's cache storage."""
+        if self.backend.has_cache(name):
+            return
+        entry = self._views[name]
+        sources = {s: self.eval_handle(s) for s in entry.source_names}
+        rows = self.backend.evaluate_get(entry, sources)
+        self.backend.store_cache(name, rows)
 
-    def _indexed(self, name: str):
-        """The persistent indexed relation behind a table or view."""
-        if name in self._tables:
-            return self._tables[name]
+    def eval_handle(self, name: str):
+        """The backend's evaluation handle for a table or (materialised)
+        view — what compiled plans read when the relation is unstaged."""
         if name in self._views:
-            cached = self._cache.get(name)
-            if cached is None:
-                entry = self._views[name]
-                source_db = {s: self._indexed(s)
-                             for s in entry.source_names}
-                rows = entry.get_plan.evaluate(
-                    source_db, goals=(entry.name,))[entry.name]
-                cached = IndexedRelation(set(rows))
-                self._apply_index_hints(name, cached)
-                self._cache[name] = cached
-            return cached
-        raise SchemaError(f'unknown relation {name!r}')
+            self._ensure_view_cache(name)
+        elif name not in self.schema:
+            raise SchemaError(f'unknown relation {name!r}')
+        return self.backend.eval_handle(name)
 
     def rows(self, name: str):
         """Contents of a base table or (materialized) view.
 
-        The returned set is live engine state — treat it as read-only.
+        Treat the result as read-only; depending on the backend it is
+        live storage state or a frozen copy.
         """
-        return self._indexed(name).rows
+        if name in self._views:
+            self._ensure_view_cache(name)
+        elif name not in self.schema:
+            raise SchemaError(f'unknown relation {name!r}')
+        return self.backend.rows(name)
 
     def database(self) -> Database:
         """A frozen snapshot of the base-table state."""
-        return Database({name: frozenset(rel.rows)
-                         for name, rel in self._tables.items()})
+        return self.backend.snapshot()
 
     def load(self, name: str, rows: Iterable[tuple]) -> None:
         """Bulk-load a base table (replacing its contents)."""
-        if name not in self._tables:
+        if name in self._views or name not in self.schema:
             raise SchemaError(f'{name!r} is not a base table')
         loaded = {tuple(r) for r in rows}
         for row in loaded:
             self.schema[name].validate_tuple(row)
-        table = IndexedRelation(loaded)
-        self._apply_index_hints(name, table)
-        self._tables[name] = table
+        self.backend.load(name, loaded)
         self._invalidate_dependents({name})
 
     # -- view definition ---------------------------------------------------------
@@ -237,10 +244,10 @@ class Engine:
         definition).
         """
         name = strategy.view.name
-        if name in self._tables or name in self._views:
+        if name in self.schema or name in self._views:
             raise SchemaError(f'relation {name!r} already exists')
         for source in strategy.updated_relations():
-            if source not in self._tables and source not in self._views:
+            if source not in self.schema and source not in self._views:
                 raise SchemaError(
                     f'view {name!r} updates unknown relation {source!r}')
         if report is not None:
@@ -257,7 +264,7 @@ class Engine:
                 f'no certified view definition available for {name!r}')
 
         source_names = tuple(sorted(
-            set(strategy.sources.names()) & (set(self._tables) |
+            set(strategy.sources.names()) & (set(self.schema.names()) |
                                              set(self._views))))
         lvgn = is_lvgn(strategy.putdelta, name)
         incremental_program = None
@@ -285,24 +292,19 @@ class Engine:
                           source_names=source_names,
                           base_closure=frozenset(closure))
         self._views[name] = entry
+        self.backend.register_view(entry)
         self._register_index_hints(entry)
         return entry
 
     def _register_index_hints(self, entry: ViewEntry) -> None:
-        """Pre-build the persistent hash indexes the view's compiled
-        plans declare, the way a live RDBMS creates its B-trees at
-        ``CREATE VIEW`` time rather than during the first update."""
+        """Pre-build the persistent access structures the view's
+        compiled plans declare, the way a live RDBMS creates its B-trees
+        at ``CREATE VIEW`` time rather than during the first update."""
         for plan in entry.plans():
             for pred, positions in plan.index_requirements:
-                if pred not in self._tables and pred not in self._views:
+                if pred not in self.schema and pred not in self._views:
                     continue  # delta inputs / auxiliary IDB predicates
-                self._index_hints.setdefault(pred, set()).add(positions)
-                if pred in self._tables:
-                    self._tables[pred].ensure_index(positions)
-                else:
-                    cached = self._cache.get(pred)
-                    if cached is not None:
-                        cached.ensure_index(positions)
+                self.backend.add_index_hint(pred, positions)
 
     # -- DML -------------------------------------------------------------------
 
@@ -338,20 +340,19 @@ class Engine:
 
     def _execute_into(self, working: _Working, target: str,
                       statements: Sequence[Statement]) -> None:
-        if target in self._tables:
-            schema = self.schema[target]
+        if target in self._views:
+            entry = self._views[target]
             delta = derive_view_delta(statements, working.rows(target),
-                                      schema)
-            working.stage(target, delta, is_view=False, origin='<direct>')
+                                      entry.schema)
+            if delta.is_empty():
+                return
+            self._apply_view_delta(working, target, delta, origin=target)
             return
-        if target not in self._views:
+        if target not in self.schema:
             raise SchemaError(f'unknown relation {target!r}')
-        entry = self._views[target]
-        delta = derive_view_delta(statements, working.rows(target),
-                                  entry.schema)
-        if delta.is_empty():
-            return
-        self._apply_view_delta(working, target, delta, origin=target)
+        schema = self.schema[target]
+        delta = derive_view_delta(statements, working.rows(target), schema)
+        working.stage(target, delta, is_view=False, origin='<direct>')
 
     def _apply_view_delta(self, working: _Working, name: str,
                           delta: Delta, origin: str) -> None:
@@ -362,8 +363,8 @@ class Engine:
         effective = delta.effective_on(current)
         if effective.is_empty():
             return
-        source_db = {s: working.relation_for_eval(s)
-                     for s in entry.source_names}
+        sources = {s: working.relation_for_eval(s)
+                   for s in entry.source_names}
 
         if entry.use_incremental:
             incremental_constraints = bool(
@@ -372,16 +373,15 @@ class Engine:
                 # General-path ∂put has no constraint rules: full check.
                 new_rows = (current - effective.deletions) \
                     | effective.insertions
-                entry.strategy.check_constraints(
-                    self._frozen_sources(working, entry), new_rows)
-            deltas = self._incremental_deltas(entry, source_db, current,
-                                              effective)
+                self.backend.check_view_constraints(entry, sources,
+                                                    new_rows)
+            deltas = self.backend.evaluate_incremental(
+                entry, sources, working.relation_for_eval(name), effective)
         else:
             new_rows = (current - effective.deletions) \
                 | effective.insertions
-            frozen = self._frozen_sources(working, entry)
-            entry.strategy.check_constraints(frozen, new_rows)
-            deltas = entry.strategy.compute_delta(frozen, new_rows)
+            deltas = self.backend.evaluate_putback(entry, sources, new_rows,
+                                                   check_constraints=True)
 
         working.stage(name, effective, is_view=True, origin=origin)
         for relation in sorted(deltas.relations()):
@@ -392,7 +392,7 @@ class Engine:
             if relation in self._views:
                 self._apply_view_delta(working, relation, rel_delta,
                                        origin=origin)
-            elif relation in self._tables:
+            elif relation in self.schema:
                 working.stage(relation, rel_delta, is_view=False,
                               origin=origin)
             else:
@@ -400,51 +400,26 @@ class Engine:
                     f'strategy for {name!r} updates unknown relation '
                     f'{relation!r}')
 
-    def _frozen_sources(self, working: '_Working',
-                        entry: ViewEntry) -> Database:
-        return Database({s: frozenset(working.rows(s))
-                         for s in entry.source_names})
-
-    def _incremental_deltas(self, entry: ViewEntry, source_db: dict,
-                            current, delta: Delta) -> DeltaSet:
-        """Evaluate ∂put over S ∪ {v, +v, -v}; constraints carried by the
-        incremental program are checked on the deltas (Lemma 5.2 applied
-        to ⊥-rules)."""
-        name = entry.name
-        plan = entry.incremental_plan
-        edb = dict(source_db)
-        edb[insert_pred(name)] = delta.insertions
-        edb[delete_pred(name)] = delta.deletions
-        edb[name] = current
-        if plan.constraint_plans:
-            violations = plan.constraint_violations(edb)
-            if violations:
-                rule, witness = violations[0]
-                raise ConstraintViolation(pretty_rule(rule), witness)
-        output = plan.evaluate(edb, goals=plan.delta_goals)
-        return DeltaSet.from_database(
-            output, relations=entry.strategy.updated_relations())
-
     def _commit(self, working: _Working) -> None:
+        # Validate every inserted base row before touching storage, so a
+        # schema error cannot leave a half-applied transaction behind.
+        for name, delta in working.deltas.items():
+            if name not in self._views:
+                for row in delta.insertions:
+                    self.schema[name].validate_tuple(row)
         changed_bases: set[str] = set()
+        batch: list[tuple[str, Delta, bool]] = []
         for name, delta in working.deltas.items():
             if delta.is_empty():
                 continue
-            if name in self._tables:
-                table = self._tables[name]
-                for row in delta.insertions:
-                    self.schema[name].validate_tuple(row)
-                for row in delta.deletions:
-                    table.discard(row)
-                for row in delta.insertions:
-                    table.add(row)
+            if name in self._views:
+                if self.backend.has_cache(name):
+                    batch.append((name, delta, True))
+            else:
+                batch.append((name, delta, False))
                 changed_bases.add(name)
-            elif name in self._cache:
-                cached = self._cache[name]
-                for row in delta.deletions:
-                    cached.discard(row)
-                for row in delta.insertions:
-                    cached.add(row)
+        if batch:
+            self.backend.apply_deltas(batch)
         # A touched view's cache stays valid only when every write under
         # it came from its own update pipeline(s).
         keep: set[str] = set()
@@ -466,7 +441,7 @@ class Engine:
             if view in keep:
                 continue
             if entry.base_closure & changed_bases:
-                self._cache.pop(view, None)
+                self.backend.drop_cache(view)
 
 
 class Transaction:

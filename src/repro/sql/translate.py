@@ -12,10 +12,17 @@ rules; each rule becomes a ``SELECT`` with
   the ¬∃ semantics).
 
 Column naming uses the relation schema when available and ``c0..cN``
-otherwise.  The output dialect is PostgreSQL.
+otherwise.  Two output dialects are supported: PostgreSQL (the paper's
+target, the default) and SQLite (the storage backend of
+:mod:`repro.rdbms.backends.sqlite`, which executes compiled plans as
+SQL).  The ``WITH`` clause of a translated query contains only the
+CTEs in the goal's dependency cone, so per-goal queries (one per delta
+relation, one per constraint) stay independent and minimal.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from repro.datalog.ast import (Atom, BuiltinLit, Const, Lit, Program, Rule,
                                Var, is_anonymous)
@@ -23,12 +30,48 @@ from repro.datalog.dependency import stratify
 from repro.errors import TransformationError
 from repro.relational.schema import DatabaseSchema
 
-__all__ = ['sql_literal', 'rule_to_select', 'query_to_sql',
-           'program_to_ctes', 'ColumnNamer']
+__all__ = ['SqlDialect', 'POSTGRES', 'SQLITE', 'dialect_by_name',
+           'sql_literal', 'rule_to_select', 'query_to_sql',
+           'constraint_witness', 'constraint_to_sql', 'plan_to_sql',
+           'program_to_ctes', 'relevant_predicates', 'ColumnNamer']
 
 
-def sql_literal(value) -> str:
-    """Render a constant as a SQL literal."""
+@dataclass(frozen=True)
+class SqlDialect:
+    """The few rendering choices that differ between target engines."""
+
+    name: str
+    true_literal: str = 'TRUE'
+    false_literal: str = 'FALSE'
+
+
+POSTGRES = SqlDialect('postgresql')
+#: SQLite has no boolean literals before 3.23 and stores 1/0 regardless.
+SQLITE = SqlDialect('sqlite', true_literal='1', false_literal='0')
+
+_DIALECTS = {d.name: d for d in (POSTGRES, SQLITE)}
+
+
+def dialect_by_name(name: str) -> SqlDialect:
+    try:
+        return _DIALECTS[name]
+    except KeyError:
+        raise TransformationError(
+            f'unknown SQL dialect {name!r}; expected one of '
+            f'{sorted(_DIALECTS)}') from None
+
+
+def sql_literal(value, dialect: SqlDialect = POSTGRES) -> str:
+    """Render a constant as a SQL literal.
+
+    Booleans render per dialect (``TRUE`` on PostgreSQL, ``1`` on
+    SQLite) and must be tested before ints — ``bool`` is an ``int``
+    subclass.  ``None`` renders as ``NULL``.
+    """
+    if value is None:
+        return 'NULL'
+    if isinstance(value, bool):
+        return dialect.true_literal if value else dialect.false_literal
     if isinstance(value, str):
         escaped = value.replace("'", "''")
         return f"'{escaped}'"
@@ -48,7 +91,13 @@ def sql_ident(name: str) -> str:
 
 
 class ColumnNamer:
-    """Column names per relation: schema attributes when known."""
+    """Column names per relation: schema attributes when known.
+
+    ``extra`` maps predicate names to explicit column tuples; a delta
+    predicate (``+v``/``-v``) inherits the columns of its base relation
+    from either source, so the staged delta tables of the SQLite backend
+    line up with the compiled queries by construction.
+    """
 
     def __init__(self, schema: DatabaseSchema | None = None,
                  extra: dict[str, tuple[str, ...]] | None = None):
@@ -60,13 +109,16 @@ class ColumnNamer:
         if pred in self.extra:
             return self.extra[pred]
         base = delta_base(pred)
+        if base in self.extra:
+            return self.extra[base]
         if self.schema is not None and base in self.schema:
             return self.schema[base].attributes
         return tuple(f'c{i}' for i in range(arity))
 
 
 def _expr_map(rule: Rule, namer: ColumnNamer,
-              aliases: list[tuple[str, Atom]]) -> dict[str, str]:
+              aliases: list[tuple[str, Atom]],
+              dialect: SqlDialect) -> dict[str, str]:
     """Map each variable to a SQL expression (alias.column or literal)."""
     exprs: dict[str, str] = {}
     for alias, atom in aliases:
@@ -86,7 +138,7 @@ def _expr_map(rule: Rule, namer: ColumnNamer,
             for a, b in ((left, right), (right, left)):
                 if isinstance(a, Var) and a.name not in exprs:
                     if isinstance(b, Const):
-                        exprs[a.name] = sql_literal(b.value)
+                        exprs[a.name] = sql_literal(b.value, dialect)
                         changed = True
                     elif isinstance(b, Var) and b.name in exprs:
                         exprs[a.name] = exprs[b.name]
@@ -94,21 +146,23 @@ def _expr_map(rule: Rule, namer: ColumnNamer,
     return exprs
 
 
-def _term_expr(term, exprs: dict[str, str]) -> str | None:
+def _term_expr(term, exprs: dict[str, str],
+               dialect: SqlDialect) -> str | None:
     if isinstance(term, Const):
-        return sql_literal(term.value)
+        return sql_literal(term.value, dialect)
     if term.name in exprs:
         return exprs[term.name]
     return None
 
 
 def rule_to_select(rule: Rule, namer: ColumnNamer,
-                   head_columns: tuple[str, ...] | None = None) -> str:
+                   head_columns: tuple[str, ...] | None = None,
+                   dialect: SqlDialect = POSTGRES) -> str:
     """One rule as a ``SELECT`` statement."""
     positives = [l.atom for l in rule.body
                  if isinstance(l, Lit) and l.positive]
     aliases = [(f't{i}', atom) for i, atom in enumerate(positives)]
-    exprs = _expr_map(rule, namer, aliases)
+    exprs = _expr_map(rule, namer, aliases, dialect)
     conditions: list[str] = []
 
     # Join conditions: repeated variables and constants inside atoms.
@@ -118,7 +172,8 @@ def rule_to_select(rule: Rule, namer: ColumnNamer,
         for col, term in zip(cols, atom.args):
             place = f'{alias}.{col}'
             if isinstance(term, Const):
-                conditions.append(f'{place} = {sql_literal(term.value)}')
+                conditions.append(
+                    f'{place} = {sql_literal(term.value, dialect)}')
             else:
                 if term.name in seen and seen[term.name] != place:
                     conditions.append(f'{seen[term.name]} = {place}')
@@ -128,8 +183,8 @@ def rule_to_select(rule: Rule, namer: ColumnNamer,
     op_map = {'=': '=', '<': '<', '>': '>', '<=': '<=', '>=': '>='}
     for literal in rule.body:
         if isinstance(literal, BuiltinLit):
-            left = _term_expr(literal.left, exprs)
-            right = _term_expr(literal.right, exprs)
+            left = _term_expr(literal.left, exprs, dialect)
+            right = _term_expr(literal.right, exprs, dialect)
             if left is None or right is None:
                 raise TransformationError(
                     f'builtin {literal} has an unbound operand in rule '
@@ -147,7 +202,7 @@ def rule_to_select(rule: Rule, namer: ColumnNamer,
                 if isinstance(term, Var) and is_anonymous(term) \
                         and term.name not in exprs:
                     continue  # wildcard inside ¬∃
-                expr = _term_expr(term, exprs)
+                expr = _term_expr(term, exprs, dialect)
                 if expr is None:
                     raise TransformationError(
                         f'negated atom {atom} has unbound variable {term} '
@@ -163,7 +218,7 @@ def rule_to_select(rule: Rule, namer: ColumnNamer,
         head_columns = tuple(f'c{i}' for i in range(rule.head.arity))
     select_items = []
     for col, term in zip(head_columns, rule.head.args):
-        expr = _term_expr(term, exprs)
+        expr = _term_expr(term, exprs, dialect)
         if expr is None:
             raise TransformationError(
                 f'head term {term} of rule {rule} is unbound')
@@ -177,8 +232,23 @@ def rule_to_select(rule: Rule, namer: ColumnNamer,
     return select
 
 
-def program_to_ctes(program: Program, namer: ColumnNamer) -> list[tuple[str,
-                                                                        str]]:
+def _dependency_cone(program: Program, goals) -> Program:
+    """The constraint-free subprogram transitively needed for ``goals``
+    (reusing the evaluator's :func:`prune_unreachable`)."""
+    from repro.datalog.transform import prune_unreachable
+    return prune_unreachable(program.without_constraints(), set(goals))
+
+
+def relevant_predicates(program: Program, goals) -> set[str]:
+    """The IDB predicates in the dependency cone of ``goals``: the goals
+    themselves plus every IDB predicate they transitively read.  Only
+    these need a CTE in a query computing the goals."""
+    return _dependency_cone(program, goals).idb_preds()
+
+
+def program_to_ctes(program: Program, namer: ColumnNamer,
+                    dialect: SqlDialect = POSTGRES) -> list[tuple[str,
+                                                                  str]]:
     """``(name, select)`` pairs for every IDB predicate, in evaluation
     order (ready to join into a ``WITH`` clause)."""
     proper = program.without_constraints()
@@ -186,7 +256,7 @@ def program_to_ctes(program: Program, namer: ColumnNamer) -> list[tuple[str,
     ctes: list[tuple[str, str]] = []
     for pred in stratify(proper):
         cols = namer.columns(pred, arities[pred])
-        selects = [rule_to_select(rule, namer, cols)
+        selects = [rule_to_select(rule, namer, cols, dialect)
                    for rule in proper.rules_for(pred)]
         ctes.append((sql_ident(pred), '\nUNION\n'.join(selects)))
     return ctes
@@ -194,14 +264,79 @@ def program_to_ctes(program: Program, namer: ColumnNamer) -> list[tuple[str,
 
 def query_to_sql(program: Program, goal: str,
                  namer: ColumnNamer | None = None,
-                 schema: DatabaseSchema | None = None) -> str:
-    """A complete ``WITH ... SELECT`` statement for a Datalog query."""
+                 schema: DatabaseSchema | None = None,
+                 dialect: SqlDialect = POSTGRES) -> str:
+    """A complete ``WITH ... SELECT`` statement for a Datalog query.
+
+    The ``WITH`` clause is pruned to the goal's dependency cone, so a
+    program defining many delta relations compiles into one lean query
+    per goal rather than one query carrying every CTE — and rules
+    outside the cone may contain constructs SQL lowering rejects
+    without poisoning the query.
+    """
     namer = namer or ColumnNamer(schema)
-    ctes = program_to_ctes(program, namer)
-    goal_ident = sql_ident(goal)
-    relevant = [(name, body) for name, body in ctes]
-    if not relevant:
+    cone = _dependency_cone(program, {goal})
+    if goal not in cone.idb_preds():
         raise TransformationError(f'no rules define {goal!r}')
+    ctes = program_to_ctes(cone, namer, dialect)
+    goal_ident = sql_ident(goal)
     with_items = ',\n'.join(f'{name} AS (\n{body}\n)'
-                            for name, body in relevant)
+                            for name, body in ctes)
     return f'WITH {with_items}\nSELECT * FROM {goal_ident}'
+
+
+def constraint_witness(rule: Rule, goal: str = '__viol__'
+                       ) -> tuple[Rule, tuple[str, ...]]:
+    """The witness-query rewrite for one ⊥-rule: a probe rule whose head
+    lists the body's named variables in sorted order (the plan
+    compiler's convention), plus matching ``v0..vN`` column names.
+
+    A constraint whose variables are all anonymous still needs one
+    ``SELECT`` item to be expressible in SQL — its witness head is the
+    constant ``1``.
+    """
+    if rule.head is not None:
+        raise TransformationError(f'{rule} is not a constraint rule')
+    names = sorted(n for n in rule.variables() if not n.startswith('_'))
+    args: tuple = tuple(Var(n) for n in names) or (Const(1),)
+    head_cols = tuple(f'v{i}' for i in range(len(args)))
+    return Rule(Atom(goal, args), rule.body), head_cols
+
+
+def constraint_to_sql(program: Program, rule: Rule,
+                      namer: ColumnNamer | None = None,
+                      schema: DatabaseSchema | None = None,
+                      dialect: SqlDialect = POSTGRES) -> str:
+    """A witness query for one ⊥-rule of ``program``.
+
+    The constraint body is compiled as a ``SELECT`` over the body's
+    named variables (sorted, as in the plan compiler's witness rewrite);
+    the ``WITH`` clause carries exactly the IDB cone the body reads.
+    The query returns one row per violation witness — wrap it in
+    ``EXISTS`` or fetch a row to report.
+    """
+    namer = namer or ColumnNamer(schema)
+    witness, head_cols = constraint_witness(rule)
+    ctes = program_to_ctes(_dependency_cone(program, rule.body_preds()),
+                           namer, dialect)
+    select = rule_to_select(witness, namer, head_cols, dialect)
+    if not ctes:
+        return select
+    with_items = ',\n'.join(f'{name} AS (\n{body}\n)'
+                            for name, body in ctes)
+    return f'WITH {with_items}\n{select}'
+
+
+def plan_to_sql(plan, goal: str,
+                namer: ColumnNamer | None = None,
+                schema: DatabaseSchema | None = None,
+                dialect: SqlDialect = POSTGRES) -> str:
+    """Lower one goal of a compiled :class:`ExecutionPlan` to SQL.
+
+    Plans carry their source program verbatim, so the lowering runs on
+    the same artifact the interpreter executes — the SQLite backend
+    compiles each view's plans through this entry point exactly once, at
+    ``define_view`` time, and executes the resulting text on every
+    update thereafter.
+    """
+    return query_to_sql(plan.program, goal, namer, schema, dialect)

@@ -24,9 +24,8 @@ from __future__ import annotations
 from repro.core.incremental import incrementalize
 from repro.core.lvgn import is_lvgn
 from repro.core.strategy import UpdateStrategy
-from repro.datalog.ast import (Atom, BuiltinLit, Lit, Program, Rule, Var,
-                               delete_pred, delta_base, insert_pred,
-                               is_delta_pred)
+from repro.datalog.ast import (Program, delete_pred, delta_base,
+                               insert_pred)
 from repro.datalog.pretty import pretty_rule
 from repro.errors import ValidationError
 from repro.sql.ddl import create_view
@@ -56,6 +55,7 @@ def constraint_checks_sql(strategy: UpdateStrategy) -> list[tuple[str, str]]:
     by the caller.
     """
     from repro.datalog.transform import rename_predicates
+    from repro.sql.translate import constraint_witness
     view = strategy.view.name
     updated = f'{view}_updated'
     checks: list[tuple[str, str]] = []
@@ -64,12 +64,10 @@ def constraint_checks_sql(strategy: UpdateStrategy) -> list[tuple[str, str]]:
         goal = f'violation_{index}'
         # Anonymous variables inside negated atoms never bind: they
         # cannot appear in the witness columns.
-        head_vars = tuple(Var(n) for n in sorted(rule.variables())
-                          if not n.startswith('_'))
-        probe = Rule(Atom(goal, head_vars), rule.body)
+        probe, head_cols = constraint_witness(rule, goal)
         program = rename_predicates(
             Program(intermediates.rules + (probe,)), {view: updated})
-        extra_cols = {goal: tuple(f'v{i}' for i in range(len(head_vars))),
+        extra_cols = {goal: head_cols,
                       updated: strategy.view.attributes}
         check_namer = _namer(strategy, extra_cols)
         checks.append((pretty_rule(rule),

@@ -141,6 +141,90 @@ class TestTransactions:
         assert (9,) not in engine.rows('v')
 
 
+class TestExecuteManyBatches:
+    """Multi-target transactions: interleaved view+base writes, the
+    keep-cache origin logic of ``Engine._commit``, and mid-batch
+    rollback."""
+
+    def test_interleaved_view_and_base_batches(self, union_strategy):
+        from repro.rdbms.dml import Delete, Insert
+        engine = union_engine(union_strategy)
+        engine.rows('v')
+        engine.execute_many([
+            ('v', [Insert((7,))]),
+            ('r2', [Insert((8,))]),
+            ('v', [Insert((9,)), Delete({'a': 1})]),
+        ])
+        assert engine.rows('r1') == {(7,), (9,)}
+        assert engine.rows('r2') == {(2,), (4,), (8,)}
+        assert engine.rows('v') == {(2,), (4,), (7,), (8,), (9,)}
+
+    def test_view_only_batch_keeps_cache(self, union_strategy):
+        from repro.rdbms.dml import Insert
+        engine = union_engine(union_strategy)
+        engine.rows('v')
+        assert engine.backend.has_cache('v')
+        engine.execute_many([('v', [Insert((7,))])])
+        # Every base write under v came from v's own pipeline: the
+        # cache was maintained incrementally, not dropped.
+        assert engine.backend.has_cache('v')
+        assert engine.rows('v') == {(1,), (2,), (4,), (7,)}
+
+    def test_foreign_base_write_drops_cache(self, union_strategy):
+        from repro.rdbms.dml import Insert
+        engine = union_engine(union_strategy)
+        engine.rows('v')
+        engine.execute_many([
+            ('v', [Insert((7,))]),
+            ('r1', [Insert((8,))]),      # '<direct>' origin under v
+        ])
+        # A direct write under the view makes its maintained cache
+        # untrustworthy; it must be rematerialised on next read.
+        assert not engine.backend.has_cache('v')
+        assert engine.rows('v') == {(1,), (2,), (4,), (7,), (8,)}
+
+    def test_midbatch_constraint_violation_rolls_back(self,
+                                                      luxury_strategy):
+        from repro.rdbms.dml import Insert
+        engine = Engine(luxury_strategy.sources)
+        engine.load('items', [(1, 'watch', 5000)])
+        engine.define_view(luxury_strategy, validate_first=False)
+        engine.rows('luxuryitems')
+        cache_before = set(engine.rows('luxuryitems'))
+        with pytest.raises(ConstraintViolation):
+            engine.execute_many([
+                ('items', [Insert((2, 'clock', 3000))]),
+                ('luxuryitems', [Insert((3, 'ring', 2000))]),
+                ('luxuryitems', [Insert((4, 'gum', 1))]),   # violates
+            ])
+        # No partial state: neither the staged base write, the staged
+        # view write, nor the cache changed.
+        assert engine.rows('items') == {(1, 'watch', 5000)}
+        assert engine.rows('luxuryitems') == cache_before
+
+    def test_midbatch_schema_error_rolls_back(self, union_strategy):
+        from repro.errors import SchemaError
+        from repro.rdbms.dml import Insert
+        engine = union_engine(union_strategy)
+        with pytest.raises(SchemaError):
+            engine.execute_many([
+                ('r1', [Insert((7,))]),
+                ('r2', [Insert(('not-int',))]),
+            ])
+        assert (7,) not in engine.rows('r1')
+        assert engine.rows('r2') == {(2,), (4,)}
+
+    def test_batch_with_net_empty_delta_is_noop(self, union_strategy):
+        from repro.rdbms.dml import Delete, Insert
+        engine = union_engine(union_strategy)
+        before = engine.database()
+        engine.execute_many([
+            ('v', [Insert((9,)), Delete({'a': 9})]),
+            ('r1', []),
+        ])
+        assert engine.database() == before
+
+
 class TestCaching:
 
     def test_cache_updated_incrementally(self, union_strategy):

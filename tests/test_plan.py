@@ -208,9 +208,10 @@ class TestEngineReuse:
         from repro.benchsuite.catalog import entry_by_name
         from repro.benchsuite.workload import build_engine
         entry = entry_by_name('koncerty')
-        engine = build_engine(entry, 120)
+        engine = build_engine(entry, 120, backend='memory')
         view_entry = engine.view('koncerty')
         # The get plan joins koncert ⋈ venues on the venue id; the
-        # engine builds that persistent index at define_view time.
+        # engine routes that hint to the backend at define_view time,
+        # which builds the persistent index immediately.
         assert ('venues', (0,)) in view_entry.get_plan.index_requirements
-        assert (0,) in engine._tables['venues']._indexes
+        assert (0,) in engine.backend._tables['venues']._indexes

@@ -8,7 +8,10 @@ from repro.errors import TransformationError
 from repro.fol.solver import SolverConfig
 from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.sql.ddl import create_schema, create_table, create_view
-from repro.sql.translate import (ColumnNamer, query_to_sql, rule_to_select,
+from repro.sql.translate import (POSTGRES, SQLITE, ColumnNamer,
+                                 constraint_to_sql, dialect_by_name,
+                                 plan_to_sql, query_to_sql,
+                                 relevant_predicates, rule_to_select,
                                  sql_literal)
 from repro.sql.triggers import (compile_strategy_to_sql,
                                 constraint_checks_sql, delta_queries_sql,
@@ -25,6 +28,23 @@ class TestSqlLiterals:
     def test_numbers(self):
         assert sql_literal(42) == '42'
         assert sql_literal(2.5) == '2.5'
+
+    def test_booleans_render_per_dialect(self):
+        # bool is an int subclass: must not render as str(True).
+        assert sql_literal(True) == 'TRUE'
+        assert sql_literal(False) == 'FALSE'
+        assert sql_literal(True, SQLITE) == '1'
+        assert sql_literal(False, SQLITE) == '0'
+
+    def test_none_renders_as_null(self):
+        assert sql_literal(None) == 'NULL'
+        assert sql_literal(None, SQLITE) == 'NULL'
+
+    def test_dialect_lookup(self):
+        assert dialect_by_name('sqlite') is SQLITE
+        assert dialect_by_name('postgresql') is POSTGRES
+        with pytest.raises(TransformationError):
+            dialect_by_name('oracle')
 
 
 class TestQueryTranslation:
@@ -78,6 +98,86 @@ class TestQueryTranslation:
         sql = query_to_sql(program, '+r')
         assert 'delta_ins_r' in sql
         assert '+r' not in sql.replace('-- ', '')
+
+
+class TestDependencyConePruning:
+
+    PROGRAM = """
+        aux_a(X) :- r(X), X > 1.
+        aux_b(X) :- s(X).
+        +r(X) :- v(X), aux_a(X).
+        -r(X) :- aux_b(X), not v(X).
+    """
+
+    def test_with_clause_prunes_to_goal_cone(self):
+        program = parse_program(self.PROGRAM)
+        sql = query_to_sql(program, '+r')
+        assert 'aux_a' in sql
+        # aux_b feeds only -r: it must not appear in +r's WITH clause.
+        assert 'aux_b' not in sql
+        assert 'delta_del_r' not in sql
+
+    def test_relevant_predicates_cone(self):
+        program = parse_program(self.PROGRAM)
+        assert relevant_predicates(program, {'+r'}) == {'+r', 'aux_a'}
+        assert relevant_predicates(program, {'-r'}) == {'-r', 'aux_b'}
+
+    def test_goal_without_rules_rejected(self):
+        program = parse_program('q(X) :- r(X).')
+        with pytest.raises(TransformationError):
+            query_to_sql(program, 'nope')
+
+    def test_unlowerable_rule_outside_cone_is_harmless(self):
+        # -r's body would fail lowering if translated; +r's query
+        # never touches it.
+        program = parse_program(self.PROGRAM)
+        sql = query_to_sql(program, '+r')
+        assert 'SELECT * FROM delta_ins_r' in sql
+
+
+class TestConstraintToSql:
+
+    def test_witness_query_carries_cone(self):
+        program = parse_program("""
+            aux(X) :- r(X), X > 10.
+            unrelated(X) :- s(X).
+            ⊥ :- v(X), not aux(X).
+            +r(X) :- v(X), not r(X).
+        """)
+        constraint = program.constraints()[0]
+        sql = constraint_to_sql(program, constraint)
+        assert 'aux AS' in sql
+        assert 'unrelated' not in sql
+        assert 'delta_ins_r' not in sql
+        assert 'NOT EXISTS (SELECT 1 FROM aux s' in sql
+
+    def test_non_constraint_rejected(self):
+        program = parse_program('q(X) :- r(X).')
+        with pytest.raises(TransformationError):
+            constraint_to_sql(program, program.rules[0])
+
+    def test_constraint_without_idb_needs_no_with(self):
+        program = parse_program('⊥ :- v(X), X < 0.')
+        sql = constraint_to_sql(program, program.constraints()[0])
+        assert not sql.startswith('WITH')
+        assert 't0.c0 < 0' in sql
+
+
+class TestPlanToSql:
+
+    def test_plan_lowering_matches_query_lowering(self):
+        from repro.datalog.plan import compile_program
+        program = parse_program('q(X, Z) :- r(X, Y), s(Y, Z).')
+        plan = compile_program(program)
+        assert plan_to_sql(plan, 'q') == query_to_sql(program, 'q')
+        assert plan.to_sql('q') == query_to_sql(program, 'q')
+
+    def test_plan_lowering_accepts_dialect_name(self):
+        from repro.datalog.plan import compile_program
+        program = parse_program("q(X) :- r(X), X = 'a'.")
+        plan = compile_program(program)
+        assert plan.to_sql('q', dialect='sqlite') \
+            == query_to_sql(program, 'q', dialect=SQLITE)
 
 
 class TestDdl:
