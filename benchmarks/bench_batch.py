@@ -1,0 +1,155 @@
+"""Batched delta pipeline benchmark: one plan run per transaction vs
+one per statement.
+
+For each Figure 6 catalog view and each storage backend, an engine is
+warmed to steady state and then timed on an N-statement transaction
+(N single-tuple view INSERT buckets through ``execute_many``):
+
+* ``batched``   — the default pipeline: statement buckets only derive
+  and stage deltas; each view's incremental plan runs **once** over the
+  coalesced delta and the commit is one backend batch;
+* ``stmt``      — ``Engine(..., batch_deltas=False)``: the
+  statement-at-a-time baseline, one plan evaluation (and, on SQLite,
+  one TEMP staging round) per bucket.
+
+Results are printed as a table and written to ``BENCH_batch.json``
+next to this script so the perf trajectory is tracked across PRs.
+
+Run:  python benchmarks/bench_batch.py [--quick] [--check] [--json PATH]
+
+``--quick`` shrinks the base size and repeat count for CI smoke runs;
+``--check`` exits nonzero if the batched pipeline is slower than
+statement-at-a-time anywhere (the CI regression gate).
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / 'src'))
+
+from repro.benchsuite.catalog import entry_by_name                # noqa: E402
+from repro.benchsuite.workload import (FIG6_PROTOCOL,             # noqa: E402
+                                       build_engine,
+                                       update_statement)
+from repro.rdbms.dml import Insert                                # noqa: E402
+
+BACKENDS = ('memory', 'sqlite')
+
+
+def _transaction_seconds(engine, entry, statements: int,
+                         repeats: int, counter: list[int]) -> float:
+    """Median wall time of one N-statement transaction (N fresh
+    single-tuple view INSERT buckets), after one unmeasured warmup."""
+    view = entry.name
+
+    def batches():
+        rows = []
+        for _ in range(statements):
+            counter[0] += 1
+            rows.append(update_statement(entry, engine, counter[0]))
+        return [(view, [Insert(row)]) for row in rows]
+
+    engine.execute_many(batches())                  # warm up
+    times = []
+    for _ in range(repeats):
+        work = batches()
+        started = time.perf_counter()
+        engine.execute_many(work)
+        times.append(time.perf_counter() - started)
+    return statistics.median(times)
+
+
+def run_batch(views, size: int, statements: int, repeats: int,
+              backends=BACKENDS, progress=None) -> list[dict]:
+    points = []
+    counter = [10_000_000]                          # unique row ids
+    for view in views:
+        entry = entry_by_name(view)
+        strategy = entry.strategy()
+        for backend in backends:
+            timings = {}
+            for mode, batch in (('stmt', False), ('batched', True)):
+                engine = build_engine(entry, size, incremental=True,
+                                      strategy=strategy, backend=backend)
+                engine.batch_deltas = batch
+                engine.rows(view)                   # materialise cache
+                timings[mode] = _transaction_seconds(
+                    engine, entry, statements, repeats, counter)
+            point = {
+                'view': view, 'backend': backend, 'base_size': size,
+                'statements': statements,
+                'stmt_seconds': timings['stmt'],
+                'batched_seconds': timings['batched'],
+                'speedup': timings['stmt'] / timings['batched'],
+            }
+            points.append(point)
+            if progress is not None:
+                progress(point)
+    return points
+
+
+def format_batch(points) -> str:
+    lines = [f'{"view":<18} {"backend":<8} {"n":>8} {"stmts":>6} '
+             f'{"stmt (ms)":>10} {"batched (ms)":>13} {"speedup":>8}']
+    lines.append('-' * len(lines[0]))
+    for p in points:
+        lines.append(
+            f'{p["view"]:<18} {p["backend"]:<8} {p["base_size"]:>8} '
+            f'{p["statements"]:>6} {p["stmt_seconds"] * 1e3:>10.2f} '
+            f'{p["batched_seconds"] * 1e3:>13.2f} '
+            f'{p["speedup"]:>7.1f}x')
+    return '\n'.join(lines)
+
+
+def _main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument('--size', type=int, default=20_000)
+    parser.add_argument('--statements', type=int, default=100,
+                        help='DML statements per measured transaction')
+    parser.add_argument('--repeats', type=int, default=5)
+    parser.add_argument('--views', nargs='+',
+                        default=list(FIG6_PROTOCOL['views']))
+    parser.add_argument('--quick', action='store_true',
+                        help='small size/rounds: a CI smoke run')
+    parser.add_argument('--check', action='store_true',
+                        help='fail when batched execution is slower '
+                             'than statement-at-a-time anywhere')
+    parser.add_argument('--json', type=Path,
+                        default=Path(__file__).resolve().parent /
+                        'BENCH_batch.json')
+    args = parser.parse_args(argv)
+    size, repeats = args.size, args.repeats
+    if args.quick:
+        size, repeats = 2_000, 3
+    points = run_batch(args.views, size, args.statements, repeats,
+                       progress=lambda p: print(
+                           f'  {p["view"]} [{p["backend"]}]: '
+                           f'stmt {p["stmt_seconds"]:.4f}s, '
+                           f'batched {p["batched_seconds"]:.4f}s '
+                           f'({p["speedup"]:.1f}x)', file=sys.stderr))
+    print(format_batch(points))
+    payload = {
+        'benchmark': 'batch', 'size': size, 'repeats': repeats,
+        'statements': args.statements, 'results': points,
+    }
+    args.json.write_text(json.dumps(payload, indent=2) + '\n',
+                         encoding='utf-8')
+    print(f'wrote {args.json}')
+    if args.check:
+        slow = [p for p in points if p['speedup'] < 1.0]
+        if slow:
+            print('FAIL: batched pipeline slower than '
+                  'statement-at-a-time for: '
+                  + ', '.join(f'{p["view"]}[{p["backend"]}]'
+                              for p in slow), file=sys.stderr)
+            return 1
+        print('check passed: batched >= statement-at-a-time everywhere')
+    return 0
+
+
+if __name__ == '__main__':
+    raise SystemExit(_main())

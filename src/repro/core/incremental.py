@@ -505,7 +505,7 @@ def incrementalize(putdelta: Program, view: str, *,
 
 
 def incrementalize_plan(putdelta: Program, view: str, *,
-                        lvgn: bool | None = None):
+                        lvgn: bool | None = None, stats=None):
     """Incrementalize and *compile* in one shot.
 
     Returns ``(∂put, plan)`` where ``plan`` is the compiled
@@ -513,8 +513,9 @@ def incrementalize_plan(putdelta: Program, view: str, *,
     program.  Both artifacts are produced exactly once per strategy —
     the RDBMS engine stores them in its view registry and reuses them
     for every subsequent update, so the per-statement cost is pure
-    execution.
+    execution.  ``stats`` (a ``{relation: size}`` mapping) seeds the
+    planner's join order with observed cardinalities.
     """
     from repro.datalog.plan import compile_program
     program = incrementalize(putdelta, view, lvgn=lvgn)
-    return program, compile_program(program)
+    return program, compile_program(program, stats=stats)

@@ -260,9 +260,11 @@ class UpdateStrategy:
 
     def check_constraints(self, source: Database, view_rows) -> None:
         """Raise :class:`ConstraintViolation` when ``(S, V')`` violates a
-        declared ⊥-constraint."""
+        declared ⊥-constraint.  The check short-circuits: enumeration
+        stops at the first witness of the first violated rule."""
         instance = self._combined(source, view_rows)
-        violations = self._putdelta_plan.constraint_violations(instance)
+        violations = self._putdelta_plan.constraint_violations(
+            instance, first_witness=True)
         if violations:
             rule, witness = violations[0]
             raise ConstraintViolation(pretty_rule(rule), witness)

@@ -168,7 +168,8 @@ class _PlanContext:
     an unmaterialised predicate are answered top-down without
     materialising anything."""
 
-    __slots__ = ('_store', 'plan', '_idb', '_materialized', '_in_progress')
+    __slots__ = ('_store', 'plan', '_idb', '_materialized', '_in_progress',
+                 '_probe_cache')
 
     def __init__(self, edb, plan: ExecutionPlan | None = None):
         self._store: dict[str, IndexedRelation] = {}
@@ -185,6 +186,7 @@ class _PlanContext:
         self._idb: frozenset = plan.idb if plan is not None else frozenset()
         self._materialized: set[str] = set()
         self._in_progress: set[str] = set()
+        self._probe_cache: dict[tuple[str, tuple], bool] = {}
         # Shadowing: IDB names hide same-named EDB input relations.
         for name in self._idb & set(self._store):
             del self._store[name]
@@ -217,15 +219,26 @@ class _PlanContext:
 
     def probe(self, name: str, row: tuple) -> bool:
         """Top-down existence check of ``name(row)`` for a pending IDB
-        predicate — no materialisation."""
+        predicate — no materialisation.  Results are memoized for the
+        lifetime of the context (the relation store is fixed during one
+        plan execution), so repeated fully-bound probes of the same
+        pending atom never re-run the rule plans."""
+        key = (name, row)
+        cached = self._probe_cache.get(key)
+        if cached is not None:
+            return cached
+        result = False
         for rule_plan in self.plan.rules_for(name):
             if _probe_rule(rule_plan, self, row):
-                return True
-        return False
+                result = True
+                break
+        self._probe_cache[key] = result
+        return result
 
     def set_relation(self, name: str, rows) -> None:
         self._store[name] = IndexedRelation(rows)
         self._materialized.add(name)
+        self._probe_cache.clear()       # probes may depend on old rows
 
     def snapshot(self, names) -> Database:
         return Database({name: frozenset(self._store[name].rows)
@@ -237,14 +250,20 @@ class _PlanContext:
 # ---------------------------------------------------------------------------
 
 
-def _run_rule(rule_plan: RulePlan, ctx: _PlanContext, out: set[Row]) -> None:
-    """Run one compiled rule bottom-up, adding head rows to ``out``."""
+def _run_rule(rule_plan: RulePlan, ctx: _PlanContext, out: set[Row],
+              limit: int | None = None) -> None:
+    """Run one compiled rule bottom-up, adding head rows to ``out``.
+
+    With ``limit``, enumeration stops as soon as ``out`` holds that many
+    rows — the early-exit mode constraint checking uses to stop at the
+    first witness instead of materialising every violation."""
     steps = rule_plan.steps
     nsteps = len(steps)
     head = rule_plan.head
     env = [_UNBOUND] * rule_plan.nslots
 
-    def advance(i: int) -> None:
+    def advance(i: int) -> bool:
+        """Continue the search; False propagates "limit reached"."""
         while i < nsteps:
             step = steps[i]
             cls = step.__class__
@@ -259,36 +278,38 @@ def _run_rule(rule_plan: RulePlan, ctx: _PlanContext, out: set[Row]) -> None:
                         continue
                     for pos, slot in free:
                         env[slot] = row[pos]
-                    advance(i + 1)
-                return
+                    if not advance(i + 1):
+                        return False
+                return True
             if cls is ProbeStep:
                 row = tuple(c if s < 0 else env[s] for s, c in step.key)
                 if ctx.is_pending_idb(step.pred):
                     if not ctx.probe(step.pred, row):
-                        return
+                        return True
                 elif not ctx.relation(step.pred).contains(row):
-                    return
+                    return True
             elif cls is NegationStep:
                 key = tuple(c if s < 0 else env[s] for s, c in step.key)
                 if len(step.positions) == step.arity \
                         and ctx.is_pending_idb(step.pred):
                     if ctx.probe(step.pred, key):
-                        return
+                        return True
                 elif ctx.relation(step.pred).exists(step.positions, key,
                                                     step.arity):
-                    return
+                    return True
             elif cls is CompareStep:
                 s, c = step.left
                 left = c if s < 0 else env[s]
                 s, c = step.right
                 right = c if s < 0 else env[s]
                 if _compare(step.op, left, right) != step.expect:
-                    return
+                    return True
             else:                                   # BindStep
                 s, c = step.source
                 env[step.slot] = c if s < 0 else env[s]
             i += 1
         out.add(tuple(c if s < 0 else env[s] for s, c in head))
+        return limit is None or len(out) < limit
 
     advance(0)
 
@@ -382,13 +403,18 @@ def execute_plan(plan: ExecutionPlan, edb, *, goals=None) -> Database:
     return ctx.snapshot(names)
 
 
-def execute_constraints(plan: ExecutionPlan, edb
+def execute_constraints(plan: ExecutionPlan, edb, *,
+                        first_witness: bool = False
                         ) -> list[tuple[Rule, tuple]]:
     """Evaluate the plan's compiled ⊥-rules over ``edb`` and return
     ``(rule, witness_row)`` pairs for each violated constraint.
 
     Nothing is materialised eagerly: constraint bodies demand exactly
-    what they need (fully bound auxiliaries are just probed).
+    what they need (fully bound auxiliaries are just probed).  With
+    ``first_witness``, each rule's enumeration stops at its first
+    witness and the whole check stops at the first violated rule — the
+    short-circuit the engine's per-transaction check uses, at the cost
+    of a search-order-dependent (rather than canonical) witness row.
     """
     if not plan.constraint_plans:
         return []
@@ -396,8 +422,12 @@ def execute_constraints(plan: ExecutionPlan, edb
     violations: list[tuple[Rule, tuple]] = []
     for constraint in plan.constraint_plans:
         rows: set[Row] = set()
-        _run_rule(constraint.rule_plan, ctx, rows)
+        _run_rule(constraint.rule_plan, ctx, rows,
+                  limit=1 if first_witness else None)
         if rows:
+            if first_witness:
+                violations.append((constraint.rule, next(iter(rows))))
+                return violations
             # key=repr: witness columns may mix value types.
             violations.append((constraint.rule, min(rows, key=repr)))
     return violations

@@ -27,8 +27,11 @@ filters (builtins, negations, fully bound atoms), delta-input scans
 (``+v``/``-v`` EDB relations are small by construction — the §5
 "delta-first" order), EDB scans over IDB scans (so lazily materialised
 predicates are not forced early), and finally scans with more bound
-columns.  Set semantics make the results independent of the order; only
-running time differs.
+columns.  Remaining ties break by observed relation cardinality when
+the caller supplies ``stats`` (a ``{relation: row count}`` mapping —
+the engine passes current base-table sizes at ``define_view`` time),
+then by source order.  Set semantics make the results independent of
+the order; only running time differs.
 """
 
 from __future__ import annotations
@@ -51,6 +54,20 @@ __all__ = ['ExecutionPlan', 'RulePlan', 'ConstraintPlan', 'Step',
 
 #: Sentinel slot index marking a constant operand in a key template.
 CONST = -1
+
+#: Estimated size for relations absent from a ``stats`` mapping: assume
+#: large, so relations with *known* cardinalities are scheduled first
+#: and two unknown relations still fall back to source order.
+_UNKNOWN_SIZE = 2 ** 62
+
+
+def _freeze_stats(stats) -> tuple | None:
+    """Normalise a ``{relation: size}`` mapping into a hashable,
+    order-independent key for the plan cache (``None`` stays ``None``)."""
+    if stats is None:
+        return None
+    return tuple(sorted(stats.items() if isinstance(stats, Mapping)
+                        else stats))
 
 
 # ---------------------------------------------------------------------------
@@ -181,10 +198,11 @@ class ExecutionPlan:
         from repro.datalog.evaluator import execute_plan
         return execute_plan(self, edb, goals=goals)
 
-    def constraint_violations(self, edb):
-        """Evaluate the compiled ⊥-rules over ``edb``."""
+    def constraint_violations(self, edb, *, first_witness: bool = False):
+        """Evaluate the compiled ⊥-rules over ``edb``; with
+        ``first_witness``, short-circuit at the first violation."""
         from repro.datalog.evaluator import execute_constraints
-        return execute_constraints(self, edb)
+        return execute_constraints(self, edb, first_witness=first_witness)
 
     def holds(self, edb, goal: str) -> bool:
         from repro.datalog.evaluator import execute_plan
@@ -271,18 +289,23 @@ def _bound_position_count(atom: Atom, bound: set[str]) -> int:
 
 
 def _schedule_static(body: Sequence[Literal], initial_bound: frozenset,
-                     idb: frozenset) -> list[Literal]:
+                     idb: frozenset,
+                     stats: Mapping[str, int] | None = None
+                     ) -> list[Literal]:
     """The planner's static schedule.
 
     Filters (builtins, negations, fully bound atoms) run as soon as
     they are ready; among join candidates the scheduler prefers
     delta-input relations (statically small), then EDB over IDB (so
     lazy predicates are not materialised just to drive a join), then
-    the scan with the most bound columns, then source order.
+    the scan with the most bound columns, then — when ``stats`` carries
+    observed cardinalities — the estimated-smallest relation, then
+    source order.
     """
     remaining = list(body)
     ordered: list[Literal] = []
     bound: set[str] = set(initial_bound)
+    sizes = stats or {}
     while remaining:
         filter_index = None
         best_index = None
@@ -299,6 +322,7 @@ def _schedule_static(body: Sequence[Literal], initial_bound: frozenset,
             score = (0 if is_delta_pred(pred) and pred not in idb else 1,
                      1 if pred in idb else 0,
                      -_bound_position_count(literal.atom, bound),
+                     sizes.get(pred, _UNKNOWN_SIZE),
                      i)
             if best_score is None or score < best_score:
                 best_score = score
@@ -417,8 +441,10 @@ def _compile_builtin(literal: BuiltinLit, slots: _Slots,
 
 def _compile_steps(body: Sequence[Literal], slots: _Slots,
                    initial_bound: frozenset,
-                   idb: frozenset) -> tuple[Step, ...]:
-    ordered = _schedule_static(body, initial_bound, idb)
+                   idb: frozenset,
+                   stats: Mapping[str, int] | None = None
+                   ) -> tuple[Step, ...]:
+    ordered = _schedule_static(body, initial_bound, idb, stats)
     bound: set[str] = set(initial_bound)
     steps: list[Step] = []
     for literal in ordered:
@@ -433,13 +459,16 @@ def _compile_steps(body: Sequence[Literal], slots: _Slots,
     return tuple(steps)
 
 
-def compile_rule(rule: Rule, *, idb: frozenset = frozenset()) -> RulePlan:
+def compile_rule(rule: Rule, *, idb: frozenset = frozenset(),
+                 stats: Mapping[str, int] | None = None) -> RulePlan:
     """Compile one (non-constraint) rule against a fixed slot layout.
 
     ``idb`` informs the static scheduler which body predicates are
     derived (and therefore lazily materialised) in the enclosing
     program; passing the default compiles the rule as if every body
     predicate were EDB, which is the :func:`evaluate_rule` contract.
+    ``stats`` optionally carries observed relation cardinalities to
+    break the scheduler's remaining ties.
     """
     if rule.head is None:
         raise ValueError('constraint rules are compiled via the program '
@@ -454,7 +483,7 @@ def compile_rule(rule: Rule, *, idb: frozenset = frozenset()) -> RulePlan:
         for var in literal.variables():
             slots.slot(var.name)
 
-    steps = _compile_steps(rule.body, slots, frozenset(), idb)
+    steps = _compile_steps(rule.body, slots, frozenset(), idb, stats)
     head: list[tuple[int, object]] = []
     for term in rule.head.args:
         if isinstance(term, Const):
@@ -476,7 +505,7 @@ def compile_rule(rule: Rule, *, idb: frozenset = frozenset()) -> RulePlan:
             head_bound.add(term.name)
             match_binds.append((pos, slots.slot(term.name)))
     probe_steps = _compile_steps(rule.body, slots, frozenset(head_bound),
-                                 idb)
+                                 idb, stats)
     return RulePlan(rule=rule, nslots=len(slots), steps=steps,
                     head=tuple(head), match_consts=tuple(match_consts),
                     match_binds=tuple(match_binds),
@@ -484,13 +513,17 @@ def compile_rule(rule: Rule, *, idb: frozenset = frozenset()) -> RulePlan:
                     probe_steps=probe_steps)
 
 
-def _compile_constraint(rule: Rule, idb: frozenset) -> ConstraintPlan:
+def _compile_constraint(rule: Rule, idb: frozenset,
+                        stats: Mapping[str, int] | None = None
+                        ) -> ConstraintPlan:
     """Rewrite ``⊥ :- body`` into a witness query over the body's named
     variables (anonymous variables stay unbound inside negations and
     cannot appear in the witness)."""
     names = sorted(n for n in rule.variables() if not n.startswith('_'))
     probe = Rule(Atom('__viol__', tuple(Var(n) for n in names)), rule.body)
-    return ConstraintPlan(rule=rule, rule_plan=compile_rule(probe, idb=idb))
+    return ConstraintPlan(rule=rule,
+                          rule_plan=compile_rule(probe, idb=idb,
+                                                 stats=stats))
 
 
 # ---------------------------------------------------------------------------
@@ -525,16 +558,18 @@ def _index_requirements(rule_plans, constraint_plans) -> frozenset:
 # ---------------------------------------------------------------------------
 
 
-def _compile(program: Program, check_safety: bool) -> ExecutionPlan:
+def _compile(program: Program, check_safety: bool,
+             stats_key: tuple | None = None) -> ExecutionPlan:
     proper = program.without_constraints()
     if check_safety:
         check_program_safety(proper)
+    stats = dict(stats_key) if stats_key else None
     order = tuple(stratify(proper))        # rejects recursion up front
     idb = frozenset(proper.idb_preds())
-    rule_plans = {pred: tuple(compile_rule(rule, idb=idb)
+    rule_plans = {pred: tuple(compile_rule(rule, idb=idb, stats=stats)
                               for rule in proper.rules_for(pred))
                   for pred in order}
-    constraint_plans = tuple(_compile_constraint(rule, idb)
+    constraint_plans = tuple(_compile_constraint(rule, idb, stats)
                              for rule in program.constraints())
     delta_goals = tuple(sorted(p for p in idb if is_delta_pred(p)))
     intermediate = frozenset(p for p in idb if not is_delta_pred(p))
@@ -548,22 +583,30 @@ def _compile(program: Program, check_safety: bool) -> ExecutionPlan:
 
 
 @lru_cache(maxsize=256)
-def _compile_cached(program: Program, check_safety: bool) -> ExecutionPlan:
-    return _compile(program, check_safety)
+def _compile_cached(program: Program, check_safety: bool,
+                    stats_key: tuple | None) -> ExecutionPlan:
+    return _compile(program, check_safety, stats_key)
 
 
 def compile_program(program: Program, *, check_safety: bool = True,
-                    cache: bool = True) -> ExecutionPlan:
+                    cache: bool = True,
+                    stats: Mapping[str, int] | None = None
+                    ) -> ExecutionPlan:
     """Compile ``program`` into an :class:`ExecutionPlan`.
 
-    Plans are memoized (bounded LRU) keyed by program equality, so
-    callers that re-parse equal programs still share one plan; pass
-    ``cache=False`` to force a fresh compilation (used by benchmarks to
-    measure the compile cost itself).
+    Plans are memoized (bounded LRU) keyed by program equality (and the
+    ``stats`` seed, when given), so callers that re-parse equal
+    programs still share one plan; pass ``cache=False`` to force a
+    fresh compilation (used by benchmarks to measure the compile cost
+    itself).  ``stats`` seeds the greedy join order with observed
+    relation cardinalities — the engine passes current base-relation
+    sizes at ``define_view`` time so scheduling ties break toward the
+    estimated-smallest scan.
     """
+    stats_key = _freeze_stats(stats)
     if cache:
-        return _compile_cached(program, check_safety)
-    return _compile(program, check_safety)
+        return _compile_cached(program, check_safety, stats_key)
+    return _compile(program, check_safety, stats_key)
 
 
 def plan_cache_info():

@@ -84,6 +84,12 @@ class Backend(ABC):
     def snapshot(self) -> Database:
         """A frozen snapshot of all base tables."""
 
+    def count(self, name: str) -> int:
+        """Cardinality of a stored table or view cache.  The default
+        counts :meth:`rows`; backends with a cheaper native count
+        (``COUNT(*)``) override."""
+        return len(self.rows(name))
+
     @abstractmethod
     def apply_delta(self, name: str, delta: Delta, *,
                     is_cache: bool) -> None:
@@ -150,6 +156,31 @@ class Backend(ABC):
         carried by the incremental program are checked first (raising
         :class:`ConstraintViolation`)."""
 
+    def evaluate_incremental_batch(self, entry: 'ViewEntry',
+                                   sources: Mapping[str, object],
+                                   view_handle, delta: Delta, *,
+                                   new_view_rows=None) -> DeltaSet:
+        """Evaluate ``∂put`` once over one transaction's *coalesced*
+        view delta.
+
+        The engine's batched pipeline composes every staged delta of a
+        view (``Delta.then``) and calls this exactly once per touched
+        view per transaction, with ``delta`` the merged multi-row
+        effective delta — instead of once per statement bucket.  When
+        ``new_view_rows`` is not ``None`` the strategy declares
+        ⊥-constraints that the incremental program does not carry, and
+        the backend must check them against ``(S, V')`` in the same
+        pass (raising :class:`ConstraintViolation` before staging ΔS).
+
+        The default delegates to :meth:`check_view_constraints` +
+        :meth:`evaluate_incremental`; backends override to exploit the
+        single-call shape (one plan context in memory, one multi-row
+        TEMP stage per relation on SQLite)."""
+        if new_view_rows is not None:
+            self.check_view_constraints(entry, sources, new_view_rows)
+        return self.evaluate_incremental(entry, sources, view_handle,
+                                         delta)
+
     @abstractmethod
     def evaluate_putback(self, entry: 'ViewEntry',
                          sources: Mapping[str, object],
@@ -214,7 +245,8 @@ class Backend(ABC):
         edb[delete_pred(name)] = delta.deletions
         edb[name] = self._eval_input(view_handle)
         if plan.constraint_plans:
-            violations = plan.constraint_violations(edb)
+            violations = plan.constraint_violations(edb,
+                                                    first_witness=True)
             if violations:
                 rule, witness = violations[0]
                 raise ConstraintViolation(pretty_rule(rule), witness)

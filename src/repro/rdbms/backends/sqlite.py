@@ -171,6 +171,17 @@ class SQLiteBackend(Backend):
         return Database({name: self.rows(name)
                          for name in sorted(self._base_names)})
 
+    def count(self, name: str) -> int:
+        cached = self._rows_cache.get(name)
+        if cached is not None:
+            return len(cached)
+        if not self._stored(name):
+            raise SchemaError(
+                f'unknown or unmaterialised relation {name!r}')
+        (n,), = self._conn.execute(
+            f'SELECT COUNT(*) FROM "{sql_ident(name)}"')
+        return n
+
     def _apply_one(self, cur, name: str, delta: Delta) -> None:
         ident = sql_ident(name)
         columns = self._columns_of(name)
@@ -329,12 +340,14 @@ class SQLiteBackend(Backend):
 
     @staticmethod
     def _check_constraints_on(cur, prog: _ProgramSQL) -> None:
+        # fetchone: SQLite produces witness rows lazily, so the check
+        # short-circuits at the first violation instead of
+        # materialising every witness.
         for rule, sql in prog.constraint_sql:
-            witnesses = {tuple(r) for r in cur.execute(sql)}
-            if witnesses:
-                # key=repr: witness columns may mix value types.
+            witness = cur.execute(sql).fetchone()
+            if witness is not None:
                 raise ConstraintViolation(pretty_rule(rule),
-                                          min(witnesses, key=repr))
+                                          tuple(witness))
 
     @staticmethod
     def _deltas_on(cur, prog: _ProgramSQL, entry) -> DeltaSet:
@@ -395,6 +408,14 @@ class SQLiteBackend(Backend):
             self._demote(name, 'incremental', exc)
             return self._interp_incremental(entry, sources, view_handle,
                                             delta)
+
+    # Batched execution: the inherited evaluate_incremental_batch
+    # (one evaluate_incremental call per transaction with the merged
+    # multi-row delta) already gives the SQL shape the batch pipeline
+    # wants — the whole batch of coalesced +v/-v rows stages as a
+    # single multi-row TEMP shadow per relation and every view goal
+    # runs one SELECT, no per-statement TEMP churn (asserted by the
+    # SQL-trace test in tests/test_backends.py).
 
     def evaluate_putback(self, entry, sources: Mapping[str, object],
                          new_view_rows, *,

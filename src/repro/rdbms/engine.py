@@ -29,6 +29,25 @@ touches O(|ΔV|) tuples — no full-table copies, no full-view
 rematerialisation.  The full (original) putback path evaluates the
 whole program against the updated view and is deliberately O(|S|), as
 in the paper.
+
+The transaction pipeline is *delta-batched*: statement buckets only
+derive and stage view deltas (Algorithm 2, visible to later statements
+in the same transaction); the staged deltas of each touched view are
+coalesced by sequential composition (:meth:`~repro.relational.delta.
+Delta.then`) and the view's incremental/putback plan runs **once** per
+transaction over the merged effective delta.  The pending queue drains
+in first-staged (bucket) order — which respects the view dependency
+topology precomputed at ``define_view`` time
+(``ViewEntry.update_closure``), since a putback only cascades onto
+already-defined views.  A transaction touching one view N times
+therefore costs one plan evaluation, not N (O(#views × plan cost)
+instead of O(#statements × plan cost)); pending translations are
+forced early only when a later bucket touches a relation one of them
+could still write — or reads as a source.  Constraint checks
+consequently see the transaction's *net* effect — SQL's
+deferred-constraint semantics.  ``Engine(..., batch_deltas=False)``
+restores statement-at-a-time translation (one plan run per bucket),
+which ``benchmarks/bench_batch.py`` uses as the baseline.
 """
 
 from __future__ import annotations
@@ -75,6 +94,8 @@ class ViewEntry:
     use_incremental: bool
     source_names: tuple[str, ...]
     base_closure: frozenset  # base tables transitively underneath
+    update_closure: frozenset  # relations the putback can write,
+    #                            transitively through view sources
 
     @property
     def name(self) -> str:
@@ -93,17 +114,19 @@ class ViewEntry:
 
 
 def _compose(first: Delta, second: Delta) -> Delta:
-    """Sequential composition of deltas (the Algorithm 2 merge)."""
-    return Delta((first.insertions - second.deletions) | second.insertions,
-                 (first.deletions - second.insertions) | second.deletions)
+    """Sequential composition of deltas (the Algorithm 2 merge) — the
+    operation the batched pipeline coalesces staged deltas with."""
+    return first.then(second)
 
 
 class _Working:
-    """Uncommitted transaction state: accumulated per-relation deltas plus
-    a lazy materialisation overlay for relations re-read after staging.
+    """Uncommitted transaction state: accumulated per-relation deltas, a
+    lazy materialisation overlay for relations re-read after staging,
+    and the per-view *pending* queue of staged-but-untranslated deltas
+    the batched pipeline drains once per transaction.
 
-    Each staged write is tagged with its *origin* (the top-level DML
-    target, or ``'<direct>'`` for base-table DML) so commit can decide
+    Each staged write is tagged with its *origins* (the top-level DML
+    targets, or ``'<direct>'`` for base-table DML) so commit can decide
     which view caches remain consistent: a view maintained by origin O is
     stale when some base underneath it was also written by a different
     origin in the same transaction."""
@@ -114,20 +137,34 @@ class _Working:
         self.touched_views: set[str] = set()
         self.base_origins: dict[str, set[str]] = {}
         self.view_origins: dict[str, set[str]] = {}
-        self._materialized: dict[str, frozenset] = {}
+        self._materialized: dict[str, set] = {}
+        # Batched translation state, per view with untranslated deltas:
+        # the staged effective deltas in order, the origins that
+        # contributed them, and the pre-delta view state the single
+        # plan run reads as ``v``.
+        self.pending: dict[str, list[Delta]] = {}
+        self.pending_origins: dict[str, set[str]] = {}
+        self.pending_state: dict[str, tuple] = {}
 
     def rows(self, name: str):
-        """Current contents of ``name`` as seen inside the transaction."""
-        if name in self._materialized:
-            return self._materialized[name]
+        """Current contents of ``name`` as seen inside the transaction.
+
+        The overlay is built at most once per relation and then updated
+        in place by :meth:`stage` (O(|Δ|) per statement, not O(|R|)).
+        Treat the result as read-only; it may be live backend state or
+        the transaction's mutable overlay."""
+        overlay = self._materialized.get(name)
+        if overlay is not None:
+            return overlay
         baseline = self.engine.rows(name)
         delta = self.deltas.get(name)
         if delta is None or delta.is_empty():
             return baseline
-        materialized = frozenset(baseline - delta.deletions
-                                 | delta.insertions)
-        self._materialized[name] = materialized
-        return materialized
+        overlay = set(baseline)
+        overlay -= delta.deletions
+        overlay |= delta.insertions
+        self._materialized[name] = overlay
+        return overlay
 
     def relation_for_eval(self, name: str):
         """What evaluation should read for ``name``: the backend's
@@ -138,19 +175,35 @@ class _Working:
             return self.engine.eval_handle(name)
         return self.rows(name)
 
+    def pre_state(self, name: str) -> tuple:
+        """``(eval handle, row set)`` of ``name`` *before* any pending
+        delta — what the batched plan run reads as the old view.  For
+        an unstaged view this is the backend's live storage (no copy,
+        stable until commit); once staged, a frozen copy is taken so
+        later overlay updates cannot drift under the handle."""
+        delta = self.deltas.get(name)
+        if (delta is None or delta.is_empty()) \
+                and name not in self._materialized:
+            return (self.engine.eval_handle(name), self.engine.rows(name))
+        frozen = frozenset(self.rows(name))
+        return (frozen, frozen)
+
     def stage(self, name: str, delta: Delta, *, is_view: bool,
-              origin: str) -> None:
+              origins: Iterable[str]) -> None:
         clash = delta.contradictions()
         if clash:
             raise ContradictionError(name, clash)
         prior = self.deltas.get(name, Delta())
-        self.deltas[name] = _compose(prior, delta)
-        self._materialized.pop(name, None)
+        self.deltas[name] = prior.then(delta)
+        overlay = self._materialized.get(name)
+        if overlay is not None:
+            overlay -= delta.deletions
+            overlay |= delta.insertions
         if is_view:
             self.touched_views.add(name)
-            self.view_origins.setdefault(name, set()).add(origin)
+            self.view_origins.setdefault(name, set()).update(origins)
         else:
-            self.base_origins.setdefault(name, set()).add(origin)
+            self.base_origins.setdefault(name, set()).update(origins)
 
 
 class Engine:
@@ -163,12 +216,20 @@ class Engine:
     keeps persistent hash indexes on tables and view caches — the role
     PostgreSQL's B-tree indexes play in the paper's Figure 6 experiment;
     the SQLite backend maintains real SQL indexes instead.
+
+    ``batch_deltas`` (default on) coalesces each view's staged deltas
+    and runs its plan once per transaction; ``False`` restores
+    statement-at-a-time translation — one plan run per statement
+    bucket, with constraints checked against every intermediate state
+    (immediate rather than deferred semantics).
     """
 
     def __init__(self, schema: DatabaseSchema,
-                 backend: str | Backend | None = None):
+                 backend: str | Backend | None = None, *,
+                 batch_deltas: bool = True):
         self.schema = schema
         self.backend = create_backend(backend, schema)
+        self.batch_deltas = batch_deltas
         self._views: dict[str, ViewEntry] = {}
 
     # -- basic access ------------------------------------------------------
@@ -267,12 +328,13 @@ class Engine:
             set(strategy.sources.names()) & (set(self.schema.names()) |
                                              set(self._views))))
         lvgn = is_lvgn(strategy.putdelta, name)
+        stats = self._relation_stats()
         incremental_program = None
         incremental_plan = None
         if use_incremental:
             try:
                 incremental_program, incremental_plan = incrementalize_plan(
-                    strategy.putdelta, name, lvgn=lvgn)
+                    strategy.putdelta, name, lvgn=lvgn, stats=stats)
             except Exception:
                 incremental_program = None  # fall back to full put
                 incremental_plan = None
@@ -282,19 +344,36 @@ class Engine:
                 closure |= self._views[source].base_closure
             else:
                 closure.add(source)
+        update_closure: set[str] = set()
+        for updated in strategy.updated_relations():
+            update_closure.add(updated)
+            if updated in self._views:
+                update_closure |= self._views[updated].update_closure
         entry = ViewEntry(strategy=strategy, get_program=get_program,
-                          get_plan=compile_program(get_program),
+                          get_plan=compile_program(get_program,
+                                                   stats=stats),
                           incremental_program=incremental_program,
                           incremental_plan=incremental_plan,
                           lvgn=lvgn,
                           use_incremental=use_incremental and
                           incremental_plan is not None,
                           source_names=source_names,
-                          base_closure=frozenset(closure))
+                          base_closure=frozenset(closure),
+                          update_closure=frozenset(update_closure))
         self._views[name] = entry
         self.backend.register_view(entry)
         self._register_index_hints(entry)
         return entry
+
+    def _relation_stats(self) -> dict[str, int]:
+        """Observed cardinalities the planner seeds its join order with:
+        current base-table sizes plus any already-materialised view."""
+        stats = {name: self.backend.count(name)
+                 for name in self.schema.names()}
+        for view in self._views:
+            if self.backend.has_cache(view):
+                stats[view] = self.backend.count(view)
+        return stats
 
     def _register_index_hints(self, entry: ViewEntry) -> None:
         """Pre-build the persistent access structures the view's
@@ -340,67 +419,131 @@ class Engine:
 
     def _execute_into(self, working: _Working, target: str,
                       statements: Sequence[Statement]) -> None:
+        if target not in self._views and target not in self.schema:
+            raise SchemaError(f'unknown relation {target!r}')
+        if not statements:
+            return
+        # Statement-order visibility: before this bucket reads
+        # ``target``, translate any pending view delta that could still
+        # write it (a no-op for the common same-view statement runs).
+        self._flush_for_read(working, target)
         if target in self._views:
             entry = self._views[target]
             delta = derive_view_delta(statements, working.rows(target),
                                       entry.schema)
             if delta.is_empty():
                 return
-            self._apply_view_delta(working, target, delta, origin=target)
+            self._defer_view_delta(working, target, delta,
+                                   origins=(target,))
             return
-        if target not in self.schema:
-            raise SchemaError(f'unknown relation {target!r}')
         schema = self.schema[target]
         delta = derive_view_delta(statements, working.rows(target), schema)
-        working.stage(target, delta, is_view=False, origin='<direct>')
+        working.stage(target, delta, is_view=False, origins=('<direct>',))
 
-    def _apply_view_delta(self, working: _Working, name: str,
-                          delta: Delta, origin: str) -> None:
-        """The trigger pipeline for one view (recursing into view
-        sources)."""
+    def _defer_view_delta(self, working: _Working, name: str,
+                          delta: Delta, origins: Iterable[str]) -> None:
+        """Stage a view delta (visible to later statements immediately)
+        and queue it for the once-per-transaction batched translation;
+        in statement-at-a-time mode the translation runs right away."""
+        effective = delta.effective_on(working.rows(name))
+        if effective.is_empty():
+            return
+        if name not in working.pending:
+            working.pending[name] = []
+            working.pending_origins[name] = set()
+            working.pending_state[name] = working.pre_state(name)
+        working.pending[name].append(effective)
+        working.pending_origins[name].update(origins)
+        working.stage(name, effective, is_view=True, origins=origins)
+        if not self.batch_deltas:
+            self._flush_view(working, name)
+
+    def _flush_for_read(self, working: _Working, target: str) -> None:
+        """Conflict gate for statement-order visibility: a bucket on
+        ``target`` both reads and writes it, so if any pending view
+        could still *write* ``target`` (the bucket must see that write)
+        or *reads* it as a source (the pending plan run must not see
+        the bucket's write), drain the pending queue first — exactly
+        the state statement-at-a-time translation would be in."""
+        for name in working.pending:
+            entry = self._views[name]
+            if target in entry.update_closure \
+                    or target in entry.source_names:
+                self._flush_pending(working)
+                return
+
+    def _flush_pending(self, working: _Working) -> None:
+        """Drain the pending queue, one plan run per view, in
+        first-staged (bucket) order — the order statement-at-a-time
+        translation runs in; each flush recurses depth-first into its
+        cascades.  The update graph is acyclic (strategies only update
+        already-defined relations), so the drain terminates."""
+        while working.pending:
+            self._flush_view(working, next(iter(working.pending)))
+
+    def _flush_view(self, working: _Working, name: str) -> None:
+        """The trigger pipeline for one view, run once over the
+        composition of its staged deltas: check the ⊥-constraints on
+        the net updated view, evaluate ∂put (or the full putback) over
+        the merged effective delta, and stage — or queue, for source
+        views — the resulting ΔS."""
+        staged = working.pending.pop(name, None)
+        if not staged:
+            return
+        view_handle, pre_rows = working.pending_state.pop(name)
+        origins = working.pending_origins.pop(name)
         entry = self._views[name]
-        current = working.rows(name)
-        effective = delta.effective_on(current)
+        merged = staged[0]
+        for later in staged[1:]:
+            merged = _compose(merged, later)
+        # Re-projecting onto the pre-delta state drops write-then-undo
+        # artifacts of the composition (a row deleted and re-inserted
+        # contributes nothing net).
+        effective = merged.effective_on(pre_rows)
         if effective.is_empty():
             return
         sources = {s: working.relation_for_eval(s)
                    for s in entry.source_names}
 
         if entry.use_incremental:
-            incremental_constraints = bool(
-                entry.incremental_plan.constraint_plans)
-            if entry.strategy.constraints() and not incremental_constraints:
-                # General-path ∂put has no constraint rules: full check.
-                new_rows = (current - effective.deletions) \
-                    | effective.insertions
-                self.backend.check_view_constraints(entry, sources,
-                                                    new_rows)
-            deltas = self.backend.evaluate_incremental(
-                entry, sources, working.relation_for_eval(name), effective)
+            new_rows = None
+            if entry.strategy.constraints() \
+                    and not entry.incremental_plan.constraint_plans:
+                # General-path ∂put has no constraint rules: the
+                # backend runs the full check in the same batch pass.
+                new_rows = working.rows(name)
+            deltas = self.backend.evaluate_incremental_batch(
+                entry, sources, view_handle, effective,
+                new_view_rows=new_rows)
         else:
-            new_rows = (current - effective.deletions) \
-                | effective.insertions
-            deltas = self.backend.evaluate_putback(entry, sources, new_rows,
-                                                   check_constraints=True)
+            deltas = self.backend.evaluate_putback(
+                entry, sources, working.rows(name),
+                check_constraints=True)
 
-        working.stage(name, effective, is_view=True, origin=origin)
         for relation in sorted(deltas.relations()):
             rel_delta = deltas[relation].effective_on(
                 working.rows(relation))
             if rel_delta.is_empty():
                 continue
             if relation in self._views:
-                self._apply_view_delta(working, relation, rel_delta,
-                                       origin=origin)
+                # Cascades translate depth-first, exactly as
+                # statement-at-a-time recursion does — only *bucket*
+                # deltas are coalesced across the transaction.  (In
+                # statement-at-a-time mode the defer flushes itself.)
+                self._defer_view_delta(working, relation, rel_delta,
+                                       origins=origins)
+                if self.batch_deltas:
+                    self._flush_view(working, relation)
             elif relation in self.schema:
                 working.stage(relation, rel_delta, is_view=False,
-                              origin=origin)
+                              origins=origins)
             else:
                 raise ViewUpdateError(
                     f'strategy for {name!r} updates unknown relation '
                     f'{relation!r}')
 
     def _commit(self, working: _Working) -> None:
+        self._flush_pending(working)
         # Validate every inserted base row before touching storage, so a
         # schema error cannot leave a half-applied transaction behind.
         for name, delta in working.deltas.items():

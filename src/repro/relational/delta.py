@@ -56,6 +56,21 @@ class Delta:
         state discussion)."""
         return Delta(self.insertions - rows, self.deletions & rows)
 
+    def then(self, later: 'Delta') -> 'Delta':
+        """Sequential composition (the Algorithm 2 merge): the single
+        delta equivalent to applying ``self`` and then ``later``::
+
+            Δ⁺ ← (Δ⁺ \\ δ⁻) ∪ δ⁺        Δ⁻ ← (Δ⁻ \\ δ⁺) ∪ δ⁻
+
+        Later deltas take precedence; when both operands are free of
+        contradictions, so is the composition.  This is how the batched
+        transaction pipeline coalesces a view's staged deltas into the
+        one delta its plan runs over."""
+        return Delta((self.insertions - later.deletions)
+                     | later.insertions,
+                     (self.deletions - later.insertions)
+                     | later.deletions)
+
     def union(self, other: 'Delta') -> 'Delta':
         return Delta(self.insertions | other.insertions,
                      self.deletions | other.deletions)

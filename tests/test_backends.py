@@ -232,6 +232,64 @@ class TestCrossBackendDifferential:
         assert memory.database() == sqlite_engine.database()
         assert memory.rows(view) == sqlite_engine.rows(view)
 
+    @pytest.mark.parametrize('view', DIFFERENTIAL_VIEWS)
+    def test_batched_transaction_identical_states(self, view):
+        """A many-statement batched transaction leaves both backends —
+        and both translation modes — in the same state."""
+        entry = entry_by_name(view)
+        engines = {}
+        for backend in ('memory', 'sqlite'):
+            for batch in (True, False):
+                engine = build_engine(entry, 300, incremental=True,
+                                      backend=backend)
+                engine.batch_deltas = batch
+                engine.rows(view)
+                with engine.transaction() as txn:
+                    for i in range(8):
+                        txn.insert(view,
+                                   update_statement(entry, engine, i))
+                    victim = update_statement(entry, engine, 3)
+                    attrs = engine.view(view).schema.attributes
+                    txn.delete(view, where=dict(zip(attrs, victim)))
+                engines[(backend, batch)] = engine
+        reference = engines[('memory', False)]
+        for key, engine in engines.items():
+            assert engine.database() == reference.database(), key
+            assert engine.rows(view) == reference.rows(view), key
+
+    def test_one_temp_stage_per_relation_per_transaction(
+            self, luxury_strategy):
+        """The batched pipeline stages the whole transaction's delta as
+        one multi-row TEMP shadow per relation and commits in one SQL
+        transaction — asserted via the SQL trace of a 100-statement
+        view transaction."""
+        from repro.rdbms.dml import Insert
+        engine = Engine(luxury_strategy.sources, backend='sqlite')
+        engine.load('items', [(1, 'watch', 5000)])
+        engine.define_view(luxury_strategy, validate_first=False)
+        engine.rows('luxuryitems')
+        engine.insert('luxuryitems', (2, 'ring', 2000))      # warm up
+        statements: list = []
+        engine.backend._conn.set_trace_callback(statements.append)
+        try:
+            engine.execute_many([
+                ('luxuryitems', [Insert((100 + i, f'item{i}', 2000 + i))])
+                for i in range(100)])
+        finally:
+            engine.backend._conn.set_trace_callback(None)
+        temp_creates: dict[str, int] = {}
+        for sql in statements:
+            if sql.startswith('CREATE TEMP TABLE'):
+                name = sql.split('"')[1]
+                temp_creates[name] = temp_creates.get(name, 0) + 1
+        assert temp_creates, 'expected TEMP staging in the trace'
+        # One multi-row stage per staged relation for the whole
+        # 100-statement transaction, not one per statement.
+        assert set(temp_creates.values()) == {1}, temp_creates
+        assert sum(1 for sql in statements if sql == 'BEGIN') == 1
+        assert engine.rows('items') >= {(100 + i, f'item{i}', 2000 + i)
+                                        for i in range(100)}
+
     def test_random_statement_sequences_union(self, union_strategy):
         """Property-style sweep on the union view: every prefix of a
         mixed insert/delete sequence leaves both backends in the same

@@ -249,6 +249,229 @@ class TestCaching:
         assert engine.rows('v') == recomputed
 
 
+class TestBatchedPipeline:
+    """The delta-batched transaction pipeline: one plan run per view
+    per transaction, byte-identical end states vs statement-at-a-time
+    translation, and statement-order visibility inside a transaction."""
+
+    BACKENDS = ('memory', 'sqlite')
+
+    def _engines(self, strategy, backend):
+        """(batched, statement-at-a-time) twin engines, same backend."""
+        engines = []
+        for batch in (True, False):
+            engine = Engine(strategy.sources, backend=backend,
+                            batch_deltas=batch)
+            engine.load('r1', [(1,)])
+            engine.load('r2', [(2,), (4,)])
+            engine.define_view(strategy, validate_first=False)
+            engine.rows('v')
+            engines.append(engine)
+        return engines
+
+    @pytest.mark.parametrize('backend', BACKENDS)
+    def test_batched_matches_statement_at_a_time(self, union_strategy,
+                                                 backend):
+        from repro.rdbms.dml import Delete, Insert, Update
+        batches = [
+            ('v', [Insert((7,))]),
+            ('v', [Insert((9,))]),
+            ('r2', [Insert((8,))]),
+            ('v', [Delete({'a': 1}), Insert((12,))]),
+            ('v', [Update({'a': 109}, {'a': 9})]),
+            ('r1', [Insert((30,))]),
+            ('v', [Delete({'a': 8})]),
+        ]
+        batched, unbatched = self._engines(union_strategy, backend)
+        batched.execute_many(batches)
+        unbatched.execute_many(batches)
+        assert batched.database() == unbatched.database()
+        assert batched.backend.has_cache('v') \
+            == unbatched.backend.has_cache('v')
+        assert batched.rows('v') == unbatched.rows('v')
+
+    @pytest.mark.parametrize('backend', BACKENDS)
+    def test_one_plan_run_per_transaction(self, union_strategy, backend):
+        from repro.rdbms.dml import Insert
+        for batch, expected in ((True, 1), (False, 50)):
+            engine = Engine(union_strategy.sources, backend=backend,
+                            batch_deltas=batch)
+            engine.load('r1', [(1,)])
+            engine.load('r2', [(2,)])
+            engine.define_view(union_strategy, validate_first=False)
+            engine.rows('v')
+            calls = []
+            original = engine.backend.evaluate_incremental_batch
+
+            def counted(*args, _orig=original, **kwargs):
+                calls.append(1)
+                return _orig(*args, **kwargs)
+
+            engine.backend.evaluate_incremental_batch = counted
+            engine.execute_many([('v', [Insert((100 + i,))])
+                                 for i in range(50)])
+            assert len(calls) == expected, (batch, len(calls))
+            assert engine.rows('v') >= {(100 + i,) for i in range(50)}
+
+    @pytest.mark.parametrize('backend', BACKENDS)
+    def test_statement_order_visibility(self, union_strategy, backend):
+        """A later bucket's WHERE sees earlier staged view writes: the
+        insert+delete pair nets out even across an intervening bucket."""
+        from repro.rdbms.dml import Delete, Insert
+        for engine in self._engines(union_strategy, backend):
+            engine.execute_many([
+                ('v', [Insert((9,))]),
+                ('r2', [Insert((8,))]),
+                ('v', [Delete({'a': 9})]),
+            ])
+            assert engine.rows('r1') == {(1,)}
+            assert (8,) in engine.rows('r2')
+            assert (9,) not in engine.rows('v')
+
+    @pytest.mark.parametrize('backend', BACKENDS)
+    def test_base_read_forces_pending_flush(self, union_strategy,
+                                            backend):
+        """A base bucket reading a table a pending view delta can still
+        write forces that translation first — the delete must see the
+        row the view insert routed into r1."""
+        from repro.rdbms.dml import Delete, Insert
+        for engine in self._engines(union_strategy, backend):
+            engine.execute_many([
+                ('v', [Insert((7,))]),
+                ('r1', [Delete(None)]),
+            ])
+            assert engine.rows('r1') == set()
+
+    @pytest.mark.parametrize('backend', BACKENDS)
+    def test_source_write_forces_pending_flush(self, backend):
+        """Anti-dependency: a later bucket writing a relation a pending
+        view's plan *reads* (but never writes) must not be visible to
+        the deferred plan run — the pending translation flushes
+        first, as statement-at-a-time would."""
+        from repro.rdbms.dml import Delete, Insert
+        from repro.relational.schema import DatabaseSchema
+        sources = DatabaseSchema.build(r1={'a': 'int'},
+                                       allowed={'a': 'int'})
+        strategy = UpdateStrategy.parse('v', sources, """
+            +r1(X) :- v(X), allowed(X), not r1(X).
+            -r1(X) :- r1(X), not v(X).
+        """, expected_get='v(X) :- r1(X).')
+        results = []
+        for batch in (True, False):
+            engine = Engine(sources, backend=backend,
+                            batch_deltas=batch)
+            engine.load('r1', [(1,)])
+            engine.load('allowed', [(1,), (7,)])
+            engine.define_view(strategy, validate_first=False)
+            engine.rows('v')
+            engine.execute_many([
+                ('v', [Insert((7,))]),
+                ('allowed', [Delete({'a': 7})]),
+            ])
+            results.append(engine.database())
+        batched, unbatched = results
+        assert batched == unbatched
+        assert batched['r1'] == {(1,), (7,)}
+
+    @pytest.mark.parametrize('backend', BACKENDS)
+    def test_cascades_translate_depth_first(self, backend):
+        """A cascade staged by one flush must land before a
+        later-queued view's plan runs: w reads base b, which only v's
+        cascade through u writes — batched and statement-at-a-time
+        agree."""
+        from repro.rdbms.dml import Insert
+        from repro.relational.schema import DatabaseSchema
+        base = DatabaseSchema.build(b={'a': 'int'}, c={'a': 'int'})
+        layer = DatabaseSchema.build(u={'a': 'int'})
+        u = UpdateStrategy.parse('u', base, """
+            +b(X) :- u(X), not b(X).
+            -b(X) :- b(X), not u(X).
+        """, expected_get='u(X) :- b(X).')
+        v = UpdateStrategy.parse('v', layer, """
+            +u(X) :- v(X), not u(X).
+            -u(X) :- u(X), not v(X).
+        """, expected_get='v(X) :- u(X).')
+        w = UpdateStrategy.parse('w', base, """
+            +c(X) :- w(X), b(X), not c(X).
+            -c(X) :- c(X), not w(X).
+        """, expected_get='w(X) :- c(X).')
+        results = []
+        for batch in (True, False):
+            engine = Engine(base, backend=backend, batch_deltas=batch)
+            engine.load('b', [(1,)])
+            engine.load('c', [(1,)])
+            engine.define_view(u, validate_first=False)
+            engine.define_view(v, validate_first=False)
+            engine.define_view(w, validate_first=False)
+            for view in ('u', 'v', 'w'):
+                engine.rows(view)
+            engine.execute_many([
+                ('v', [Insert((7,))]),
+                ('w', [Insert((7,))]),
+            ])
+            results.append(engine.database())
+        batched, unbatched = results
+        assert batched == unbatched
+        assert batched['c'] == {(1,), (7,)}
+
+    def test_deferred_constraint_semantics(self, luxury_strategy):
+        """Batched mode checks ⊥-constraints against the transaction's
+        net effect (deferred), statement-at-a-time against every
+        intermediate state (immediate): a transient violation that the
+        same transaction undoes commits in the former, raises in the
+        latter."""
+        from repro.rdbms.dml import Delete, Insert
+        transient = [
+            ('luxuryitems', [Insert((2, 'gum', 5))]),       # violates
+            ('luxuryitems', [Delete({'iid': 2})]),          # ... undone
+        ]
+        for batch, outcome in ((True, 'commits'), (False, 'raises')):
+            engine = Engine(luxury_strategy.sources, batch_deltas=batch)
+            engine.load('items', [(1, 'watch', 5000)])
+            engine.define_view(luxury_strategy, validate_first=False)
+            if outcome == 'commits':
+                engine.execute_many(transient)
+            else:
+                with pytest.raises(ConstraintViolation):
+                    engine.execute_many(transient)
+            assert engine.rows('items') == {(1, 'watch', 5000)}
+
+    @pytest.mark.parametrize('backend', BACKENDS)
+    def test_layered_views_batched_matches(self, ced_strategy, backend):
+        """Cascading through a view-over-view layer produces identical
+        end states batched and statement-at-a-time, including a bucket
+        that reads the lower view mid-transaction."""
+        from repro.rdbms.dml import Delete, Insert
+        from repro.relational.schema import DatabaseSchema
+        upper_sources = DatabaseSchema.build(
+            ced=['emp_name', 'dept_name'])
+        upper = UpdateStrategy.parse('cs_only', upper_sources, """
+            +ced(E, D) :- cs_only(E), not ced(E, 'cs'), D = 'cs'.
+            -ced(E, D) :- ced(E, D), D = 'cs', not cs_only(E).
+        """, expected_get="cs_only(E) :- ced(E, 'cs').")
+        engines = []
+        for batch in (True, False):
+            engine = Engine(ced_strategy.sources, backend=backend,
+                            batch_deltas=batch)
+            engine.load('ed', [('bob', 'cs'), ('carol', 'math'),
+                               ('dan', 'cs')])
+            engine.load('eed', [('dan', 'cs')])
+            engine.define_view(ced_strategy, validate_first=False)
+            engine.define_view(upper, validate_first=False)
+            engine.rows('ced'), engine.rows('cs_only')
+            engine.execute_many([
+                ('cs_only', [Insert(('erin',))]),
+                ('ced', [Delete({'emp_name': 'carol'})]),
+                ('cs_only', [Delete({'emp_name': 'bob'})]),
+            ])
+            engines.append(engine)
+        batched, unbatched = engines
+        assert batched.database() == unbatched.database()
+        assert batched.rows('ced') == unbatched.rows('ced')
+        assert batched.rows('cs_only') == unbatched.rows('cs_only')
+        assert ('erin', 'cs') in batched.rows('ced')
+
+
 class TestIncrementalMatchesFull:
 
     @given(st.lists(st.tuples(st.sampled_from(['ins', 'del']),

@@ -146,6 +146,72 @@ class TestQueriesAndConstraints:
         assert not constraint_violations(program, db(r={(5,)}))
 
 
+class TestFirstWitnessMode:
+    """The short-circuit mode of ``execute_constraints``: stop at the
+    first witness of the first violated rule."""
+
+    def test_stops_at_first_violated_rule(self):
+        from repro.datalog.plan import compile_program
+        program = parse_program("""
+            ⊥ :- r(X), X > 2.
+            ⊥ :- r(X), X < 0.
+        """)
+        plan = compile_program(program)
+        edb = db(r={(-1,), (5,), (7,)})
+        full = plan.constraint_violations(edb)
+        assert len(full) == 2
+        first = plan.constraint_violations(edb, first_witness=True)
+        assert len(first) == 1
+        rule, witness = first[0]
+        assert witness in {(-1,), (5,), (7,)}
+
+    def test_run_rule_limit_stops_enumeration(self):
+        from repro.datalog.evaluator import _PlanContext, _run_rule
+        from repro.datalog.plan import compile_rule
+        rule = parse_program('h(X) :- r(X).').rules[0]
+        plan = compile_rule(rule)
+        ctx = _PlanContext({'r': {(i,) for i in range(100)}})
+        out: set = set()
+        _run_rule(plan, ctx, out, limit=1)
+        assert len(out) == 1
+        unlimited: set = set()
+        _run_rule(plan, ctx, unlimited)
+        assert len(unlimited) == 100
+
+    def test_satisfied_constraints_agree(self):
+        from repro.datalog.plan import compile_program
+        plan = compile_program(parse_program('⊥ :- r(X), X > 2.'))
+        edb = db(r={(1,)})
+        assert plan.constraint_violations(edb) == []
+        assert plan.constraint_violations(edb, first_witness=True) == []
+
+
+class TestProbeMemoization:
+
+    def test_repeated_probes_run_rules_once(self, monkeypatch):
+        from repro.datalog import evaluator
+        from repro.datalog.plan import compile_program
+        program = parse_program("""
+            aux(X) :- r(X).
+            v(X) :- s(X), aux(X).
+        """)
+        plan = compile_program(program)
+        ctx = evaluator._PlanContext({'r': {(1,)}, 's': set()}, plan)
+        calls = []
+        original = evaluator._probe_rule
+
+        def counted(rule_plan, c, row):
+            calls.append(row)
+            return original(rule_plan, c, row)
+
+        monkeypatch.setattr(evaluator, '_probe_rule', counted)
+        assert ctx.probe('aux', (1,)) is True
+        assert ctx.probe('aux', (1,)) is True      # memoized
+        assert ctx.probe('aux', (2,)) is False
+        assert ctx.probe('aux', (2,)) is False     # negative memoized
+        assert calls == [(1,), (2,)]
+
+
 class TestLazyEvaluation:
 
     def test_goals_limits_materialisation(self):
