@@ -1,0 +1,208 @@
+"""Sharded engine benchmark: throughput vs shard count on a
+key-partitionable workload.
+
+The workload is the Figure-6a selection view (``luxuryitems``) over an
+``items`` table of ``--size`` rows, range-partitioned on ``iid``.
+Each measured transaction is ``--statements`` (default 100)
+single-tuple view INSERT buckets whose keys all fall in one shard's
+key range — the key-local access pattern sharding exists for (a tenant,
+a region, a hot time window).  The single engine pays per-transaction
+costs proportional to the *whole* relation (the staged-view overlay,
+constraint staging); a shard pays them on ``1/N`` of the data, and the
+untouched shards do no work at all.
+
+Measured configurations: a plain single ``Engine`` (memory backend)
+and ``ShardedEngine`` with 1, 2 and 4 memory shards (1-shard shows the
+routing overhead in isolation).  Results are printed as a table and
+written to ``BENCH_shard.json``.
+
+Run:  python benchmarks/bench_shard.py [--quick] [--check] [--json PATH]
+
+``--quick`` shrinks sizes for CI smoke runs; ``--check`` exits nonzero
+if sharded(N=4) throughput falls below the single engine (the CI
+regression gate; the tracked JSON shows the actual multiple, ≥2× on a
+developer machine).
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / 'src'))
+
+from repro.core.strategy import UpdateStrategy               # noqa: E402
+from repro.rdbms.dml import Insert                           # noqa: E402
+from repro.rdbms.engine import Engine                        # noqa: E402
+from repro.rdbms.sharded import (RangePartitioner,           # noqa: E402
+                                 ShardedEngine)
+from repro.relational.schema import DatabaseSchema           # noqa: E402
+
+SHARD_COUNTS = (1, 2, 4)
+
+#: Key space per shard slot: shard i of N owns iids in
+#: [i * SLOT, (i+1) * SLOT) under the range partitioner below.
+SLOT = 10 ** 9
+
+
+def _strategy() -> UpdateStrategy:
+    sources = DatabaseSchema.build(
+        items={'iid': 'int', 'iname': 'string', 'price': 'int'})
+    return UpdateStrategy.parse('luxuryitems', sources, """
+        ⊥ :- luxuryitems(I, N, P), not P > 1000.
+        +items(I, N, P) :- luxuryitems(I, N, P), not items(I, N, P).
+        expensive(I, N, P) :- items(I, N, P), P > 1000.
+        -items(I, N, P) :- expensive(I, N, P), not luxuryitems(I, N, P).
+    """, expected_get='luxuryitems(I, N, P) :- items(I, N, P), '
+                      'P > 1000.')
+
+
+def _base_rows(size: int, shards: int) -> list[tuple]:
+    """``size`` rows spread evenly over the ``shards`` key ranges (all
+    prices above the selection threshold, so |view| == |items|)."""
+    rows = []
+    per_shard = size // shards
+    for shard in range(shards):
+        base = shard * SLOT
+        rows.extend((base + i, f'item_{shard}_{i}', 2000 + i % 500)
+                    for i in range(per_shard))
+    return rows
+
+
+def _build_single(strategy, size: int, shards_in_data: int) -> Engine:
+    engine = Engine(strategy.sources, backend='memory')
+    engine.load('items', _base_rows(size, shards_in_data))
+    engine.define_view(strategy, validate_first=False)
+    engine.rows('luxuryitems')
+    return engine
+
+
+def _build_sharded(strategy, size: int, shards: int) -> ShardedEngine:
+    partitioner = RangePartitioner([i * SLOT for i in range(1, shards)])
+    engine = ShardedEngine(strategy.sources, partitioner=partitioner,
+                           backends='memory',
+                           shard_keys={'luxuryitems': 'iid',
+                                       'items': 'iid'})
+    engine.load('items', _base_rows(size, shards))
+    engine.define_view(strategy, validate_first=False)
+    engine.rows('luxuryitems')
+    return engine
+
+
+def _hot_range_transaction(counter: list[int], hot_shard: int,
+                           statements: int) -> list:
+    """One transaction of fresh single-tuple view INSERTs, all keyed
+    inside ``hot_shard``'s range."""
+    batches = []
+    for _ in range(statements):
+        counter[0] += 1
+        iid = hot_shard * SLOT + SLOT // 2 + counter[0]
+        batches.append(('luxuryitems',
+                        [Insert((iid, f'fresh_{counter[0]}', 5000))]))
+    return batches
+
+
+def _throughput(engine, key_shards: int, statements: int,
+                repeats: int, counter: list[int]) -> float:
+    """Median statements/second over ``repeats`` hot-range
+    transactions, rotating the hot shard, after one warmup."""
+    engine.execute_many(_hot_range_transaction(counter, 0, statements))
+    times = []
+    for round_ in range(repeats):
+        work = _hot_range_transaction(counter, round_ % key_shards,
+                                      statements)
+        started = time.perf_counter()
+        engine.execute_many(work)
+        times.append(time.perf_counter() - started)
+    return statements / statistics.median(times)
+
+
+def run_bench(size: int, statements: int, repeats: int,
+              shard_counts=SHARD_COUNTS, progress=None) -> list[dict]:
+    strategy = _strategy()
+    max_shards = max(shard_counts)
+    counter = [0]
+    points = []
+
+    single = _build_single(strategy, size, max_shards)
+    single_tput = _throughput(single, max_shards, statements, repeats,
+                              counter)
+    points.append({'config': 'single', 'shards': 1, 'base_size': size,
+                   'statements': statements,
+                   'stmts_per_second': single_tput, 'speedup': 1.0})
+    if progress:
+        progress(points[-1])
+
+    for shards in shard_counts:
+        engine = _build_sharded(strategy, size, shards)
+        tput = _throughput(engine, shards, statements, repeats, counter)
+        points.append({'config': f'sharded-{shards}', 'shards': shards,
+                       'base_size': size, 'statements': statements,
+                       'stmts_per_second': tput,
+                       'speedup': tput / single_tput})
+        if progress:
+            progress(points[-1])
+    return points
+
+
+def format_points(points) -> str:
+    lines = [f'{"config":<12} {"shards":>6} {"n":>8} {"stmts":>6} '
+             f'{"stmts/s":>10} {"vs single":>10}']
+    lines.append('-' * len(lines[0]))
+    for p in points:
+        lines.append(
+            f'{p["config"]:<12} {p["shards"]:>6} {p["base_size"]:>8} '
+            f'{p["statements"]:>6} {p["stmts_per_second"]:>10.0f} '
+            f'{p["speedup"]:>9.2f}x')
+    return '\n'.join(lines)
+
+
+def _main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument('--size', type=int, default=100_000,
+                        help='total items rows across the key space')
+    parser.add_argument('--statements', type=int, default=100,
+                        help='DML statements per measured transaction')
+    parser.add_argument('--repeats', type=int, default=8)
+    parser.add_argument('--quick', action='store_true',
+                        help='small size/rounds: a CI smoke run')
+    parser.add_argument('--check', action='store_true',
+                        help='fail when sharded(N=4) throughput is '
+                             'below the single engine')
+    parser.add_argument('--json', type=Path,
+                        default=Path(__file__).resolve().parent /
+                        'BENCH_shard.json')
+    args = parser.parse_args(argv)
+    size, repeats = args.size, args.repeats
+    if args.quick:
+        size, repeats = 20_000, 4
+    points = run_bench(size, args.statements, repeats,
+                       progress=lambda p: print(
+                           f'  {p["config"]}: '
+                           f'{p["stmts_per_second"]:.0f} stmts/s '
+                           f'({p["speedup"]:.2f}x)', file=sys.stderr))
+    print(format_points(points))
+    payload = {
+        'benchmark': 'shard', 'size': size, 'repeats': repeats,
+        'statements': args.statements, 'results': points,
+    }
+    args.json.write_text(json.dumps(payload, indent=2) + '\n',
+                         encoding='utf-8')
+    print(f'wrote {args.json}')
+    if args.check:
+        four = next(p for p in points if p['shards'] == 4
+                    and p['config'].startswith('sharded'))
+        if four['speedup'] < 1.0:
+            print(f'FAIL: sharded(4) is {four["speedup"]:.2f}x the '
+                  f'single-engine throughput (expected >= 1.0)',
+                  file=sys.stderr)
+            return 1
+        print(f'check passed: sharded(4) = {four["speedup"]:.2f}x '
+              f'single-engine throughput')
+    return 0
+
+
+if __name__ == '__main__':
+    raise SystemExit(_main())

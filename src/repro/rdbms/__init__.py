@@ -5,6 +5,9 @@ DESIGN.md)."""
 from repro.rdbms.dml import (Delete, Insert, Statement, Update,
                              derive_view_delta)
 from repro.rdbms.engine import Engine, Transaction, ViewEntry
+from repro.rdbms.sharded import (HashPartitioner, Partitioner,
+                                 RangePartitioner, ShardedEngine)
 
 __all__ = ['Delete', 'Insert', 'Statement', 'Update', 'derive_view_delta',
-           'Engine', 'Transaction', 'ViewEntry']
+           'Engine', 'Transaction', 'ViewEntry', 'ShardedEngine',
+           'Partitioner', 'HashPartitioner', 'RangePartitioner']

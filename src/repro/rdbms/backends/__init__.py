@@ -26,7 +26,8 @@ from repro.rdbms.backends.memory import MemoryBackend
 from repro.rdbms.backends.sqlite import SQLiteBackend
 
 __all__ = ['Backend', 'StoredRelation', 'MemoryBackend', 'SQLiteBackend',
-           'BACKENDS', 'create_backend', 'default_backend_kind']
+           'BACKENDS', 'create_backend', 'create_shard_backends',
+           'default_backend_kind']
 
 BACKENDS = {
     MemoryBackend.kind: MemoryBackend,
@@ -64,3 +65,34 @@ def create_backend(kind, schema) -> Backend:
         raise SchemaError(f'unknown backend {kind!r}; expected one of '
                           f'{sorted(BACKENDS)}') from None
     return factory(schema)
+
+
+def create_shard_backends(spec, schema, n_shards: int) -> list[Backend]:
+    """Instantiate one backend per shard for a sharded engine.
+
+    ``spec`` is ``None`` (the default kind for every shard), a single
+    backend *name* (a fresh instance of that kind per shard), or a
+    sequence of exactly ``n_shards`` names/instances — which is how hot
+    shards are kept on ``'memory'`` while cold shards run on
+    ``'sqlite'``.  Backend *instances* are only accepted inside the
+    per-shard sequence, and each must be distinct: one instance is one
+    shard's storage, and sharing it would make every shard write the
+    same tables.
+    """
+    if isinstance(spec, Backend):
+        raise SchemaError(
+            'a single Backend instance cannot serve every shard (each '
+            'shard needs its own storage); pass a backend name, or a '
+            'sequence with one distinct instance per shard')
+    if spec is None or isinstance(spec, str):
+        spec = [spec] * n_shards
+    else:
+        spec = list(spec)
+    if len(spec) != n_shards:
+        raise SchemaError(
+            f'{len(spec)} shard backends specified for {n_shards} shards')
+    instances = [kind for kind in spec if isinstance(kind, Backend)]
+    if len(instances) != len({id(backend) for backend in instances}):
+        raise SchemaError('the same Backend instance appears more than '
+                          'once in the shard backends')
+    return [create_backend(kind, schema) for kind in spec]

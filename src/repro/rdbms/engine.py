@@ -52,7 +52,7 @@ which ``benchmarks/bench_batch.py`` uses as the baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 from repro.core.incremental import incrementalize_plan
@@ -70,7 +70,19 @@ from repro.relational.database import Database
 from repro.relational.delta import Delta, DeltaSet
 from repro.relational.schema import DatabaseSchema, RelationSchema
 
-__all__ = ['Engine', 'Transaction', 'ViewEntry']
+__all__ = ['Engine', 'Transaction', 'ViewEntry', 'PreparedCommit']
+
+#: Re-plan a view's compiled plans when a source relation's observed
+#: cardinality drifts this far (either direction) from the stats the
+#: plans were seeded with.
+REPLAN_DRIFT_FACTOR = 10.0
+
+#: How often the drift check actually samples the statistics provider:
+#: on the first translation after (re)seeding, then every N-th.  A 10×
+#: drift develops over many transactions, and sampling every flush
+#: would put an O(#relations) count pass — cluster-wide, under the
+#: sharded engine — on the per-transaction hot path.
+REPLAN_CHECK_INTERVAL = 16
 
 
 @dataclass
@@ -96,6 +108,12 @@ class ViewEntry:
     base_closure: frozenset  # base tables transitively underneath
     update_closure: frozenset  # relations the putback can write,
     #                            transitively through view sources
+    # Cardinalities the current plans were seeded with, how many times
+    # drift forced a recompilation, and how many drift probes have run
+    # since the last (re)seed (see Engine._maybe_replan).
+    stats_seed: Mapping[str, int] = field(default_factory=dict)
+    replans: int = 0
+    drift_probes: int = 0
 
     @property
     def name(self) -> str:
@@ -111,6 +129,17 @@ class ViewEntry:
         if self.incremental_plan is not None:
             plans.append(self.incremental_plan)
         return tuple(plans)
+
+
+@dataclass
+class PreparedCommit:
+    """The outcome of :meth:`Engine.prepare_commit`: the storage batch
+    plus cache bookkeeping, with every failure mode already behind us.
+    Applying it (:meth:`Engine.apply_prepared`) only writes."""
+
+    batch: list          # (name, delta, is_cache) triples
+    changed_bases: set
+    keep: set            # touched views whose caches stay valid
 
 
 def _compose(first: Delta, second: Delta) -> Delta:
@@ -231,6 +260,13 @@ class Engine:
         self.backend = create_backend(backend, schema)
         self.batch_deltas = batch_deltas
         self._views: dict[str, ViewEntry] = {}
+        #: Where planner statistics come from — both the seed at
+        #: ``define_view`` time and the drift check/re-seed in
+        #: :meth:`_maybe_replan`.  A coordinator embedding this engine
+        #: (the sharded engine) overrides it with cluster-wide
+        #: aggregated counts, so one shard's local sizes never drive a
+        #: join order or a spurious re-plan.
+        self.stats_provider = self._relation_stats
 
     # -- basic access ------------------------------------------------------
 
@@ -252,6 +288,7 @@ class Engine:
         if self.backend.has_cache(name):
             return
         entry = self._views[name]
+        self._maybe_replan(entry)
         sources = {s: self.eval_handle(s) for s in entry.source_names}
         rows = self.backend.evaluate_get(entry, sources)
         self.backend.store_cache(name, rows)
@@ -296,13 +333,17 @@ class Engine:
     def define_view(self, strategy: UpdateStrategy, *,
                     report: ValidationReport | None = None,
                     validate_first: bool = True,
-                    use_incremental: bool = True) -> ViewEntry:
+                    use_incremental: bool = True,
+                    stats: Mapping[str, int] | None = None) -> ViewEntry:
         """Register an updatable view.
 
         The strategy must be valid; pass a precomputed ``report`` to skip
         re-validation, or ``validate_first=False`` to trust the caller
         (the expected_get is then required and used as the view
-        definition).
+        definition).  ``stats`` overrides the observed cardinalities the
+        planner seeds join orders with — the sharded engine passes
+        cluster-wide aggregated counts here, since any one shard's local
+        sizes under-estimate the relation.
         """
         name = strategy.view.name
         if name in self.schema or name in self._views:
@@ -328,7 +369,8 @@ class Engine:
             set(strategy.sources.names()) & (set(self.schema.names()) |
                                              set(self._views))))
         lvgn = is_lvgn(strategy.putdelta, name)
-        stats = self._relation_stats()
+        if stats is None:
+            stats = self.stats_provider()
         incremental_program = None
         incremental_plan = None
         if use_incremental:
@@ -359,11 +401,38 @@ class Engine:
                           incremental_plan is not None,
                           source_names=source_names,
                           base_closure=frozenset(closure),
-                          update_closure=frozenset(update_closure))
+                          update_closure=frozenset(update_closure),
+                          stats_seed=dict(stats))
         self._views[name] = entry
-        self.backend.register_view(entry)
-        self._register_index_hints(entry)
+        try:
+            self.backend.register_view(entry)
+            self._register_index_hints(entry)
+        except BaseException:
+            # Exception safety: a backend that fails to compile or
+            # index the view must not leave it half-registered.
+            self._views.pop(name, None)
+            raise
         return entry
+
+    def drop_view(self, name: str) -> None:
+        """Remove a view from the catalog (and drop its cache).  A
+        no-op for unknown names, so coordinators can use it to roll
+        back a partially propagated ``define_view``.  Refuses when
+        another view still reads ``name`` as a source — dropping it
+        would leave the catalog with dangling references.  Backend
+        residue of the registration (index hints, compiled SQL) is not
+        undone; it is correctness-neutral and overwritten if the name
+        is redefined."""
+        for other, entry in self._views.items():
+            if other == name:
+                continue
+            if name in entry.source_names \
+                    or name in entry.update_closure:
+                raise SchemaError(
+                    f'cannot drop view {name!r}: view {other!r} reads '
+                    f'or updates it')
+        if self._views.pop(name, None) is not None:
+            self.backend.drop_cache(name)
 
     def _relation_stats(self) -> dict[str, int]:
         """Observed cardinalities the planner seeds its join order with:
@@ -374,6 +443,53 @@ class Engine:
             if self.backend.has_cache(view):
                 stats[view] = self.backend.count(view)
         return stats
+
+    def _maybe_replan(self, entry: ViewEntry) -> None:
+        """Re-seed the view's compiled plans when a source relation's
+        size has drifted >10× from the cardinalities they were planned
+        with (the ROADMAP's "plan-level statistics" open item).
+
+        Memory backend only: its join orders are fixed at compile time,
+        whereas the SQLite backend already delegates planning to
+        SQLite's own optimizer at every execution.  Plans are immutable
+        and the compile is memoized, so re-planning is just swapping the
+        entry's plan references — in-flight evaluations are unaffected.
+        """
+        if self.backend.kind != 'memory':
+            return
+        entry.drift_probes += 1
+        if (entry.drift_probes - 1) % REPLAN_CHECK_INTERVAL:
+            return
+        factor = REPLAN_DRIFT_FACTOR
+        stats = None
+        drifted = False
+        for rel in entry.source_names:
+            if rel in self._views and not self.backend.has_cache(rel):
+                continue
+            if stats is None:
+                stats = self.stats_provider()
+            if rel not in stats:
+                continue
+            seeded = max(entry.stats_seed.get(rel, 0), 1)
+            current = max(stats[rel], 1)
+            if current >= factor * seeded or seeded >= factor * current:
+                drifted = True
+                break
+        if not drifted:
+            return
+        entry.get_plan = compile_program(entry.get_program, stats=stats)
+        if entry.use_incremental:
+            try:
+                entry.incremental_program, entry.incremental_plan = \
+                    incrementalize_plan(entry.strategy.putdelta,
+                                        entry.name, lvgn=entry.lvgn,
+                                        stats=stats)
+            except Exception:
+                pass  # keep the old incremental plan
+        entry.stats_seed = dict(stats)
+        entry.replans += 1
+        entry.drift_probes = 0
+        self._register_index_hints(entry)
 
     def _register_index_hints(self, entry: ViewEntry) -> None:
         """Pre-build the persistent access structures the view's
@@ -402,23 +518,46 @@ class Engine:
 
     def execute(self, target: str, statements: Sequence[Statement]) -> None:
         """Run a statement sequence against one relation, atomically."""
-        working = _Working(self)
-        self._execute_into(working, target, statements)
+        working = self.begin()
+        self.apply_statements(working, target, statements)
         self._commit(working)
 
     def execute_many(self, batches: Sequence[tuple[str,
                                                    Sequence[Statement]]]
                      ) -> None:
         """One transaction spanning several targets (BEGIN ... END)."""
-        working = _Working(self)
+        working = self.begin()
         for target, statements in batches:
-            self._execute_into(working, target, statements)
+            self.apply_statements(working, target, statements)
         self._commit(working)
 
-    # -- internals -------------------------------------------------------------
+    # -- the reusable transaction pipeline ---------------------------------
+    #
+    # A transaction is: ``begin()`` → ``apply_statements(...)`` per
+    # statement bucket → ``prepare_commit()`` (everything that can
+    # raise: pending translations, constraint checks, schema
+    # validation) → ``apply_prepared()`` (pure storage writes).  The
+    # sharded engine drives several engines through these pieces in
+    # lock-step — prepare on every touched shard first, apply only once
+    # all shards prepared — which is what makes a multi-shard abort
+    # leave every shard untouched.
 
-    def _execute_into(self, working: _Working, target: str,
-                      statements: Sequence[Statement]) -> None:
+    def begin(self) -> _Working:
+        """Open uncommitted transaction state (one per transaction)."""
+        return _Working(self)
+
+    def flush_reads(self, working: _Working, target: str) -> None:
+        """Make ``target`` consistent for an out-of-band read inside
+        the transaction: drain any pending view translation that could
+        still write it (see :meth:`_flush_for_read`).  External
+        coordinators (the sharded engine's cross-shard derivations)
+        call this before reading ``working`` state directly."""
+        self._flush_for_read(working, target)
+
+    def apply_statements(self, working: _Working, target: str,
+                         statements: Sequence[Statement]) -> None:
+        """Run one statement bucket against ``working`` (derive and
+        stage deltas; no storage is touched until commit)."""
         if target not in self._views and target not in self.schema:
             raise SchemaError(f'unknown relation {target!r}')
         if not statements:
@@ -493,6 +632,7 @@ class Engine:
         view_handle, pre_rows = working.pending_state.pop(name)
         origins = working.pending_origins.pop(name)
         entry = self._views[name]
+        self._maybe_replan(entry)
         merged = staged[0]
         for later in staged[1:]:
             merged = _compose(merged, later)
@@ -542,7 +682,13 @@ class Engine:
                     f'strategy for {name!r} updates unknown relation '
                     f'{relation!r}')
 
-    def _commit(self, working: _Working) -> None:
+    def prepare_commit(self, working: _Working) -> 'PreparedCommit':
+        """Everything commit does that can *fail*: drain the pending
+        view translations (plan runs, ⊥-constraint checks) and validate
+        every inserted base row — with storage still untouched.  The
+        returned :class:`PreparedCommit` is then applied with
+        :meth:`apply_prepared`; abandoning it aborts the transaction
+        with no cleanup needed."""
         self._flush_pending(working)
         # Validate every inserted base row before touching storage, so a
         # schema error cannot leave a half-applied transaction behind.
@@ -561,8 +707,6 @@ class Engine:
             else:
                 batch.append((name, delta, False))
                 changed_bases.add(name)
-        if batch:
-            self.backend.apply_deltas(batch)
         # A touched view's cache stays valid only when every write under
         # it came from its own update pipeline(s).
         keep: set[str] = set()
@@ -574,7 +718,21 @@ class Engine:
                 foreign |= working.base_origins.get(base, set()) - own
             if not foreign:
                 keep.add(view)
-        self._invalidate_dependents(changed_bases, keep=keep)
+        return PreparedCommit(batch=batch, changed_bases=changed_bases,
+                              keep=keep)
+
+    def apply_prepared(self, prepared: 'PreparedCommit') -> None:
+        """Apply a prepared transaction: one backend delta batch plus
+        cache invalidation bookkeeping.  Nothing here re-checks
+        constraints or schemas — that all happened in
+        :meth:`prepare_commit`."""
+        if prepared.batch:
+            self.backend.apply_deltas(prepared.batch)
+        self._invalidate_dependents(prepared.changed_bases,
+                                    keep=prepared.keep)
+
+    def _commit(self, working: _Working) -> None:
+        self.apply_prepared(self.prepare_commit(working))
 
     def _invalidate_dependents(self, changed_bases: set[str],
                                keep: set[str] = frozenset()) -> None:

@@ -1,0 +1,885 @@
+"""A sharded engine over key-range partitions of the base tables.
+
+The paper's putback strategies are *deterministic* Datalog programs, so
+a sharded deployment must produce bit-identical source updates to a
+single-node engine — the distribution setting of the companion work
+("Making View Update Strategies Programmable — Toward Controlling and
+Sharing Distributed Data").  :class:`ShardedEngine` partitions every
+base table by a declared shard key across N inner
+:class:`~repro.rdbms.engine.Engine` instances, each with its own
+:class:`~repro.rdbms.backends.base.Backend` — hot shards on
+``MemoryBackend``, cold shards on ``SQLiteBackend`` — and composes the
+engine's reusable transaction pipeline (``begin`` /
+``apply_statements`` / ``prepare_commit`` / ``apply_prepared``) rather
+than reimplementing it.
+
+**Partitioning.**  ``shard_keys`` declares, per relation (and per
+view), the attribute whose value a :class:`Partitioner` maps to a shard
+index: :class:`HashPartitioner` (stable modular/CRC hashing) or
+:class:`RangePartitioner` (an explicit ordered range map).  A view is
+*shard-local* when it declares a shard key and every relation its
+putback can reach — its ``update_closure``, its sources, and the base
+tables transitively underneath — is partitioned on the **same-named**
+attribute.  Shard-local view updates then decompose exactly: a view
+delta routed to the shards owning its rows is translated by each
+shard's own trigger pipeline, and the resulting source deltas land on
+the same shard by construction (the putback preserves the key
+variable).
+
+**Global fallback.**  A strategy whose ``update_closure`` writes a
+relation partitioned on a *different* key (or not partitioned at all)
+cannot be routed shard-locally; running it on one shard against
+partitioned sources would be silently wrong.  Such views fall back to
+a documented single-shard **global** placement, detected at
+:meth:`define_view` time: the view is pinned to ``global_shard`` and
+every base table underneath it is demoted to global placement too (its
+rows migrate to the global shard).  Demotion refuses — with a
+:class:`~repro.errors.SchemaError` — when a base is already serving an
+existing shard-local view, since one relation cannot be both
+partitioned and pinned.
+
+**Routing.**  INSERTs route by the inserted row's key; DELETEs route by
+a key-binding WHERE or broadcast; UPDATEs that do not touch the shard
+key broadcast (rows cannot move); UPDATEs that *assign* the shard key
+are derived centrally — the matched rows are gathered from every
+shard's transaction state and re-emitted as per-shard DELETE + INSERT
+statements on the owning shards (``Delta.split`` is the same operation
+at the delta level).  ``get`` answers by scatter-gather union over the
+per-shard view caches.
+
+**Atomicity.**  A transaction prepares every touched shard first (plan
+runs, ⊥-constraint checks, schema validation — everything that can
+fail) and applies the prepared storage batches only after *all* shards
+prepared, so an abort mid-transaction leaves every shard untouched.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+from bisect import bisect_right
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.strategy import UpdateStrategy
+from repro.core.validation import ValidationReport, validate
+from repro.datalog.ast import (Lit, Program, Rule, Var, delta_base,
+                               is_delta_pred)
+from repro.errors import SchemaError
+from repro.rdbms.backends import create_shard_backends
+from repro.rdbms.dml import (Delete, Insert, Statement, Update,
+                             _apply_assignments, match_where)
+from repro.rdbms.engine import Engine, Transaction, ViewEntry
+from repro.relational.database import Database
+from repro.relational.delta import Delta
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+__all__ = ['Partitioner', 'HashPartitioner', 'RangePartitioner',
+           'ShardedEngine']
+
+
+# ---------------------------------------------------------------------------
+# Partitioners
+# ---------------------------------------------------------------------------
+
+
+class Partitioner(ABC):
+    """Maps a shard-key *value* to a shard index in ``[0, n_shards)``.
+
+    Implementations must respect value equality: ``x == y`` implies
+    ``shard_of(x) == shard_of(y)`` — WHERE clauses match rows with
+    ``==`` (where ``1 == 1.0 == True``), so a partitioner that told
+    equal values apart would route a keyed statement away from the
+    rows it matches."""
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise SchemaError(f'need at least one shard, got {n_shards}')
+        self.n_shards = n_shards
+
+    @abstractmethod
+    def shard_of(self, value) -> int:
+        """The shard owning rows whose key equals ``value``."""
+
+
+class HashPartitioner(Partitioner):
+    """Stable hash partitioning: numbers by modulus, everything else
+    by CRC-32 of its ``repr`` — deliberately *not* Python's built-in
+    ``hash``, whose string seed changes per process and would make two
+    runs (or a differential test against a persisted SQLite shard)
+    disagree about row ownership.  Numeric values that compare equal
+    (``1``/``1.0``/``True``) normalise to the same shard."""
+
+    def shard_of(self, value) -> int:
+        # Normalise every numeric type onto one representative so
+        # ==-equal values (True/1/1.0/Decimal(1), and inf/Decimal
+        # ('Infinity') via the float step) share a shard; non-numerics
+        # fall through to the repr hash.
+        if isinstance(value, complex) and value.imag == 0:
+            value = value.real
+        if not isinstance(value, str):
+            try:
+                as_int = int(value)
+                if as_int == value:
+                    return as_int % self.n_shards
+            except (TypeError, ValueError, OverflowError):
+                pass
+            try:
+                value = float(value)
+            except (TypeError, ValueError, OverflowError):
+                pass
+        return zlib.crc32(repr(value).encode('utf-8')) % self.n_shards
+
+
+class RangePartitioner(Partitioner):
+    """Explicit key-range partitioning over ``len(boundaries) + 1``
+    shards: shard 0 owns values below ``boundaries[0]``, shard *i* owns
+    ``boundaries[i-1] <= value < boundaries[i]``, the last shard owns
+    the rest.  Boundaries must be sorted and mutually comparable with
+    every key value (one key type per partitioned schema)."""
+
+    def __init__(self, boundaries: Sequence):
+        boundaries = tuple(boundaries)
+        if list(boundaries) != sorted(boundaries) or \
+                any(a == b for a, b in zip(boundaries, boundaries[1:])):
+            raise SchemaError(f'range boundaries must be strictly '
+                              f'increasing, got {boundaries!r} (a '
+                              f'duplicate boundary would declare a '
+                              f'shard that can never own a row)')
+        super().__init__(len(boundaries) + 1)
+        self.boundaries = boundaries
+
+    def shard_of(self, value) -> int:
+        return bisect_right(self.boundaries, value)
+
+
+# ---------------------------------------------------------------------------
+# The sharded engine
+# ---------------------------------------------------------------------------
+
+
+class ShardedEngine:
+    """N inner engines over key-range partitions, one backend each.
+
+    Drop-in for :class:`~repro.rdbms.engine.Engine` on the DML surface
+    (``insert``/``delete``/``update``/``execute``/``execute_many``/
+    ``transaction``/``rows``/``database``/``load``/``define_view``).
+
+    Parameters
+    ----------
+    shards:
+        Shard count (default 2; inferred from ``backends`` or
+        ``partitioner`` when those are given).
+    backends:
+        Per-shard storage — ``None``/a kind name for uniform shards, or
+        a sequence mixing kinds and prebuilt Backend instances (hot
+        shards in memory, cold shards in SQLite files); resolved by
+        :func:`repro.rdbms.backends.create_shard_backends`.
+    partitioner:
+        A :class:`Partitioner` (default :class:`HashPartitioner`).
+    shard_keys:
+        ``{relation_or_view: attribute name (or position)}`` — the
+        declared shard key of each partitioned relation.  Relations
+        without a key are *global*: stored wholly on ``global_shard``.
+    """
+
+    def __init__(self, schema: DatabaseSchema, *,
+                 shards: int | None = None,
+                 backends=None,
+                 partitioner: Partitioner | None = None,
+                 shard_keys: Mapping[str, str | int] | None = None,
+                 batch_deltas: bool = True,
+                 global_shard: int = 0):
+        if shards is None:
+            if partitioner is not None:
+                shards = partitioner.n_shards
+            elif backends is not None and \
+                    not isinstance(backends, str) and \
+                    hasattr(backends, '__len__'):
+                shards = len(backends)
+            else:
+                shards = 2
+        self.schema = schema
+        self.partitioner = partitioner or HashPartitioner(shards)
+        if self.partitioner.n_shards != shards:
+            raise SchemaError(
+                f'partitioner covers {self.partitioner.n_shards} shards '
+                f'but {shards} were requested')
+        if not 0 <= global_shard < shards:
+            raise SchemaError(f'global_shard {global_shard} out of range '
+                              f'for {shards} shards')
+        self.global_shard = global_shard
+        shard_backends = create_shard_backends(backends, schema, shards)
+        self.engines = tuple(Engine(schema, backend=b,
+                                    batch_deltas=batch_deltas)
+                             for b in shard_backends)
+        for engine in self.engines:
+            # Planner statistics (define_view seed AND drift re-plans)
+            # come from cluster-wide aggregated counts, never from one
+            # shard's local sizes.
+            engine.stats_provider = self._aggregated_stats
+        self._entries: dict[str, ViewEntry] = {}
+        #: relation/view -> None (partitioned) or the pinned shard index
+        self._placement: dict[str, int | None] = {}
+        self._key_pos: dict[str, int] = {}
+        self._key_attr: dict[str, str] = {}
+        #: unresolved key declarations for views defined later
+        self._pending_keys: dict[str, str | int] = {}
+        for name, key in dict(shard_keys or {}).items():
+            if name in schema:
+                pos, attr = _resolve_key(schema[name], key)
+                self._placement[name] = None
+                self._key_pos[name] = pos
+                self._key_attr[name] = attr
+            else:
+                self._pending_keys[name] = key
+        for rel in schema.names():
+            self._placement.setdefault(rel, self.global_shard)
+
+    # -- configuration introspection ----------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.engines)
+
+    def is_view(self, name: str) -> bool:
+        return name in self._entries
+
+    def view(self, name: str) -> ViewEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise SchemaError(f'unknown view {name!r}') from None
+
+    def relations(self) -> tuple[str, ...]:
+        return self.schema.names() + tuple(self._entries)
+
+    def placement(self, name: str):
+        """``'partitioned'`` or the pinned (global) shard index."""
+        place = self._placement_of(name)
+        return 'partitioned' if place is None else place
+
+    def is_partitioned(self, name: str) -> bool:
+        return self._placement_of(name) is None
+
+    def shard_key(self, name: str) -> str | None:
+        """The declared shard-key attribute of a partitioned relation."""
+        return self._key_attr.get(name)
+
+    @property
+    def unresolved_shard_keys(self) -> tuple[str, ...]:
+        """``shard_keys`` entries naming neither a base table nor any
+        view defined so far.  Such entries are legitimate *before* the
+        named view's ``define_view`` call; one still listed after all
+        views are defined is a typo (e.g. ``'item'`` for ``'items'``)
+        that silently left the intended relation on global placement —
+        assert this is empty after setup."""
+        return tuple(sorted(name for name in self._pending_keys
+                            if name not in self._entries))
+
+    def _placement_of(self, name: str) -> int | None:
+        try:
+            return self._placement[name]
+        except KeyError:
+            raise SchemaError(f'unknown relation {name!r}') from None
+
+    def _shard_of_row(self, name: str, row: tuple) -> int:
+        return self.partitioner.shard_of(row[self._key_pos[name]])
+
+    def classifier(self, name: str):
+        """The partition predicate of ``name`` — the row → shard map
+        that :meth:`repro.relational.delta.Delta.split` routes deltas
+        with.  Global relations map every row to their pinned shard."""
+        place = self._placement_of(name)
+        if place is not None:
+            return lambda row: place
+        key = self._key_pos[name]
+        shard_of = self.partitioner.shard_of
+        return lambda row: shard_of(row[key])
+
+    # -- storage access ------------------------------------------------
+
+    def rows(self, name: str) -> frozenset:
+        """Scatter-gather union of ``name`` across its shards (the
+        whole relation/view, exactly as the single engine reports it)."""
+        place = self._placement_of(name)
+        if place is not None:
+            return frozenset(self.engines[place].rows(name))
+        gathered: set = set()
+        for engine in self.engines:
+            gathered |= set(engine.rows(name))
+        return frozenset(gathered)
+
+    def shard_rows(self, name: str) -> tuple[frozenset, ...]:
+        """Per-shard contents of ``name`` (diagnostics and tests)."""
+        return tuple(frozenset(engine.rows(name))
+                     for engine in self.engines)
+
+    def count(self, name: str) -> int:
+        """Cluster-wide cardinality, aggregated from the per-shard
+        :meth:`Backend.count` (global relations live on one shard and
+        the others report zero)."""
+        if name in self._entries:
+            return len(self.rows(name))
+        self._placement_of(name)
+        return sum(engine.backend.count(name) for engine in self.engines)
+
+    def database(self) -> Database:
+        """A frozen snapshot of the cluster-wide base-table state."""
+        merged: dict[str, set] = {}
+        for engine in self.engines:
+            snapshot = engine.database()
+            for name in snapshot.names():
+                merged.setdefault(name, set()).update(snapshot[name])
+        return Database.from_dict(merged)
+
+    def load(self, name: str, rows: Iterable[tuple]) -> None:
+        """Bulk-load a base table, splitting the rows across shards."""
+        if name in self._entries or name not in self.schema:
+            raise SchemaError(f'{name!r} is not a base table')
+        loaded = {tuple(r) for r in rows}
+        # Validate everything BEFORE any shard is replaced, like the
+        # single engine: a bad row must not leave the cluster with a
+        # mix of old and new shard contents.
+        for row in loaded:
+            self.schema[name].validate_tuple(row)
+        classify = self.classifier(name)
+        shares: dict[int, set] = {i: set() for i in range(self.n_shards)}
+        for row in loaded:
+            shares[classify(row)].add(row)
+        for index, engine in enumerate(self.engines):
+            engine.load(name, shares[index])
+
+    def close(self) -> None:
+        for engine in self.engines:
+            engine.backend.close()
+
+    # -- view definition ----------------------------------------------
+
+    def define_view(self, strategy: UpdateStrategy, *,
+                    report: ValidationReport | None = None,
+                    validate_first: bool = True,
+                    use_incremental: bool = True) -> ViewEntry:
+        """Register an updatable view on every shard.
+
+        Validation runs once here (not once per shard); each inner
+        engine compiles against the *aggregated* cluster-wide
+        cardinalities so the per-shard planners see the same join-order
+        statistics a single node would.
+        """
+        name = strategy.view.name
+        if name in self.schema or name in self._entries:
+            raise SchemaError(f'relation {name!r} already exists')
+        for source in strategy.updated_relations():
+            if source not in self.schema and source not in self._entries:
+                raise SchemaError(
+                    f'view {name!r} updates unknown relation {source!r}')
+        if report is None and validate_first:
+            report = validate(strategy)
+        get_program = report.view_definition if report is not None \
+            else strategy.expected_get
+        placement, demotions = self._decide_placement(strategy,
+                                                      get_program)
+        stats = self._aggregated_stats()
+        demoted: list[tuple[str, int, str]] = []
+        try:
+            for engine in self.engines:
+                engine.define_view(strategy, report=report,
+                                   validate_first=False,
+                                   use_incremental=use_incremental,
+                                   stats=stats)
+            # Cluster bookkeeping runs only once every shard accepted
+            # the view; demotions are ordered after that so a failed
+            # define_view cannot leave bases demoted.
+            for base in demotions:
+                undo = (base, self._key_pos[base], self._key_attr[base])
+                self._demote_to_global(base)
+                demoted.append(undo)
+            self._entries[name] = self.engines[0].view(name)
+            if placement is None:
+                pos, attr = _resolve_key(strategy.view,
+                                         self._pending_keys[name])
+                self._placement[name] = None
+                self._key_pos[name] = pos
+                self._key_attr[name] = attr
+            else:
+                self._placement[name] = placement
+        except BaseException:
+            # All-or-nothing across shards: a view registered on a
+            # subset of the engines (drop_view is a no-op on the rest)
+            # would wedge its name forever, and bases demoted for a
+            # view that never materialised must get their partitioned
+            # layout back.
+            for engine in self.engines:
+                engine.drop_view(name)
+            self._entries.pop(name, None)
+            for base, pos, attr in reversed(demoted):
+                self._repartition(base, pos, attr)
+            raise
+        return self._entries[name]
+
+    def _decide_placement(self, strategy: UpdateStrategy,
+                          get_program: Program | None
+                          ) -> tuple[int | None, list[str]]:
+        """``(None, [])`` when the view can be routed shard-locally,
+        else ``(global shard index, bases to demote)`` — the demotions
+        are *decided* here but applied by the caller only after every
+        shard accepted the view, so a failed ``define_view`` cannot
+        leave the cluster degraded (§"Global fallback" in the module
+        docstring).
+
+        Shard-locality needs two proofs: every relation the putback can
+        reach is partitioned on the same-named attribute, and the
+        programs are *key-aligned* (:func:`_key_aligned`) — name
+        matching alone would accept rules that join through a non-key
+        variable and then route wrongly."""
+        name = strategy.view.name
+        update_closure: set[str] = set()
+        for updated in strategy.updated_relations():
+            update_closure.add(updated)
+            if updated in self._entries:
+                update_closure |= self._entries[updated].update_closure
+        # Only relations the programs actually *read* constrain the
+        # placement — the engine hands every schema relation to plan
+        # evaluation, but unreferenced ones cannot affect the result.
+        # ``get_program`` (the certified view definition when a report
+        # was given) is the program the engine will evaluate, so it —
+        # not ``strategy.expected_get`` — is what counts here.
+        referenced: set[str] = set()
+        for program in (strategy.putdelta, get_program):
+            if program is not None:
+                referenced |= program.edb_preds()
+        known = set(self.schema.names()) | set(self._entries)
+        source_names = referenced & known
+        base_closure: set[str] = set()
+        for source in source_names:
+            if source in self._entries:
+                base_closure |= self._entries[source].base_closure
+            else:
+                base_closure.add(source)
+        relevant = (update_closure | source_names | base_closure) - {name}
+
+        key_spec = self._pending_keys.get(name)
+        if key_spec is not None:
+            # A key declaration that does not resolve against the view
+            # schema is a configuration error, exactly as it is for
+            # base tables at construction — never a silent fallback.
+            view_pos, view_attr = _resolve_key(strategy.view, key_spec)
+            if all(
+                    self._placement.get(rel) is None
+                    and self._key_attr.get(rel) == view_attr
+                    for rel in relevant):
+                key_pos_of = {rel: self._key_pos[rel]
+                              for rel in relevant}
+                key_pos_of[name] = view_pos
+                if _key_aligned(strategy.putdelta, get_program, name,
+                                key_pos_of):
+                    return None, []
+
+        # Global fallback: pin the view, demote its base tables.
+        demotions: list[str] = []
+        for rel in sorted(relevant):
+            if self._placement.get(rel) is None:
+                holder = self._partitioned_view_over(rel)
+                if holder is not None:
+                    raise SchemaError(
+                        f'view {name!r} is not shard-local (its update '
+                        f'closure reaches {rel!r}, partitioned on '
+                        f'{self._key_attr.get(rel)!r}) but {rel!r} '
+                        f'already serves the shard-local view '
+                        f'{holder!r}; declare a co-partitioned shard '
+                        f'key for {name!r} or drop {rel!r} from '
+                        f'shard_keys')
+                if rel in self.schema:
+                    demotions.append(rel)
+                else:
+                    # A previously defined shard-local *view* source
+                    # cannot be re-placed — same conflict.
+                    raise SchemaError(
+                        f'view {name!r} is not shard-local but its '
+                        f'source view {rel!r} is; declare a '
+                        f'co-partitioned shard key for {name!r}')
+        return self.global_shard, demotions
+
+    def _partitioned_view_over(self, rel: str) -> str | None:
+        for view, entry in self._entries.items():
+            if self._placement.get(view) is not None:
+                continue
+            if rel in entry.base_closure or rel in entry.update_closure \
+                    or rel in entry.source_names:
+                return view
+        return None
+
+    def _demote_to_global(self, base: str) -> None:
+        """Re-place a partitioned base wholly onto the global shard
+        (the rows migrate; the key declaration is dropped).  The
+        gathered copy is the recovery source: if any shard's load
+        fails mid-migration, the partitioned layout is restored from
+        it rather than leaving rows duplicated or half-moved."""
+        gathered = set(self.rows(base))
+        try:
+            for index, engine in enumerate(self.engines):
+                engine.load(base, gathered
+                            if index == self.global_shard else ())
+        except BaseException:
+            # _placement has not flipped yet, so a plain reload routes
+            # the gathered copy back through the partitioned layout.
+            self.load(base, gathered)
+            raise
+        self._placement[base] = self.global_shard
+        self._key_pos.pop(base, None)
+        self._key_attr.pop(base, None)
+
+    def _repartition(self, base: str, pos: int, attr: str) -> None:
+        """Undo a demotion: restore the key declaration and spread the
+        (now global-shard) rows back over the partitioned layout."""
+        gathered = set(self.rows(base))
+        self._placement[base] = None
+        self._key_pos[base] = pos
+        self._key_attr[base] = attr
+        self.load(base, gathered)
+
+    def _aggregated_stats(self) -> dict[str, int]:
+        """Cluster-wide cardinalities for the per-shard planners."""
+        stats = {name: sum(engine.backend.count(name)
+                           for engine in self.engines)
+                 for name in self.schema.names()}
+        for view in self._entries:
+            place = self._placement.get(view)
+            holders = [self.engines[place]] if place is not None \
+                else list(self.engines)
+            if all(engine.backend.has_cache(view) for engine in holders):
+                stats[view] = sum(engine.backend.count(view)
+                                  for engine in holders)
+        return stats
+
+    # -- DML -----------------------------------------------------------
+
+    def insert(self, target: str, values: tuple) -> None:
+        self.execute(target, [Insert(tuple(values))])
+
+    def delete(self, target: str, where=None) -> None:
+        self.execute(target, [Delete(where)])
+
+    def update(self, target: str, assignments: Mapping[str, object],
+               where=None) -> None:
+        self.execute(target, [Update(assignments, where)])
+
+    def transaction(self) -> Transaction:
+        return Transaction(self)
+
+    def execute(self, target: str, statements: Sequence[Statement]) -> None:
+        self.execute_many([(target, statements)])
+
+    def execute_many(self, batches: Sequence[tuple[str,
+                                                   Sequence[Statement]]]
+                     ) -> None:
+        """One atomic transaction across shards: route every bucket,
+        then two-phase commit — prepare every touched shard (every
+        *logical* failure mode: translation, ⊥-constraints, schema
+        validation), apply only when all prepared.  Shards prepare in
+        *first-touched* order — the order their first bucket was
+        staged — so a multi-view abort surfaces the same first
+        violation a single engine's first-staged pending drain would.
+        (Exact first-error parity covers translation and ⊥-constraint
+        failures; an unvalidated strategy whose putback emits
+        schema-invalid source rows may surface its row-validation
+        error in shard rather than global staging order.)
+        The apply phase carries the same trust the single engine
+        places in ``Backend.apply_deltas``: a storage-level I/O
+        failure there is not compensated (durable cross-shard 2PC
+        logs are out of scope for this reproduction)."""
+        workings: dict[int, object] = {}     # insertion-ordered
+        for target, statements in batches:
+            self._route_bucket(workings, target, statements)
+        prepared = [(index, self.engines[index].prepare_commit(working))
+                    for index, working in workings.items()]
+        for index, commit in prepared:
+            self.engines[index].apply_prepared(commit)
+
+    # -- routing internals --------------------------------------------
+
+    def _working(self, workings: dict, index: int):
+        if index not in workings:
+            workings[index] = self.engines[index].begin()
+        return workings[index]
+
+    def _forward(self, workings: dict, target: str,
+                 per_shard: dict[int, list[Statement]]) -> None:
+        for index in sorted(per_shard):
+            statements = per_shard[index]
+            if statements:
+                self.engines[index].apply_statements(
+                    self._working(workings, index), target, statements)
+
+    def _route_bucket(self, workings: dict, target: str,
+                      statements: Sequence[Statement]) -> None:
+        place = self._placement_of(target)
+        if not statements:
+            # Mirror Engine.apply_statements exactly: an empty bucket
+            # is a no-op BEFORE the flush gate, so it cannot split a
+            # batched translation the single engine would coalesce.
+            return
+        # Cluster-wide statement-order gate, mirroring the single
+        # engine's _flush_for_read: before ANY shard processes a bucket
+        # on ``target``, every shard holding a pending view translation
+        # that could still write ``target`` (or reads it as a source)
+        # must drain it.  Without this, two faults routed to different
+        # shards can surface in a different order than on a single
+        # node — committing the same state but raising a different
+        # error type, which the differential oracle forbids.
+        for index, working in list(workings.items()):
+            self.engines[index].flush_reads(working, target)
+        if place is not None:
+            self.engines[place].apply_statements(
+                self._working(workings, place), target,
+                list(statements))
+            return
+        key_attr = self._key_attr[target]
+        key_pos = self._key_pos[target]
+        per_shard: dict[int, list[Statement]] = {}
+
+        def stage(index: int, statement: Statement) -> None:
+            per_shard.setdefault(index, []).append(statement)
+
+        def broadcast(statement: Statement) -> None:
+            for index in range(self.n_shards):
+                stage(index, statement)
+
+        for statement in statements:
+            if isinstance(statement, Insert):
+                row = tuple(statement.values)
+                if len(row) <= key_pos:
+                    # Arity error: forward anywhere, the shard's schema
+                    # validation produces the canonical SchemaError.
+                    stage(self.global_shard, statement)
+                else:
+                    stage(self.partitioner.shard_of(row[key_pos]),
+                          statement)
+            elif isinstance(statement, Delete):
+                routed = self._where_shard(target, statement.where,
+                                           key_attr)
+                if routed is None:
+                    broadcast(statement)
+                else:
+                    stage(routed, statement)
+            elif isinstance(statement, Update):
+                if key_attr in statement.assignments:
+                    # Rows may change owner: derive centrally, then
+                    # re-emit as per-shard DELETE + INSERT.  Forward
+                    # what is already staged first so statement order
+                    # is preserved on every shard.
+                    self._forward(workings, target, per_shard)
+                    per_shard = {}
+                    self._route_moving_update(workings, target,
+                                              statement)
+                else:
+                    routed = self._where_shard(target, statement.where,
+                                               key_attr)
+                    if routed is None:
+                        broadcast(statement)
+                    else:
+                        stage(routed, statement)
+            else:
+                raise SchemaError(f'unknown statement {statement!r}')
+        self._forward(workings, target, per_shard)
+
+    def _where_shard(self, target: str, where,
+                     key_attr: str) -> int | None:
+        """The single shard a WHERE pins, when it binds the shard key
+        to a constant; ``None`` means broadcast.  A mapping naming an
+        unknown column is never pinned: the single engine raises its
+        SchemaError from the first row it scans (and stays silent on
+        an empty relation), and only a broadcast reproduces that
+        data-dependent behavior."""
+        if isinstance(where, Mapping) and key_attr in where and \
+                set(where) <= set(self._target_schema(target).attributes):
+            return self.partitioner.shard_of(where[key_attr])
+        return None
+
+    def _target_schema(self, target: str) -> RelationSchema:
+        if target in self._entries:
+            return self._entries[target].schema
+        return self.schema[target]
+
+    def _route_moving_update(self, workings: dict, target: str,
+                             statement: Update) -> None:
+        """An UPDATE that assigns the shard key: gather the matched
+        rows from every shard's transaction state, apply the
+        assignments centrally into one (Δ⁺, Δ⁻) pair, split it by the
+        partition predicate (:meth:`Delta.split` — deletions route by
+        the old row's owner, insertions by the new row's), and re-emit
+        each shard's share as DELETE + INSERT statements."""
+        schema = self._target_schema(target)
+        key_attr = self._key_attr[target]
+        pinned = self._where_shard(target, statement.where, key_attr)
+        shards = range(self.n_shards) if pinned is None else (pinned,)
+        victims: set = set()
+        replacements: set = set()
+        for index in shards:
+            engine = self.engines[index]
+            working = self._working(workings, index)
+            engine.flush_reads(working, target)
+            for row in working.rows(target):
+                if not match_where(row, statement.where, schema):
+                    continue
+                new_row = _apply_assignments(row, statement.assignments,
+                                             schema)
+                schema.validate_tuple(new_row)
+                victims.add(row)
+                replacements.add(new_row)
+        moved = Delta(replacements, victims)
+        merged: dict[int, list[Statement]] = {}
+        for index, part in sorted(
+                moved.split(self.classifier(target)).items()):
+            # UPDATE is deletions followed by insertions (App. D):
+            # keep that order on every shard.
+            merged[index] = \
+                [Delete(dict(zip(schema.attributes, row)))
+                 for row in sorted(part.deletions)] + \
+                [Insert(row) for row in sorted(part.insertions)]
+        self._forward(workings, target, merged)
+
+
+# ---------------------------------------------------------------------------
+# Static key-alignment analysis
+# ---------------------------------------------------------------------------
+#
+# Matching key *attribute names* is necessary but not sufficient for
+# shard-local routing: a rule like ``+r1(X) :- r2(X), v(Y), not r1(X).``
+# references only relations partitioned on the same attribute, yet the
+# variable it writes ``r1`` with is not the view row's key — evaluating
+# it per shard against shard-local sources would silently diverge from
+# the single engine.  These helpers prove the stronger property the
+# routing argument actually needs: in every rule of the putback, the
+# ⊥-constraints, and the view definition, all partitioned atoms are
+# keyed by ONE shared variable, which intermediate predicates carry
+# through to the delta heads.
+
+
+def _rule_key_var(rule: Rule, key_pos_of: Mapping[str, int],
+                  carry: Mapping[str, int | None]) -> str | None:
+    """The single variable sitting at the key position of every
+    partitioned (or key-carrying intermediate) atom in ``rule``'s body,
+    or ``None`` when no such shared variable exists.  The variable must
+    occur in at least one *positive* atom so it is genuinely bound to a
+    shard-owned row."""
+    shared: str | None = None
+    positively_bound = False
+    for literal in rule.body:
+        if not isinstance(literal, Lit):
+            continue                      # builtins carry no key
+        atom = literal.atom
+        pred = delta_base(atom.pred) if is_delta_pred(atom.pred) \
+            else atom.pred
+        if pred in key_pos_of:
+            position = key_pos_of[pred]
+        elif atom.pred in carry:
+            position = carry[atom.pred]
+            if position is None:          # intermediate drops the key
+                return None
+        else:                             # unanalysable predicate
+            return None
+        argument = atom.args[position]
+        if not isinstance(argument, Var):
+            return None                   # constant/anonymous key
+        if shared is None:
+            shared = argument.name
+        elif argument.name != shared:
+            return None                   # two different join keys
+        if literal.positive:
+            positively_bound = True
+    if shared is None or not positively_bound:
+        return None
+    return shared
+
+
+def _carry_positions(program: Program,
+                     key_pos_of: Mapping[str, int]) -> dict[str,
+                                                            int | None]:
+    """For each intermediate (non-delta IDB) predicate: the head
+    position that provably carries the rule key through every defining
+    rule, or ``None`` when no position does (the predicate "drops" the
+    key and any rule using it is not shard-local)."""
+    rules_of: dict[str, list[Rule]] = {}
+    for rule in program.proper_rules():
+        if rule.head is not None and not is_delta_pred(rule.head.pred) \
+                and rule.head.pred not in key_pos_of:
+            rules_of.setdefault(rule.head.pred, []).append(rule)
+    carry: dict[str, int | None] = {}
+    pending = dict(rules_of)
+    progress = True
+    while pending and progress:           # nonrecursive → terminates
+        progress = False
+        for pred in list(pending):
+            rules = pending[pred]
+            depends = {literal.atom.pred for rule in rules
+                       for literal in rule.body
+                       if isinstance(literal, Lit)}
+            if depends & set(pending):
+                continue                  # a dependency is unresolved
+            positions: set[int] | None = None
+            for rule in rules:
+                key_var = _rule_key_var(rule, key_pos_of, carry)
+                if key_var is None:
+                    positions = set()
+                    break
+                here = {index for index, arg in enumerate(rule.head.args)
+                        if isinstance(arg, Var) and arg.name == key_var}
+                positions = here if positions is None \
+                    else positions & here
+            carry[pred] = min(positions) if positions else None
+            del pending[pred]
+            progress = True
+    for pred in pending:                  # unresolvable (defensive)
+        carry[pred] = None
+    return carry
+
+
+def _key_aligned(putdelta: Program, get_program: Program | None,
+                 view_name: str,
+                 key_pos_of: Mapping[str, int]) -> bool:
+    """Is every rule of the putback and the view definition routable by
+    the shared key — so that per-shard evaluation over shard-local
+    state provably equals the single engine's result restricted to the
+    shard?"""
+    for program in (putdelta, get_program):
+        if program is None:
+            continue
+        carry = _carry_positions(program, key_pos_of)
+        for rule in program.rules:
+            head = rule.head
+            if head is None:              # ⊥-constraint: body only
+                if _rule_key_var(rule, key_pos_of, carry) is None:
+                    return False
+                continue
+            if is_delta_pred(head.pred):
+                target = delta_base(head.pred)
+            elif head.pred in key_pos_of:
+                target = head.pred        # the view-definition head
+            else:
+                continue                  # intermediate: via ``carry``
+            key_var = _rule_key_var(rule, key_pos_of, carry)
+            if key_var is None:
+                return False
+            argument = head.args[key_pos_of[target]]
+            if not (isinstance(argument, Var)
+                    and argument.name == key_var):
+                return False
+    return True
+
+
+def _resolve_key(schema: RelationSchema, key: str | int) -> tuple[int, str]:
+    """Resolve a shard-key declaration (attribute name or position)
+    against a relation schema → ``(position, attribute name)``."""
+    if isinstance(key, int):
+        if not 0 <= key < schema.arity:
+            raise SchemaError(
+                f'shard key position {key} out of range for '
+                f'{schema.name!r} (arity {schema.arity})')
+        return key, schema.attributes[key]
+    try:
+        return schema.attributes.index(key), key
+    except ValueError:
+        raise SchemaError(
+            f'shard key {key!r} is not an attribute of '
+            f'{schema.name!r} {schema.attributes}') from None

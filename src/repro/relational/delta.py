@@ -78,6 +78,33 @@ class Delta:
     def invert(self) -> 'Delta':
         return Delta(self.deletions, self.insertions)
 
+    def split(self, classify) -> dict:
+        """Partition the delta by a row predicate: ``classify(row)``
+        names the partition (e.g. a shard index) each tuple belongs to.
+        Returns ``{partition: Delta}`` with empty partitions omitted —
+        the sharded engine uses this to route one logical delta to the
+        shards owning its rows."""
+        plus: dict[object, set] = {}
+        minus: dict[object, set] = {}
+        for row in self.insertions:
+            plus.setdefault(classify(row), set()).add(row)
+        for row in self.deletions:
+            minus.setdefault(classify(row), set()).add(row)
+        return {part: Delta(plus.get(part, ()), minus.get(part, ()))
+                for part in set(plus) | set(minus)}
+
+    @classmethod
+    def merge(cls, parts: Iterable['Delta']) -> 'Delta':
+        """Reassemble a delta from disjoint partitions (the inverse of
+        :meth:`split`): a plain union, since no tuple belongs to two
+        partitions."""
+        plus: set = set()
+        minus: set = set()
+        for part in parts:
+            plus |= part.insertions
+            minus |= part.deletions
+        return cls(plus, minus)
+
     def __len__(self) -> int:
         return len(self.insertions) + len(self.deletions)
 
@@ -174,6 +201,28 @@ class DeltaSet:
         for name, delta in other.deltas.items():
             merged[name] = merged.get(name, Delta()).union(delta)
         return DeltaSet(merged)
+
+    def split(self, classifiers: Mapping[str, object]) -> dict:
+        """Partition every relation's delta by its own row predicate:
+        ``classifiers[name](row)`` names the partition each tuple of
+        ``name`` belongs to (every relation present in the delta set
+        needs a classifier).  Returns ``{partition: DeltaSet}`` with
+        empty partitions omitted."""
+        parts: dict[object, dict[str, Delta]] = {}
+        for name, delta in self.deltas.items():
+            for part, piece in delta.split(classifiers[name]).items():
+                parts.setdefault(part, {})[name] = piece
+        return {part: DeltaSet(deltas) for part, deltas in parts.items()}
+
+    @classmethod
+    def merge(cls, parts: Iterable['DeltaSet']) -> 'DeltaSet':
+        """Reassemble per-partition delta sets (inverse of
+        :meth:`split`)."""
+        merged: dict[str, Delta] = {}
+        for part in parts:
+            for name in part:
+                merged[name] = merged.get(name, Delta()).union(part[name])
+        return cls(merged)
 
     def as_database(self) -> Database:
         """Render the delta set as a database of ``+r``/``-r`` relations."""

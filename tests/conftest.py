@@ -1,12 +1,45 @@
-"""Shared fixtures: the paper's running examples as ready-made objects."""
+"""Shared fixtures: the paper's running examples as ready-made objects,
+plus the Hypothesis profiles the fuzz harness runs under."""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.core.strategy import UpdateStrategy
 from repro.relational.database import Database
 from repro.relational.schema import DatabaseSchema
+
+try:
+    from hypothesis import HealthCheck, settings as hyp_settings
+
+    # Idempotence guard: some tests re-import this module under the
+    # ``tests.conftest`` name, which must not re-register profiles
+    # mid-test (hypothesis deprecation).
+    try:
+        hyp_settings.get_profile('ci')
+    except Exception:
+        _CHECKS = [HealthCheck.too_slow, HealthCheck.data_too_large,
+                   HealthCheck.filter_too_much]
+        # ``ci`` — the bounded smoke the CI matrix selects with
+        # ``--hypothesis-profile=ci``; ``dev`` — the default local
+        # run; ``long`` — the deep differential run
+        # (``REPRO_FUZZ=long``), sized so the sharded-vs-single oracle
+        # sees well over 200 generated transactions.
+        hyp_settings.register_profile('ci', max_examples=10,
+                                      deadline=None,
+                                      suppress_health_check=_CHECKS)
+        hyp_settings.register_profile('dev', max_examples=25,
+                                      deadline=None,
+                                      suppress_health_check=_CHECKS)
+        hyp_settings.register_profile('long', max_examples=150,
+                                      deadline=None,
+                                      suppress_health_check=_CHECKS)
+        hyp_settings.load_profile(
+            'long' if os.environ.get('REPRO_FUZZ') == 'long' else 'dev')
+except ImportError:                              # pragma: no cover
+    pass
 
 UNION_PUTDELTA = """
     -r1(X) :- r1(X), not v(X).

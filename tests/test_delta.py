@@ -120,3 +120,56 @@ def test_invert_undoes_effective_delta(base, insertions):
     delta = Delta(insertions - base, frozenset())
     applied = delta.apply(base)
     assert delta.invert().apply(applied) == base
+
+
+# ---------------------------------------------------------------------------
+# Partition split/merge (the sharded engine's routing primitive)
+# ---------------------------------------------------------------------------
+
+
+class TestSplitMerge:
+
+    def test_split_by_key_modulus(self):
+        delta = Delta({(0, 'a'), (1, 'b'), (3, 'c')}, {(2, 'd')})
+        parts = delta.split(lambda row: row[0] % 2)
+        assert parts[0] == Delta({(0, 'a')}, {(2, 'd')})
+        assert parts[1].insertions == {(1, 'b'), (3, 'c')}
+        assert parts[1].deletions == frozenset()
+
+    def test_split_omits_empty_partitions(self):
+        delta = Delta({(1,)}, set())
+        parts = delta.split(lambda row: row[0] % 4)
+        assert set(parts) == {1}
+
+    def test_merge_inverts_split(self):
+        delta = Delta({(i,) for i in range(10)},
+                      {(i,) for i in range(20, 25)})
+        parts = delta.split(lambda row: row[0] % 3)
+        assert Delta.merge(parts.values()) == delta
+
+    def test_deltaset_split_merge(self):
+        deltas = DeltaSet({'r': Delta({(1,), (2,)}, {(3,)}),
+                           's': Delta({(9,)}, set())})
+        parts = deltas.split({'r': lambda row: row[0] % 2,
+                              's': lambda row: 0})
+        assert parts[0]['s'].insertions == {(9,)}
+        assert parts[0]['r'] == Delta({(2,)}, set())
+        assert parts[1]['r'] == Delta({(1,)}, {(3,)})
+        merged = DeltaSet.merge(parts.values())
+        assert merged['r'] == deltas['r'] and merged['s'] == deltas['s']
+
+
+@given(rows, rows)
+@settings(max_examples=100, deadline=None)
+def test_split_partitions_are_disjoint_and_complete(insertions, deletions):
+    deletions = deletions - insertions
+    delta = Delta(insertions, deletions)
+    parts = delta.split(lambda row: row[0] % 3)
+    assert Delta.merge(parts.values()) == delta
+    seen_plus: set = set()
+    seen_minus: set = set()
+    for part in parts.values():
+        assert not (part.insertions & seen_plus)
+        assert not (part.deletions & seen_minus)
+        seen_plus |= part.insertions
+        seen_minus |= part.deletions

@@ -500,3 +500,117 @@ class TestIncrementalMatchesFull:
         assert fast.rows('r1') == slow.rows('r1')
         assert fast.rows('r2') == slow.rows('r2')
         assert fast.rows('v') == slow.rows('v')
+
+
+class TestReplanOnDrift:
+    """Plan-level statistics follow-up: a view's compiled plans are
+    re-seeded when a source relation's cardinality drifts >10× from
+    the stats the plans were compiled with (memory backend only — the
+    SQLite backend delegates join ordering to SQLite's planner)."""
+
+    JOIN_SOURCES = dict(small={'a': 'int'}, big={'a': 'int'})
+    JOIN_PUTDELTA = """
+        +small(X) :- j(X), not small(X).
+        -small(X) :- small(X), not j(X).
+    """
+    JOIN_GET = 'j(X) :- small(X), big(X).'
+
+    def _join_engine(self, backend='memory'):
+        from repro.relational.schema import DatabaseSchema
+        sources = DatabaseSchema.build(**self.JOIN_SOURCES)
+        strategy = UpdateStrategy.parse('j', sources, self.JOIN_PUTDELTA,
+                                        expected_get=self.JOIN_GET)
+        engine = Engine(sources, backend=backend)
+        engine.load('small', [(i,) for i in range(3)])
+        engine.load('big', [(i,) for i in range(200)])
+        entry = engine.define_view(strategy, validate_first=False)
+        return engine, entry
+
+    @staticmethod
+    def _first_scan(entry):
+        from repro.datalog.plan import ScanStep
+        step = entry.get_plan.rules_for('j')[0].steps[0]
+        assert isinstance(step, ScanStep)
+        return step.pred
+
+    def test_replan_picks_up_new_join_order(self):
+        engine, entry = self._join_engine()
+        assert entry.stats_seed == {'small': 3, 'big': 200}
+        assert self._first_scan(entry) == 'small'
+        old_plan = entry.get_plan
+        # Invert the cardinalities far beyond the 10x threshold; the
+        # next materialisation re-seeds the plans.
+        engine.load('small', [(i,) for i in range(500)])
+        engine.load('big', [(i,) for i in range(3)])
+        assert engine.rows('j') == {(0,), (1,), (2,)}
+        assert entry.replans == 1
+        assert entry.get_plan is not old_plan
+        assert self._first_scan(entry) == 'big'
+        assert entry.stats_seed['small'] == 500
+
+    def test_view_update_path_replans_and_stays_correct(self):
+        engine, entry = self._join_engine()
+        engine.load('big', [(i,) for i in range(3)])
+        engine.delete('j', where={'a': 1})
+        assert entry.replans == 1
+        assert engine.rows('small') == {(0,), (2,)}
+        assert engine.rows('j') == {(0,), (2,)}
+
+    def test_no_replan_within_threshold(self):
+        engine, entry = self._join_engine()
+        engine.load('big', [(i,) for i in range(30)])   # < 10x drift
+        engine.rows('j')
+        assert entry.replans == 0
+        assert entry.stats_seed['big'] == 200
+
+    def test_sqlite_backend_never_replans(self):
+        engine, entry = self._join_engine(backend='sqlite')
+        engine.load('small', [(i,) for i in range(500)])
+        engine.load('big', [(i,) for i in range(3)])
+        engine.rows('j')
+        engine.delete('j', where={'a': 1})
+        assert entry.replans == 0
+
+    def test_replan_is_idempotent_until_next_drift(self):
+        engine, entry = self._join_engine()
+        engine.load('big', [(i,) for i in range(3)])
+        engine.rows('j')
+        assert entry.replans == 1
+        engine.insert('j', (0,))          # no-op effective delta
+        engine.delete('j', where={'a': 0})
+        assert entry.replans == 1         # stats re-seeded, no churn
+
+
+class TestDropView:
+
+    def test_drop_view_frees_the_name(self, union_strategy):
+        engine = union_engine(union_strategy)
+        engine.rows('v')
+        engine.drop_view('v')
+        assert not engine.is_view('v')
+        assert not engine.backend.has_cache('v')
+        engine.define_view(union_strategy, validate_first=False)
+        assert engine.rows('v') == {(1,), (2,), (4,)}
+
+    def test_drop_view_is_noop_for_unknown(self, union_strategy):
+        engine = union_engine(union_strategy)
+        engine.drop_view('nope')        # no error
+
+    def test_drop_view_refuses_when_sourced_by_another_view(
+            self, union_strategy):
+        """Dropping a view another view reads would leave dangling
+        catalog references."""
+        engine = union_engine(union_strategy)
+        from repro.core.strategy import UpdateStrategy
+        from repro.relational.schema import RelationSchema
+        layered = UpdateStrategy.parse(
+            'w', union_strategy.sources.extend(
+                RelationSchema('v', ('a',), ('int',))), """
+            +v(X) :- w(X), not v(X).
+            -v(X) :- v(X), not w(X).
+        """, expected_get='w(X) :- v(X).')
+        engine.define_view(layered, validate_first=False)
+        with pytest.raises(SchemaError, match='reads or updates'):
+            engine.drop_view('v')
+        engine.drop_view('w')           # leaf view drops fine
+        engine.drop_view('v')           # now unreferenced

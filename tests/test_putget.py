@@ -106,3 +106,147 @@ class TestGetPutPrograms:
         edb = Database.from_dict({'r1': set(), 'r2': {(7,)}})
         (goal, program), = checks
         assert evaluate(program, edb)[goal] == {(7,)}
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis-driven round-trip laws (PutGet / GetPut), per backend
+# ---------------------------------------------------------------------------
+#
+# §4.3–4.4 verify the laws *statically*; these run them dynamically over
+# randomly generated view states and deltas, through the full engine
+# pipeline on each storage backend: the validated strategy must satisfy
+#
+#     PutGet:  get(put(S, V')) = V'     for any reachable V'
+#     GetPut:  put(S, get(S))  = S      (a no-op round trip)
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.strategy import UpdateStrategy
+from repro.errors import ConstraintViolation
+from repro.rdbms.dml import Delete, Insert
+from repro.rdbms.engine import Engine
+from repro.relational.schema import DatabaseSchema
+
+BACKENDS = ('memory', 'sqlite')
+
+_int_rows = st.frozensets(st.tuples(st.integers(0, 12)), max_size=8)
+_lux_rows = st.frozensets(
+    st.tuples(st.integers(0, 20), st.sampled_from(['a', 'b', 'c']),
+              st.integers(1, 3000)), max_size=8)
+_lux_view_rows = st.frozensets(
+    st.tuples(st.integers(0, 20), st.sampled_from(['a', 'b', 'c']),
+              st.integers(1001, 3000)), max_size=8)
+
+_CACHE: dict = {}
+
+
+def _strategy(name: str) -> UpdateStrategy:
+    if name in _CACHE:
+        return _CACHE[name]
+    if name == 'union':
+        strategy = UpdateStrategy.parse(
+            'v', DatabaseSchema.build(r1={'a': 'int'}, r2={'a': 'int'}),
+            """
+            -r1(X) :- r1(X), not v(X).
+            -r2(X) :- r2(X), not v(X).
+            +r1(X) :- v(X), not r1(X), not r2(X).
+            """, expected_get='v(X) :- r1(X).\nv(X) :- r2(X).')
+    else:
+        strategy = UpdateStrategy.parse(
+            'luxuryitems', DatabaseSchema.build(
+                items={'iid': 'int', 'iname': 'string', 'price': 'int'}),
+            """
+            ⊥ :- luxuryitems(I, N, P), not P > 1000.
+            +items(I, N, P) :- luxuryitems(I, N, P), not items(I, N, P).
+            expensive(I, N, P) :- items(I, N, P), P > 1000.
+            -items(I, N, P) :- expensive(I, N, P),
+                not luxuryitems(I, N, P).
+            """,
+            expected_get='luxuryitems(I, N, P) :- items(I, N, P), '
+                         'P > 1000.')
+    _CACHE[name] = strategy
+    return strategy
+
+
+def _engine(name: str, backend: str, loads: dict) -> Engine:
+    strategy = _strategy(name)
+    engine = Engine(strategy.sources, backend=backend)
+    for relation, rows in loads.items():
+        engine.load(relation, rows)
+    engine.define_view(strategy, validate_first=False)
+    return engine
+
+
+def _reach(engine, view: str, target_rows) -> None:
+    """Drive the view to an arbitrary state V' through plain DML."""
+    engine.execute(view, [Delete(None)] +
+                   [Insert(row) for row in sorted(target_rows)])
+
+
+class TestPutGetLaw:
+
+    @pytest.mark.parametrize('backend', BACKENDS)
+    @given(r1=_int_rows, r2=_int_rows, target=_int_rows)
+    @settings(deadline=None, max_examples=40)
+    def test_union_putget(self, backend, r1, r2, target):
+        engine = _engine('union', backend, {'r1': r1, 'r2': r2})
+        _reach(engine, 'v', target)
+        # PutGet on the live cache…
+        assert frozenset(engine.rows('v')) == target
+        # …and on a cold engine rebuilt from the committed sources.
+        rebuilt = _engine('union', backend, {
+            'r1': engine.rows('r1'), 'r2': engine.rows('r2')})
+        assert frozenset(rebuilt.rows('v')) == target
+
+    @pytest.mark.parametrize('backend', BACKENDS)
+    @given(items=_lux_rows, target=_lux_view_rows)
+    @settings(deadline=None, max_examples=40)
+    def test_luxury_putget(self, backend, items, target):
+        engine = _engine('luxury', backend, {'items': items})
+        _reach(engine, 'luxuryitems', target)
+        assert frozenset(engine.rows('luxuryitems')) == target
+        rebuilt = _engine('luxury', backend,
+                          {'items': engine.rows('items')})
+        assert frozenset(rebuilt.rows('luxuryitems')) == target
+
+    @pytest.mark.parametrize('backend', BACKENDS)
+    @given(items=_lux_rows,
+           cheap=st.tuples(st.integers(50, 60), st.just('x'),
+                           st.integers(0, 1000)))
+    @settings(deadline=None, max_examples=25)
+    def test_luxury_unreachable_state_rejected(self, backend, items,
+                                               cheap):
+        """States violating the ⊥-constraint are not reachable, and the
+        attempt leaves S untouched (PutGet trivially preserved)."""
+        engine = _engine('luxury', backend, {'items': items})
+        before = engine.database()
+        with pytest.raises(ConstraintViolation):
+            engine.insert('luxuryitems', cheap)
+        assert engine.database() == before
+
+
+class TestGetPutLaw:
+
+    @pytest.mark.parametrize('backend', BACKENDS)
+    @given(r1=_int_rows, r2=_int_rows)
+    @settings(deadline=None, max_examples=40)
+    def test_union_getput(self, backend, r1, r2):
+        engine = _engine('union', backend, {'r1': r1, 'r2': r2})
+        current = sorted(engine.rows('v'))
+        # Re-asserting the current view is a no-op on the sources.
+        engine.execute('v', [Insert(row) for row in current])
+        assert frozenset(engine.rows('r1')) == r1
+        assert frozenset(engine.rows('r2')) == r2
+
+    @pytest.mark.parametrize('backend', BACKENDS)
+    @given(items=_lux_rows)
+    @settings(deadline=None, max_examples=40)
+    def test_luxury_getput(self, backend, items):
+        engine = _engine('luxury', backend, {'items': items})
+        strategy = _strategy('luxury')
+        source = engine.database()
+        delta = strategy.compute_delta(source, engine.rows('luxuryitems'))
+        effective = delta.effective_on(source)
+        assert effective.is_empty(), str(effective)
