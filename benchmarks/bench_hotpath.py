@@ -1,0 +1,154 @@
+"""Evaluator hot-path micro-benchmark: sealed vs generic rule execution.
+
+The executor has two tiers (see ``repro/datalog/evaluator.py``): the
+*generic* interpreter walks a compiled rule's step tuple with a
+recursive cursor, and the *sealed* tier generates one flat Python
+function per rule — slots become locals, binding masks and key
+templates are inlined, the per-step dispatch disappears.  Every
+per-transaction ∂put run of the RDBMS engine sits on this path, once
+per shard worker under the parallel sharded engine, so the win
+compounds across threads.
+
+This benchmark pins the sealed tier's advantage on three
+representative rule shapes:
+
+* ``delta-loop`` — the incremental putback shape: scan a small delta,
+  probe a large relation membership (the §5 steady state);
+* ``join-filter`` — an indexed join with comparison filters and an
+  intermediate predicate probed top-down (the interpreter probe loop);
+* ``constraint`` — a ⊥-witness query under ``first_witness`` early
+  exit.
+
+Run:  python benchmarks/bench_hotpath.py [--rounds N] [--check]
+
+``--check`` exits nonzero unless the sealed tier is >= 1.3x the
+generic interpreter on every shape (the CI gate; the tracked
+``BENCH_hotpath.json`` shows the actual multiples, typically 2-4x).
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / 'src'))
+
+from repro.datalog import evaluator as ev                    # noqa: E402
+from repro.datalog.parser import parse_program               # noqa: E402
+from repro.datalog.plan import compile_program               # noqa: E402
+
+CHECK_FLOOR = 1.3
+
+
+def _shapes(scale: int):
+    """(name, program, edb, goals, first_witness) benchmark cases."""
+    items = frozenset((i, f'n{i}', 500 + i % 3000)
+                      for i in range(scale))
+    delta = frozenset((10 ** 6 + i, f'f{i}', 5000) for i in range(200))
+    removed = frozenset(list(items)[: scale // 100])
+
+    delta_loop = parse_program("""
+        +items(I, N, P) :- +luxuryitems(I, N, P), not items(I, N, P).
+        -items(I, N, P) :- items(I, N, P), P > 1000,
+                           -luxuryitems(I, N, P).
+    """)
+    join_filter = parse_program("""
+        aux(I, P) :- items(I, N, P), P > 1500.
+        hot(I, P) :- aux(I, P), P > 2500, not -luxuryitems(I, _, _).
+        pick(I) :- +luxuryitems(I, N, P), hot(I, Q), Q < P.
+    """)
+    constraint = parse_program("""
+        ⊥ :- +luxuryitems(I, N, P), not P > 1000.
+        ⊥ :- +luxuryitems(I, N, P), items(I, N, P).
+    """)
+    edb = {'items': items, '+luxuryitems': delta,
+           '-luxuryitems': removed}
+    return [
+        ('delta-loop', delta_loop, edb, ('+items', '-items'), False),
+        ('join-filter', join_filter, edb, ('pick',), False),
+        ('constraint', constraint, edb, None, True),
+    ]
+
+
+def _run_once(plan, edb, goals, first_witness):
+    if first_witness:
+        plan.constraint_violations(edb, first_witness=True)
+    else:
+        plan.evaluate(edb, goals=goals)
+
+
+def _time_tier(plan, edb, goals, first_witness, rounds, inner) -> float:
+    times = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        for _ in range(inner):
+            _run_once(plan, edb, goals, first_witness)
+        times.append(time.perf_counter() - started)
+    return statistics.median(times) / inner
+
+
+def run_bench(scale: int, rounds: int, inner: int) -> list[dict]:
+    points = []
+    for name, program, edb, goals, first_witness in _shapes(scale):
+        plan = compile_program(program, cache=False)
+        for _ in range(3):                      # warm + seal
+            _run_once(plan, edb, goals, first_witness)
+        sealed = _time_tier(plan, edb, goals, first_witness, rounds,
+                            inner)
+        ev._SEALING = False
+        try:
+            generic = _time_tier(plan, edb, goals, first_witness,
+                                 rounds, inner)
+        finally:
+            ev._SEALING = True
+        points.append({'shape': name,
+                       'generic_us': generic * 1e6,
+                       'sealed_us': sealed * 1e6,
+                       'speedup': generic / sealed})
+    return points
+
+
+def _main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument('--scale', type=int, default=20_000,
+                        help='rows in the large scanned relation')
+    parser.add_argument('--rounds', type=int, default=7)
+    parser.add_argument('--inner', type=int, default=30,
+                        help='evaluations per timed round')
+    parser.add_argument('--check', action='store_true',
+                        help=f'fail when any shape is below '
+                             f'{CHECK_FLOOR}x')
+    parser.add_argument('--json', type=Path,
+                        default=Path(__file__).resolve().parent /
+                        'BENCH_hotpath.json')
+    args = parser.parse_args(argv)
+    points = run_bench(args.scale, args.rounds, args.inner)
+    header = (f'{"shape":<14} {"generic µs":>12} {"sealed µs":>12} '
+              f'{"speedup":>9}')
+    print(header)
+    print('-' * len(header))
+    for p in points:
+        print(f'{p["shape"]:<14} {p["generic_us"]:>12.1f} '
+              f'{p["sealed_us"]:>12.1f} {p["speedup"]:>8.2f}x')
+    payload = {'benchmark': 'hotpath', 'scale': args.scale,
+               'rounds': args.rounds, 'inner': args.inner,
+               'floor': CHECK_FLOOR, 'results': points}
+    args.json.write_text(json.dumps(payload, indent=2) + '\n',
+                         encoding='utf-8')
+    print(f'wrote {args.json}')
+    if args.check:
+        slow = [p for p in points if p['speedup'] < CHECK_FLOOR]
+        if slow:
+            for p in slow:
+                print(f'FAIL: {p["shape"]} sealed speedup '
+                      f'{p["speedup"]:.2f}x < {CHECK_FLOOR}x',
+                      file=sys.stderr)
+            return 1
+        print(f'check passed: every shape >= {CHECK_FLOOR}x')
+    return 0
+
+
+if __name__ == '__main__':
+    raise SystemExit(_main())

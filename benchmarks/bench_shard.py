@@ -1,31 +1,40 @@
-"""Sharded engine benchmark: throughput vs shard count on a
-key-partitionable workload.
+"""Sharded engine benchmark: throughput vs shard count and worker
+threads on a key-local workload.
 
 The workload is the Figure-6a selection view (``luxuryitems``) over an
-``items`` table of ``--size`` rows, range-partitioned on ``iid``.
-Each measured transaction is ``--statements`` (default 100)
-single-tuple view INSERT buckets whose keys all fall in one shard's
-key range — the key-local access pattern sharding exists for (a tenant,
-a region, a hot time window).  The single engine pays per-transaction
-costs proportional to the *whole* relation (the staged-view overlay,
-constraint staging); a shard pays them on ``1/N`` of the data, and the
-untouched shards do no work at all.
+``items`` table of ``--size`` rows, range-partitioned on ``iid``.  Each
+measured transaction is ``--statements`` (default 100) statements whose
+keys all fall inside one shard's key range — the key-local access
+pattern sharding exists for (a tenant, a region, a hot time window) —
+mixing single-tuple view INSERTs with ``--keyed`` (default 8) by-key
+UPDATE/DELETE statements.  The keyed statements are what gives sharding
+its leverage: an unindexed ``WHERE iid = k`` is a scan over the whole
+relation on a single engine, but routes to the owning shard — which
+scans ``1/N`` of the data — under the sharded router.  (The insert-only
+extreme is also reported for transparency: since the batched pipeline
+coalesces it into one O(|Δ|) derivation, a single engine serves it at
+memory speed and sharding is pure routing overhead there.)
 
-Measured configurations: a plain single ``Engine`` (memory backend)
-and ``ShardedEngine`` with 1, 2 and 4 memory shards (1-shard shows the
-routing overhead in isolation).  Results are printed as a table and
-written to ``BENCH_shard.json``.
+Measured configurations: a plain single ``Engine`` (memory backend),
+``ShardedEngine`` with 1, 2 and 4 memory shards (1-shard isolates the
+routing overhead), and a ``--parallelism`` sweep at 4 shards (worker
+threads 2 and 4).  On a multi-core host the parallel rows add the
+thread-level fan-out of prepare/apply on top of the same routing; on a
+single-core host they measure the pool's overhead (the gate allows a
+small tolerance for it).  Results are printed as a table and written to
+``BENCH_shard.json`` together with the host's CPU count.
 
 Run:  python benchmarks/bench_shard.py [--quick] [--check] [--json PATH]
 
 ``--quick`` shrinks sizes for CI smoke runs; ``--check`` exits nonzero
-if sharded(N=4) throughput falls below the single engine (the CI
-regression gate; the tracked JSON shows the actual multiple, ≥2× on a
-developer machine).
+if sharded(N=4) throughput falls below the single engine, or if
+parallel(4 shards, 4 workers) falls below 0.9× serial(4 shards) — the
+CI regression gates; the tracked JSON shows the actual multiples.
 """
 
 import argparse
 import json
+import os
 import statistics
 import sys
 import time
@@ -34,13 +43,14 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / 'src'))
 
 from repro.core.strategy import UpdateStrategy               # noqa: E402
-from repro.rdbms.dml import Insert                           # noqa: E402
+from repro.rdbms.dml import Delete, Insert, Update           # noqa: E402
 from repro.rdbms.engine import Engine                        # noqa: E402
 from repro.rdbms.sharded import (RangePartitioner,           # noqa: E402
                                  ShardedEngine)
 from repro.relational.schema import DatabaseSchema           # noqa: E402
 
 SHARD_COUNTS = (1, 2, 4)
+PARALLELISM_SWEEP = (2, 4)
 
 #: Key space per shard slot: shard i of N owns iids in
 #: [i * SLOT, (i+1) * SLOT) under the range partitioner below.
@@ -79,82 +89,136 @@ def _build_single(strategy, size: int, shards_in_data: int) -> Engine:
     return engine
 
 
-def _build_sharded(strategy, size: int, shards: int) -> ShardedEngine:
+def _build_sharded(strategy, size: int, shards: int,
+                   parallelism: int = 1) -> ShardedEngine:
     partitioner = RangePartitioner([i * SLOT for i in range(1, shards)])
     engine = ShardedEngine(strategy.sources, partitioner=partitioner,
                            backends='memory',
                            shard_keys={'luxuryitems': 'iid',
-                                       'items': 'iid'})
+                                       'items': 'iid'},
+                           parallelism=parallelism)
     engine.load('items', _base_rows(size, shards))
     engine.define_view(strategy, validate_first=False)
     engine.rows('luxuryitems')
     return engine
 
 
-def _hot_range_transaction(counter: list[int], hot_shard: int,
-                           statements: int) -> list:
-    """One transaction of fresh single-tuple view INSERTs, all keyed
-    inside ``hot_shard``'s range."""
+def _hot_mix_transaction(counter: list[int], hot_shard: int,
+                         statements: int, keyed: int) -> list:
+    """One transaction keyed inside ``hot_shard``'s range: fresh
+    single-tuple view INSERTs, interleaved with ``keyed`` by-key
+    UPDATE/DELETE statements against rows inserted earlier in the same
+    transaction (alternating, so the table size stays stable)."""
     batches = []
-    for _ in range(statements):
+    recent: list[int] = []
+    keyed_every = max(statements // keyed, 2) if keyed else 0
+    for n in range(statements):
         counter[0] += 1
-        iid = hot_shard * SLOT + SLOT // 2 + counter[0]
-        batches.append(('luxuryitems',
-                        [Insert((iid, f'fresh_{counter[0]}', 5000))]))
+        serial = counter[0]
+        if keyed and recent and n % keyed_every == keyed_every - 1:
+            if (n // keyed_every) % 2:
+                batches.append(('luxuryitems',
+                                [Delete({'iid': recent.pop(0)})]))
+            else:
+                batches.append(('luxuryitems',
+                                [Update({'iname': f'renamed_{serial}'},
+                                        {'iid': recent[-1]})]))
+        else:
+            iid = hot_shard * SLOT + SLOT // 2 + serial
+            recent.append(iid)
+            batches.append(('luxuryitems',
+                            [Insert((iid, f'fresh_{serial}', 5000))]))
     return batches
 
 
-def _throughput(engine, key_shards: int, statements: int,
+def _throughput(engine, key_shards: int, statements: int, keyed: int,
                 repeats: int, counter: list[int]) -> float:
     """Median statements/second over ``repeats`` hot-range
     transactions, rotating the hot shard, after one warmup."""
-    engine.execute_many(_hot_range_transaction(counter, 0, statements))
+    engine.execute_many(_hot_mix_transaction(counter, 0, statements,
+                                             keyed))
     times = []
     for round_ in range(repeats):
-        work = _hot_range_transaction(counter, round_ % key_shards,
-                                      statements)
+        work = _hot_mix_transaction(counter, round_ % key_shards,
+                                    statements, keyed)
         started = time.perf_counter()
         engine.execute_many(work)
         times.append(time.perf_counter() - started)
     return statements / statistics.median(times)
 
 
-def run_bench(size: int, statements: int, repeats: int,
-              shard_counts=SHARD_COUNTS, progress=None) -> list[dict]:
+def run_bench(size: int, statements: int, keyed: int, repeats: int,
+              shard_counts=SHARD_COUNTS,
+              parallelism_sweep=PARALLELISM_SWEEP,
+              progress=None) -> list[dict]:
     strategy = _strategy()
     max_shards = max(shard_counts)
     counter = [0]
     points = []
 
+    def record(config, shards, parallelism, tput, baseline):
+        point = {'config': config, 'shards': shards,
+                 'parallelism': parallelism, 'base_size': size,
+                 'statements': statements, 'keyed': keyed,
+                 'stmts_per_second': tput,
+                 'speedup': tput / baseline if baseline else 1.0}
+        points.append(point)
+        if progress:
+            progress(point)
+        return point
+
     single = _build_single(strategy, size, max_shards)
-    single_tput = _throughput(single, max_shards, statements, repeats,
-                              counter)
-    points.append({'config': 'single', 'shards': 1, 'base_size': size,
-                   'statements': statements,
-                   'stmts_per_second': single_tput, 'speedup': 1.0})
-    if progress:
-        progress(points[-1])
+    single_tput = _throughput(single, max_shards, statements, keyed,
+                              repeats, counter)
+    record('single', 1, 1, single_tput, single_tput)
 
     for shards in shard_counts:
         engine = _build_sharded(strategy, size, shards)
-        tput = _throughput(engine, shards, statements, repeats, counter)
-        points.append({'config': f'sharded-{shards}', 'shards': shards,
-                       'base_size': size, 'statements': statements,
-                       'stmts_per_second': tput,
-                       'speedup': tput / single_tput})
-        if progress:
-            progress(points[-1])
+        tput = _throughput(engine, shards, statements, keyed, repeats,
+                           counter)
+        record(f'sharded-{shards}', shards, 1, tput, single_tput)
+        engine.close()
+
+    for workers in parallelism_sweep:
+        engine = _build_sharded(strategy, size, max_shards,
+                                parallelism=workers)
+        tput = _throughput(engine, max_shards, statements, keyed,
+                           repeats, counter)
+        record(f'sharded-{max_shards}x{workers}', max_shards, workers,
+               tput, single_tput)
+        engine.close()
     return points
 
 
+def run_insert_only(size: int, statements: int, repeats: int) -> dict:
+    """The insert-only extreme (informational): one coalesced O(|Δ|)
+    bucket per transaction, where the single engine needs no help."""
+    strategy = _strategy()
+    counter = [0]
+    single = _build_single(strategy, size, 4)
+    single_tput = _throughput(single, 4, statements, 0, repeats,
+                              counter)
+    sharded = _build_sharded(strategy, size, 4)
+    sharded_tput = _throughput(sharded, 4, statements, 0, repeats,
+                               counter)
+    sharded.close()
+    return {'workload': 'insert-only', 'base_size': size,
+            'statements': statements,
+            'single_stmts_per_second': single_tput,
+            'sharded4_stmts_per_second': sharded_tput,
+            'sharded4_vs_single': sharded_tput / single_tput}
+
+
 def format_points(points) -> str:
-    lines = [f'{"config":<12} {"shards":>6} {"n":>8} {"stmts":>6} '
-             f'{"stmts/s":>10} {"vs single":>10}']
+    lines = [f'{"config":<14} {"shards":>6} {"par":>4} {"n":>8} '
+             f'{"stmts":>6} {"keyed":>6} {"stmts/s":>10} '
+             f'{"vs single":>10}']
     lines.append('-' * len(lines[0]))
     for p in points:
         lines.append(
-            f'{p["config"]:<12} {p["shards"]:>6} {p["base_size"]:>8} '
-            f'{p["statements"]:>6} {p["stmts_per_second"]:>10.0f} '
+            f'{p["config"]:<14} {p["shards"]:>6} {p["parallelism"]:>4} '
+            f'{p["base_size"]:>8} {p["statements"]:>6} '
+            f'{p["keyed"]:>6} {p["stmts_per_second"]:>10.0f} '
             f'{p["speedup"]:>9.2f}x')
     return '\n'.join(lines)
 
@@ -165,12 +229,16 @@ def _main(argv=None) -> int:
                         help='total items rows across the key space')
     parser.add_argument('--statements', type=int, default=100,
                         help='DML statements per measured transaction')
-    parser.add_argument('--repeats', type=int, default=8)
+    parser.add_argument('--keyed', type=int, default=8,
+                        help='by-key UPDATE/DELETE statements per '
+                             'transaction (the scan-bound share)')
+    parser.add_argument('--repeats', type=int, default=7)
     parser.add_argument('--quick', action='store_true',
                         help='small size/rounds: a CI smoke run')
     parser.add_argument('--check', action='store_true',
-                        help='fail when sharded(N=4) throughput is '
-                             'below the single engine')
+                        help='fail when sharded(4) is below the single '
+                             'engine or parallel(4x4) is below 0.9x '
+                             'serial sharded(4)')
     parser.add_argument('--json', type=Path,
                         default=Path(__file__).resolve().parent /
                         'BENCH_shard.json')
@@ -178,29 +246,51 @@ def _main(argv=None) -> int:
     size, repeats = args.size, args.repeats
     if args.quick:
         size, repeats = 20_000, 4
-    points = run_bench(size, args.statements, repeats,
+    points = run_bench(size, args.statements, args.keyed, repeats,
                        progress=lambda p: print(
                            f'  {p["config"]}: '
                            f'{p["stmts_per_second"]:.0f} stmts/s '
                            f'({p["speedup"]:.2f}x)', file=sys.stderr))
+    insert_only = run_insert_only(size, args.statements, repeats)
     print(format_points(points))
+    print(f'insert-only extreme: single '
+          f'{insert_only["single_stmts_per_second"]:.0f} stmts/s, '
+          f'sharded-4 {insert_only["sharded4_stmts_per_second"]:.0f} '
+          f'({insert_only["sharded4_vs_single"]:.2f}x)')
     payload = {
         'benchmark': 'shard', 'size': size, 'repeats': repeats,
-        'statements': args.statements, 'results': points,
+        'statements': args.statements, 'keyed': args.keyed,
+        'cpu_count': os.cpu_count(),
+        'results': points,
+        'insert_only': insert_only,
     }
     args.json.write_text(json.dumps(payload, indent=2) + '\n',
                          encoding='utf-8')
     print(f'wrote {args.json}')
     if args.check:
         four = next(p for p in points if p['shards'] == 4
-                    and p['config'].startswith('sharded'))
+                    and p['parallelism'] == 1)
+        failed = False
         if four['speedup'] < 1.0:
             print(f'FAIL: sharded(4) is {four["speedup"]:.2f}x the '
                   f'single-engine throughput (expected >= 1.0)',
                   file=sys.stderr)
+            failed = True
+        par = next((p for p in points if p['shards'] == 4
+                    and p['parallelism'] == 4), None)
+        if par is not None and par['stmts_per_second'] \
+                < 0.9 * four['stmts_per_second']:
+            print(f'FAIL: parallel(4x4) is '
+                  f'{par["stmts_per_second"]:.0f} stmts/s vs serial '
+                  f'{four["stmts_per_second"]:.0f} (allowed >= 0.9x)',
+                  file=sys.stderr)
+            failed = True
+        if failed:
             return 1
         print(f'check passed: sharded(4) = {four["speedup"]:.2f}x '
-              f'single-engine throughput')
+              f'single engine'
+              + (f', parallel(4x4) = {par["speedup"]:.2f}x'
+                 if par is not None else ''))
     return 0
 
 

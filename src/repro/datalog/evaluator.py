@@ -13,6 +13,18 @@ objects against an EDB:
 * variable bindings are flat slot arrays, not dictionaries: a compiled
   rule never hashes a variable name at run time.
 
+Execution is two-tier.  The *generic* interpreter walks a rule plan's
+step tuple with a recursive cursor — it runs anything, immediately,
+with no setup cost.  A plan that executes a second time is **sealed**:
+:func:`_seal_run` / :func:`_seal_probe` generate a flat Python function
+specialised to that exact rule (slots become locals, binding masks and
+key templates are inlined, the step dispatch disappears) and cache it
+on the plan.  Sealing is what makes the per-transaction delta loops of
+the RDBMS engine cheap — the same immutable plan is shared by every
+thread of the parallel sharded engine, so one seal pays off across all
+shards.  ``REPRO_SEALED=0`` disables sealing (the differential tests
+and ``benchmarks/bench_hotpath.py`` compare the two tiers).
+
 Semantics are set-based, matching §3.1.  The historical entry points
 (:func:`evaluate`, :func:`evaluate_rule`, :func:`evaluate_query`,
 :func:`holds`, :func:`constraint_violations`) are kept as thin wrappers
@@ -23,6 +35,7 @@ entirely.
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
 from repro.datalog.ast import Program, Rule
@@ -250,6 +263,17 @@ class _PlanContext:
 # ---------------------------------------------------------------------------
 
 
+#: Generic runs before a rule plan is sealed into generated code.  One
+#: free run keeps one-shot plans (the validation solver's throwaway
+#: rules) from paying the ~50µs compile; anything the engine executes
+#: per transaction seals on its second use.
+_SEAL_THRESHOLD = 1
+
+#: ``REPRO_SEALED=0`` pins the generic interpreter (reference tier).
+_SEALING = os.environ.get('REPRO_SEALED', '1').strip().lower() \
+    not in ('0', 'false', 'off')
+
+
 def _run_rule(rule_plan: RulePlan, ctx: _PlanContext, out: set[Row],
               limit: int | None = None) -> None:
     """Run one compiled rule bottom-up, adding head rows to ``out``.
@@ -257,6 +281,45 @@ def _run_rule(rule_plan: RulePlan, ctx: _PlanContext, out: set[Row],
     With ``limit``, enumeration stops as soon as ``out`` holds that many
     rows — the early-exit mode constraint checking uses to stop at the
     first witness instead of materialising every violation."""
+    if _SEALING:
+        sealed = rule_plan.sealed
+        if sealed is None:
+            sealed = [0, 0]
+            object.__setattr__(rule_plan, 'sealed', sealed)
+        fn = sealed[0]
+        if fn.__class__ is int:
+            if fn < _SEAL_THRESHOLD:
+                sealed[0] = fn + 1
+                return _run_rule_generic(rule_plan, ctx, out, limit)
+            fn = _seal_run(rule_plan)
+            sealed[0] = fn
+        return fn(ctx, out, limit)
+    return _run_rule_generic(rule_plan, ctx, out, limit)
+
+
+def _probe_rule(rule_plan: RulePlan, ctx: _PlanContext,
+                row: tuple) -> bool:
+    """Top-down: can this rule derive ``row``?  Uses the probe schedule,
+    compiled with every head variable pre-bound."""
+    if _SEALING:
+        sealed = rule_plan.sealed
+        if sealed is None:
+            sealed = [0, 0]
+            object.__setattr__(rule_plan, 'sealed', sealed)
+        fn = sealed[1]
+        if fn.__class__ is int:
+            if fn < _SEAL_THRESHOLD:
+                sealed[1] = fn + 1
+                return _probe_rule_generic(rule_plan, ctx, row)
+            fn = _seal_probe(rule_plan)
+            sealed[1] = fn
+        return fn(ctx, row)
+    return _probe_rule_generic(rule_plan, ctx, row)
+
+
+def _run_rule_generic(rule_plan: RulePlan, ctx: _PlanContext,
+                      out: set[Row], limit: int | None = None) -> None:
+    """The generic (step-walking) tier of :func:`_run_rule`."""
     steps = rule_plan.steps
     nsteps = len(steps)
     head = rule_plan.head
@@ -314,10 +377,9 @@ def _run_rule(rule_plan: RulePlan, ctx: _PlanContext, out: set[Row],
     advance(0)
 
 
-def _probe_rule(rule_plan: RulePlan, ctx: _PlanContext,
-                row: tuple) -> bool:
-    """Top-down: can this rule derive ``row``?  Uses the probe schedule,
-    compiled with every head variable pre-bound."""
+def _probe_rule_generic(rule_plan: RulePlan, ctx: _PlanContext,
+                        row: tuple) -> bool:
+    """The generic (step-walking) tier of :func:`_probe_rule`."""
     for pos, value in rule_plan.match_consts:
         if row[pos] != value:
             return False
@@ -379,6 +441,199 @@ def _probe_rule(rule_plan: RulePlan, ctx: _PlanContext,
         return True
 
     return satisfiable(0)
+
+
+# ---------------------------------------------------------------------------
+# Sealed execution: per-rule generated code
+# ---------------------------------------------------------------------------
+#
+# A sealed rule is one flat Python function: scans become ``for`` loops,
+# filters become ``if`` guards, slots become locals.  The code mirrors
+# the generic tier statement for statement — including the dynamic
+# pending-IDB dispatch, since the same RulePlan may execute under
+# contexts with different materialisation states — so the two tiers are
+# observationally identical (asserted by the differential tests in
+# ``tests/test_plan.py`` and the fuzz oracle under ``REPRO_SEALED=0``).
+
+
+class _Emitter:
+    """Tiny indented-source builder for the rule code generators."""
+
+    def __init__(self):
+        self.lines: list[str] = []
+        self.preamble: list[str] = []      # emitted at function start
+        self.indent = 0
+        self.consts: list[object] = []
+        self._uniq = 0
+        self._rel_memo: dict[str, tuple[str, str]] = {}
+
+    def emit(self, line: str) -> None:
+        self.lines.append('    ' * self.indent + line)
+
+    def const(self, value) -> str:
+        """Bind ``value`` as a closure constant and return its name.
+        Values are injected through the factory's arguments rather than
+        ``repr`` so arbitrary Python constants round-trip exactly."""
+        self.consts.append(value)
+        return f'c{len(self.consts) - 1}'
+
+    def fresh(self, prefix: str) -> str:
+        self._uniq += 1
+        return f'{prefix}{self._uniq}'
+
+    def operand(self, pair) -> str:
+        """A (slot, const) operand as an expression."""
+        slot, const = pair
+        return self.const(const) if slot < 0 else f's{slot}'
+
+    def key_tuple(self, key) -> str:
+        parts = [self.operand(pair) for pair in key]
+        return '(' + ', '.join(parts) + (',)' if len(parts) == 1 else ')')
+
+    def relation(self, pred: str) -> str:
+        """The memoised relation handle for ``pred``: fetched via
+        ``ctx.relation`` at this step position on first reach (the same
+        laziness as the generic tier — an unreached step never
+        materialises), then reused by every later iteration and every
+        deeper step."""
+        memo = self._rel_memo.get(pred)
+        if memo is None:
+            name = self.fresh('_r')
+            memo = (name, self.const(pred))
+            self._rel_memo[pred] = memo
+            self.preamble.append(f'{name} = None')
+        name, cname = memo
+        self.emit(f'if {name} is None:')
+        self.indent += 1
+        self.emit(f'{name} = ctx.relation({cname})')
+        self.indent -= 1
+        return name
+
+    def pred_const(self, pred: str) -> str:
+        memo = self._rel_memo.get(pred)
+        return memo[1] if memo is not None else self.const(pred)
+
+
+def _emit_steps(em: _Emitter, steps, success: str) -> None:
+    """Generate the nested loop/guard pyramid for ``steps``; the
+    ``success`` snippet runs at full depth once per satisfying
+    binding.  Mirrors the generic tier's step semantics exactly."""
+    for step in steps:
+        cls = step.__class__
+        if cls is ScanStep:
+            rel = em.relation(step.pred)
+            row = em.fresh('_t')
+            if step.positions:
+                source = (f'{rel}.lookup({em.const(step.positions)}, '
+                          f'{em.key_tuple(step.key)})')
+            else:
+                source = f'{rel}.rows'
+            em.emit(f'for {row} in {source}:')
+            em.indent += 1
+            for a, b in step.checks:
+                em.emit(f'if {row}[{a}] != {row}[{b}]:')
+                em.indent += 1
+                em.emit('continue')
+                em.indent -= 1
+            for pos, slot in step.free:
+                em.emit(f's{slot} = {row}[{pos}]')
+        elif cls is ProbeStep or cls is NegationStep:
+            negated = cls is NegationStep
+            if negated and len(step.positions) != step.arity:
+                rel = em.relation(step.pred)
+                key = em.key_tuple(step.key)
+                em.emit(f'if not {rel}.exists('
+                        f'{em.const(step.positions)}, {key}, '
+                        f'{step.arity}):')
+                em.indent += 1
+                continue
+            # Fully bound membership, answered top-down while the
+            # predicate is pending.  The pending check runs per reach
+            # (an earlier step may have materialised the predicate
+            # mid-run), but the relation handle is memoised once the
+            # materialised branch is taken.
+            pred = em.pred_const(step.pred)
+            key = em.fresh('_k')
+            em.emit(f'{key} = {em.key_tuple(step.key)}')
+            em.emit(f'if ctx.is_pending_idb({pred}):')
+            em.indent += 1
+            em.emit(f'{key} = ctx.probe({pred}, {key})')
+            em.indent -= 1
+            em.emit('else:')
+            em.indent += 1
+            rel = em.relation(step.pred)
+            em.emit(f'{key} = {key} in {rel}.rows')
+            em.indent -= 1
+            em.emit(f'if not {key}:' if negated else f'if {key}:')
+            em.indent += 1
+        elif cls is CompareStep:
+            left = em.operand(step.left)
+            right = em.operand(step.right)
+            if step.op == '=':
+                op = '==' if step.expect else '!='
+                em.emit(f'if {left} {op} {right}:')
+            elif step.expect:
+                em.emit(f'if _compare({em.const(step.op)}, '
+                        f'{left}, {right}):')
+            else:
+                em.emit(f'if not _compare({em.const(step.op)}, '
+                        f'{left}, {right}):')
+            em.indent += 1
+        else:                                   # BindStep
+            em.emit(f's{step.slot} = {em.operand(step.source)}')
+    em.emit(success)
+
+
+def _compile_factory(em: _Emitter, name: str, signature: str,
+                     label: str) -> object:
+    """exec() the generated ``name`` function and bind its constants."""
+    source = '\n'.join(
+        [f'def _make(_compare, {", ".join(f"c{i}" for i in range(len(em.consts)))}):',
+         f'    def {name}({signature}):'] +
+        ['        ' + line for line in em.preamble] +
+        ['        ' + line for line in em.lines] +
+        [f'    return {name}'])
+    namespace: dict = {}
+    exec(compile(source, f'<sealed {label}>', 'exec'), namespace)
+    return namespace['_make'](_compare, *em.consts)
+
+
+def _seal_run(rule_plan: RulePlan):
+    """Generate the bottom-up executor for one rule plan:
+    ``fn(ctx, out, limit)`` adding head rows to ``out``."""
+    em = _Emitter()
+    head = ('(' + ', '.join(em.operand(pair) for pair in rule_plan.head)
+            + (',)' if len(rule_plan.head) == 1 else ')'))
+    _emit_steps(em, rule_plan.steps, f'out.add({head})')
+    em.emit('if limit is not None and len(out) >= limit:')
+    em.indent += 1
+    em.emit('return')
+    return _compile_factory(em, '_run', 'ctx, out, limit',
+                            str(rule_plan.rule))
+
+
+def _seal_probe(rule_plan: RulePlan):
+    """Generate the top-down prober for one rule plan:
+    ``fn(ctx, row) -> bool``."""
+    em = _Emitter()
+    for pos, value in rule_plan.match_consts:
+        em.emit(f'if row[{pos}] != {em.const(value)}:')
+        em.indent += 1
+        em.emit('return False')
+        em.indent -= 1
+    for pos, slot in rule_plan.match_binds:
+        em.emit(f's{slot} = row[{pos}]')
+    for pos, slot in rule_plan.match_checks:
+        em.emit(f'if row[{pos}] != s{slot}:')
+        em.indent += 1
+        em.emit('return False')
+        em.indent -= 1
+    base_indent = em.indent
+    _emit_steps(em, rule_plan.probe_steps, 'return True')
+    em.indent = base_indent
+    em.emit('return False')
+    return _compile_factory(em, '_probe', 'ctx, row',
+                            str(rule_plan.rule))
 
 
 # ---------------------------------------------------------------------------

@@ -36,7 +36,8 @@ the order; only running time differs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Mapping, Sequence
 
@@ -156,6 +157,23 @@ class RulePlan:
     match_binds: tuple[tuple[int, int], ...]      # (row pos, slot)
     match_checks: tuple[tuple[int, int], ...]     # (row pos, slot)
     probe_steps: tuple[Step, ...]
+    # Executor scratch: the specialised run/probe functions the
+    # evaluator generates lazily on the hot path (see
+    # ``repro.datalog.evaluator._seal_run``).  Not part of the plan's
+    # identity; written once via object.__setattr__ (a benign
+    # last-writer-wins race — every writer produces equivalent code).
+    sealed: object = field(default=None, compare=False, repr=False)
+
+    def __getstate__(self):
+        # Generated executor functions are not picklable (and are
+        # cheap to regenerate): strip them, keep the plan itself.
+        return {slot: getattr(self, slot) for slot in self.__slots__
+                if slot != 'sealed'}
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        object.__setattr__(self, 'sealed', None)
 
 
 @dataclass(frozen=True, slots=True)
@@ -588,6 +606,17 @@ def _compile_cached(program: Program, check_safety: bool,
     return _compile(program, check_safety, stats_key)
 
 
+#: Serialises cached compiles.  ``lru_cache`` alone keeps its dict
+#: consistent under CPython, but two threads missing on the same key
+#: would each run a full compile and race to publish distinct (equal)
+#: plan objects — under the parallel sharded engine two shards
+#: re-planning the same view must share ONE plan, both for the
+#: compile-once guarantee and so per-plan executor caches are not
+#: duplicated.  RLock: a compile may itself request another cached
+#: compile (``incrementalize_plan`` lowers through ``compile_program``).
+_COMPILE_LOCK = threading.RLock()
+
+
 def compile_program(program: Program, *, check_safety: bool = True,
                     cache: bool = True,
                     stats: Mapping[str, int] | None = None
@@ -602,10 +631,15 @@ def compile_program(program: Program, *, check_safety: bool = True,
     relation cardinalities — the engine passes current base-relation
     sizes at ``define_view`` time so scheduling ties break toward the
     estimated-smallest scan.
+
+    The cached path is thread-safe: concurrent callers (per-shard
+    worker threads re-planning the same view) are serialised by
+    ``_COMPILE_LOCK`` and observe the same plan instance.
     """
     stats_key = _freeze_stats(stats)
     if cache:
-        return _compile_cached(program, check_safety, stats_key)
+        with _COMPILE_LOCK:
+            return _compile_cached(program, check_safety, stats_key)
     return _compile(program, check_safety, stats_key)
 
 

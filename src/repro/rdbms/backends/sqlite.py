@@ -32,7 +32,11 @@ base.Backend` — rows are pulled out of SQLite and the compiled
 
 from __future__ import annotations
 
+import functools
+import itertools
+import os
 import sqlite3
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -76,8 +80,36 @@ def _quoted(columns: Iterable[str]) -> str:
     return ', '.join(f'"{c}"' for c in columns)
 
 
+#: Distinguishes the shared-cache in-memory databases of concurrently
+#: living backends (the URI *names* the database process-wide).
+_MEMDB_IDS = itertools.count()
+
+
+def _locked(method):
+    """Serialise a backend method on the instance mutex.  One SQLite
+    backend is one shard's storage: cross-shard parallelism runs on
+    distinct backends, while within a backend the mutex keeps leased
+    connections from tripping over shared-cache table locks (and keeps
+    the Python-side row cache consistent)."""
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._mutex:
+            return method(self, *args, **kwargs)
+    return wrapper
+
+
 class SQLiteBackend(Backend):
-    """Relational storage + SQL plan execution on a SQLite database."""
+    """Relational storage + SQL plan execution on a SQLite database.
+
+    Thread model: SQLite connections are thread-affine, so the backend
+    *leases* one connection per calling thread (created lazily on first
+    use, closed by :meth:`release_thread`/:meth:`close`).  In-memory
+    databases use a named shared-cache URI so every lease sees the same
+    data; the constructing thread's connection is kept open for the
+    backend's lifetime to anchor the database.  TEMP staging shadows
+    are per-connection, hence naturally per-thread.  All access is
+    serialised on a per-backend mutex — concurrency comes from the
+    sharded engine running *distinct* backends in parallel."""
 
     kind = 'sqlite'
 
@@ -87,8 +119,21 @@ class SQLiteBackend(Backend):
     def __init__(self, schema: DatabaseSchema, path: str = ':memory:'):
         super().__init__(schema)
         self.path = path
-        self._conn = sqlite3.connect(path, isolation_level=None)
-        self._conn.execute('PRAGMA synchronous=OFF')
+        self._mutex = threading.RLock()
+        self._tls = threading.local()
+        #: thread ident -> (thread object, leased connection)
+        self._leases: dict[int, tuple] = {}
+        self._closed = False
+        if path == ':memory:':
+            # A plain ':memory:' database is private to its connection;
+            # per-thread leases need the named shared-cache form.
+            self._uri = (f'file:repro-mem-{os.getpid()}-'
+                         f'{next(_MEMDB_IDS)}?mode=memory&cache=shared')
+        else:
+            self._uri = None
+        # The root lease anchors a shared-cache memory database for the
+        # backend's lifetime; it is closed only by close().
+        self._root_conn = self._lease_connection()
         self._base_names = frozenset(rel.name for rel in schema)
         self._cache_names: set[str] = set()
         self._view_attrs: dict[str, tuple[str, ...]] = {}
@@ -101,6 +146,66 @@ class SQLiteBackend(Backend):
         self._rows_cache: OrderedDict[str, frozenset] = OrderedDict()
         for rel in schema:
             self._create_table(rel.name, rel.attributes)
+
+    # -- per-thread connection leasing --------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        # check_same_thread=False: our leasing discipline already keeps
+        # each connection on its own thread during use, and it lets
+        # close() release every lease no matter which thread calls it.
+        conn = sqlite3.connect(self._uri or self.path,
+                               isolation_level=None,
+                               check_same_thread=False,
+                               uri=self._uri is not None)
+        conn.execute('PRAGMA synchronous=OFF')
+        return conn
+
+    def _lease_connection(self) -> sqlite3.Connection:
+        """The calling thread's leased connection, created on first
+        use.  Leases of threads that have exited are closed here —
+        deterministic cleanup without a background reaper."""
+        conn = getattr(self._tls, 'conn', None)
+        if conn is not None:
+            if not self._closed:
+                return conn
+            # close() ran on another thread: this lease is already a
+            # closed connection — drop it and fail like any post-close
+            # use, not with a raw sqlite3.ProgrammingError.
+            self._tls.conn = None
+        with self._mutex:
+            if self._closed:
+                raise SchemaError(f'backend for {self.path!r} is closed')
+            conn = self._connect()
+            self._leases[threading.get_ident()] = \
+                (threading.current_thread(), conn)
+            for ident, (thread, stale) in list(self._leases.items()):
+                if not thread.is_alive():
+                    del self._leases[ident]
+                    if stale is not getattr(self, '_root_conn', None):
+                        stale.close()
+        self._tls.conn = conn
+        return conn
+
+    @property
+    def _conn(self) -> sqlite3.Connection:
+        return self._lease_connection()
+
+    def release_thread(self) -> None:
+        """Close the calling thread's leased connection (the root
+        lease stays open — it anchors in-memory databases)."""
+        conn = getattr(self._tls, 'conn', None)
+        if conn is None:
+            return
+        self._tls.conn = None
+        with self._mutex:
+            self._leases.pop(threading.get_ident(), None)
+        if conn is not self._root_conn:
+            conn.close()
+
+    def leased_threads(self) -> int:
+        """How many threads currently hold a connection lease."""
+        with self._mutex:
+            return len(self._leases)
 
     def _cache_rows(self, name: str, rows: frozenset) -> None:
         cache = self._rows_cache
@@ -143,6 +248,7 @@ class SQLiteBackend(Backend):
     def _stored(self, name: str) -> bool:
         return name in self._base_names or name in self._cache_names
 
+    @_locked
     def load(self, name: str, rows: set) -> None:
         ident = sql_ident(name)
         arity = len(self._columns_of(name))
@@ -155,6 +261,7 @@ class SQLiteBackend(Backend):
         cur.execute('COMMIT')
         self._cache_rows(name, frozenset(rows))
 
+    @_locked
     def rows(self, name: str):
         cached = self._rows_cache.get(name)
         if cached is None:
@@ -167,10 +274,12 @@ class SQLiteBackend(Backend):
         self._cache_rows(name, cached)
         return cached
 
+    @_locked
     def snapshot(self) -> Database:
         return Database({name: self.rows(name)
                          for name in sorted(self._base_names)})
 
+    @_locked
     def count(self, name: str) -> int:
         cached = self._rows_cache.get(name)
         if cached is not None:
@@ -194,10 +303,12 @@ class SQLiteBackend(Backend):
             cur.executemany(f'INSERT OR IGNORE INTO "{ident}" '
                             f'VALUES ({marks})', list(delta.insertions))
 
+    @_locked
     def apply_delta(self, name: str, delta: Delta, *,
                     is_cache: bool) -> None:
         self.apply_deltas([(name, delta, is_cache)])
 
+    @_locked
     def apply_deltas(self, deltas) -> None:
         """One SQL transaction for the whole commit batch: either every
         relation's delta is durably applied or none is; the Python-side
@@ -222,6 +333,7 @@ class SQLiteBackend(Backend):
     def has_cache(self, name: str) -> bool:
         return name in self._cache_names
 
+    @_locked
     def store_cache(self, name: str, rows: Iterable[tuple]) -> None:
         rows = set(rows)
         ident = sql_ident(name)
@@ -238,6 +350,7 @@ class SQLiteBackend(Backend):
         self._cache_rows(name, frozenset(rows))
         self._build_indexes(name)
 
+    @_locked
     def drop_cache(self, name: str) -> None:
         if name in self._cache_names:
             self._conn.execute(
@@ -247,6 +360,7 @@ class SQLiteBackend(Backend):
 
     # -- indexes ------------------------------------------------------
 
+    @_locked
     def add_index_hint(self, name: str, positions: tuple[int, ...]) -> None:
         self._index_hints.setdefault(name, set()).add(positions)
         if self._stored(name):
@@ -254,6 +368,7 @@ class SQLiteBackend(Backend):
 
     # -- compile-once SQL lowering ------------------------------------
 
+    @_locked
     def register_view(self, entry) -> None:
         self._view_attrs[entry.name] = entry.schema.attributes
         namer = ColumnNamer(self.schema, extra=dict(self._view_attrs))
@@ -376,6 +491,7 @@ class SQLiteBackend(Backend):
         setattr(compiled, label, None)
         compiled.fallbacks.append((label, f'runtime: {exc}'))
 
+    @_locked
     def evaluate_get(self, entry, sources: Mapping[str, object]
                      ) -> frozenset:
         prog = self._compiled[entry.name].get
@@ -389,6 +505,7 @@ class SQLiteBackend(Backend):
             self._demote(entry.name, 'get', exc)
             return self._interp_get(entry, sources)
 
+    @_locked
     def evaluate_incremental(self, entry, sources: Mapping[str, object],
                              view_handle, delta: Delta) -> DeltaSet:
         prog = self._compiled[entry.name].incremental
@@ -417,6 +534,7 @@ class SQLiteBackend(Backend):
     # runs one SELECT, no per-statement TEMP churn (asserted by the
     # SQL-trace test in tests/test_backends.py).
 
+    @_locked
     def evaluate_putback(self, entry, sources: Mapping[str, object],
                          new_view_rows, *,
                          check_constraints: bool = False) -> DeltaSet:
@@ -436,6 +554,7 @@ class SQLiteBackend(Backend):
             return self._interp_putback(entry, sources, new_view_rows,
                                         check_constraints=check_constraints)
 
+    @_locked
     def check_view_constraints(self, entry,
                                sources: Mapping[str, object],
                                new_view_rows) -> None:
@@ -477,4 +596,20 @@ class SQLiteBackend(Backend):
         return out
 
     def close(self) -> None:
-        self._conn.close()
+        """Close every thread's leased connection (idempotent)."""
+        with self._mutex:
+            if self._closed:
+                return
+            self._closed = True
+            for _thread, conn in self._leases.values():
+                conn.close()
+            self._leases.clear()
+            # Stale Python-side row images must not outlive the
+            # database they mirror: post-close reads should fail,
+            # not answer from cache.
+            self._rows_cache.clear()
+            try:
+                self._root_conn.close()
+            except sqlite3.ProgrammingError:   # already closed above
+                pass
+        self._tls.conn = None

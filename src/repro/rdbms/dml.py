@@ -18,7 +18,7 @@ from repro.relational.delta import Delta
 from repro.relational.schema import RelationSchema
 
 __all__ = ['Insert', 'Delete', 'Update', 'Statement', 'derive_view_delta',
-           'match_where']
+           'match_where', 'compile_where']
 
 Where = Union[None, Mapping[str, object], Callable[[Mapping[str, object]],
                                                    bool]]
@@ -60,6 +60,11 @@ class Update:
 
 Statement = Union[Insert, Delete, Update]
 
+#: Shared empties for the hot single-statement paths (Delta is
+#: immutable, so the instances are safe to share).
+_EMPTY_ROWS = frozenset()
+_NO_CHANGE = Delta()
+
 
 def _as_named(row: tuple, schema: RelationSchema) -> dict[str, object]:
     return dict(zip(schema.attributes, row))
@@ -79,6 +84,50 @@ def match_where(row: tuple, where: Where, schema: RelationSchema) -> bool:
         if named[attr] != expected:
             return False
     return True
+
+
+def compile_where(where: Where, schema: RelationSchema):
+    """``where`` as a row predicate, resolved against ``schema`` once.
+
+    Semantically :func:`match_where` with the per-row work hoisted:
+    mapping conditions compare tuple positions directly instead of
+    building a column→value dict per row — WHERE evaluation is a scan
+    over the whole (shard-local) relation, so this runs once per row
+    of the target.  An unknown column raises from the first row the
+    predicate is applied to, never eagerly: the single engine stays
+    silent on an empty relation, and the sharded router's broadcast
+    semantics depend on reproducing exactly that data-dependent
+    behavior."""
+    if where is None:
+        return lambda row: True
+    if callable(where):
+        attributes = schema.attributes
+        return lambda row: bool(where(dict(zip(attributes, row))))
+    attributes = schema.attributes
+    pairs = []
+    error = None
+    for attr, expected in where.items():
+        if attr not in attributes:
+            # Exactly :func:`match_where`: the unknown column raises
+            # only when the conditions *before* it (in mapping order)
+            # all matched the row — an earlier failing condition still
+            # returns False without ever reaching it.
+            error = (f'unknown column {attr!r} in WHERE for '
+                     f'{schema.name!r}')
+            break
+        pairs.append((attributes.index(attr), expected))
+    if error is not None:
+        def match_then_raise(row):
+            for position, expected in pairs:
+                if row[position] != expected:
+                    return False
+            raise SchemaError(error)
+        return match_then_raise
+    if len(pairs) == 1:
+        (position, expected), = pairs
+        return lambda row: row[position] == expected
+    return lambda row: all(row[position] == expected
+                           for position, expected in pairs)
 
 
 def _apply_assignments(row: tuple, assignments: Mapping[str, object],
@@ -116,7 +165,17 @@ class _RunningState:
                 set(where) == set(schema.attributes):
             row = tuple(where[a] for a in schema.attributes)
             return [row] if self.contains(row) else []
-        return [row for row in self if match_where(row, where, schema)]
+        match = compile_where(where, schema)
+        # Flat list comprehensions over the overlay parts: this is the
+        # whole-relation scan of an unindexed WHERE, the hottest loop
+        # of keyed UPDATE/DELETE statements.
+        current, plus, minus = self.current, self.plus, self.minus
+        matched = [row for row in current
+                   if row not in minus and match(row)]
+        if plus:
+            matched += [row for row in plus
+                        if row not in current and match(row)]
+        return matched
 
     def contains(self, row: tuple) -> bool:
         if row in self.plus:
@@ -124,6 +183,13 @@ class _RunningState:
         return row in self.current and row not in self.minus
 
     def apply(self, d_plus, d_minus) -> None:
+        if not d_minus:
+            # Pure insert (the per-statement common case): update in
+            # place instead of rebuilding both sets.
+            self.plus |= d_plus
+            if d_plus:
+                self.minus -= d_plus
+            return
         self.plus = (self.plus - d_minus) | d_plus
         self.minus = (self.minus - d_plus) | d_minus
 
@@ -164,6 +230,14 @@ def derive_view_delta(statements: Sequence[Statement], current,
     with respect to ``current`` (insertions not yet present, deletions
     present), and ``current`` is never copied.
     """
+    if len(statements) == 1 and isinstance(statements[0], Insert):
+        # The single-tuple INSERT bucket is the hot shape of OLTP-style
+        # transactions: skip the running-state machinery entirely.
+        row = tuple(statements[0].values)
+        schema.validate_tuple(row)
+        if row in current:
+            return _NO_CHANGE
+        return Delta(frozenset((row,)), _EMPTY_ROWS)
     state = _RunningState(current)
     for statement in statements:
         d_plus, d_minus = _statement_deltas(statement, state, schema)

@@ -52,6 +52,7 @@ which ``benchmarks/bench_batch.py`` uses as the baseline.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
@@ -70,7 +71,8 @@ from repro.relational.database import Database
 from repro.relational.delta import Delta, DeltaSet
 from repro.relational.schema import DatabaseSchema, RelationSchema
 
-__all__ = ['Engine', 'Transaction', 'ViewEntry', 'PreparedCommit']
+__all__ = ['Engine', 'Transaction', 'ViewEntry', 'PreparedCommit',
+           'coalesce_buckets']
 
 #: Re-plan a view's compiled plans when a source relation's observed
 #: cardinality drifts this far (either direction) from the stats the
@@ -142,10 +144,58 @@ class PreparedCommit:
     keep: set            # touched views whose caches stay valid
 
 
-def _compose(first: Delta, second: Delta) -> Delta:
-    """Sequential composition of deltas (the Algorithm 2 merge) — the
-    operation the batched pipeline coalesces staged deltas with."""
-    return first.then(second)
+class _StagedDelta:
+    """The mutable per-relation accumulator behind ``_Working.deltas``.
+
+    Composing N staged single-row deltas through the immutable
+    :meth:`Delta.then` rebuilds the accumulated frozensets every time —
+    O(N²) on a 100-statement transaction.  This accumulator applies the
+    same composition in place and duck-types the read surface commit
+    and the backends use (``insertions``/``deletions``/``is_empty``);
+    it never escapes the transaction that created it."""
+
+    __slots__ = ('insertions', 'deletions')
+
+    def __init__(self, delta: Delta):
+        self.insertions = set(delta.insertions)
+        self.deletions = set(delta.deletions)
+
+    def then_in_place(self, later: Delta) -> None:
+        """In-place :meth:`Delta.then`: later statements win."""
+        if later.deletions:
+            self.insertions -= later.deletions
+        if later.insertions:
+            self.insertions |= later.insertions
+            self.deletions -= later.insertions
+        self.deletions |= later.deletions
+
+    def is_empty(self) -> bool:
+        return not self.insertions and not self.deletions
+
+
+def coalesce_buckets(batches: Sequence[tuple[str, Sequence[Statement]]]
+                     ) -> list[tuple[str, list[Statement]]]:
+    """Merge *adjacent* statement buckets on the same target into one.
+
+    Algorithm 2 folds a statement sequence into a single delta, and the
+    fold is associative: two back-to-back buckets on the same target
+    derive exactly the composition one concatenated bucket derives
+    (each statement still sees the running state of everything before
+    it).  Under the batched pipeline nothing observes the bucket
+    boundary — translation and constraint checks are deferred to commit
+    either way — so this is pure overhead removal: a transaction built
+    as N single-statement buckets (the OLTP shape) pays one routing,
+    derivation and staging pass instead of N.  Statement-at-a-time mode
+    must NOT coalesce: there a bucket boundary *is* the translation
+    boundary, and merging would change which intermediate states get
+    constraint-checked."""
+    out: list[tuple[str, list[Statement]]] = []
+    for target, statements in batches:
+        if out and out[-1][0] == target:
+            out[-1][1].extend(statements)
+        else:
+            out.append((target, list(statements)))
+    return out
 
 
 class _Working:
@@ -162,7 +212,7 @@ class _Working:
 
     def __init__(self, engine: 'Engine'):
         self.engine = engine
-        self.deltas: dict[str, Delta] = {}
+        self.deltas: dict[str, _StagedDelta] = {}
         self.touched_views: set[str] = set()
         self.base_origins: dict[str, set[str]] = {}
         self.view_origins: dict[str, set[str]] = {}
@@ -222,8 +272,11 @@ class _Working:
         clash = delta.contradictions()
         if clash:
             raise ContradictionError(name, clash)
-        prior = self.deltas.get(name, Delta())
-        self.deltas[name] = prior.then(delta)
+        prior = self.deltas.get(name)
+        if prior is None:
+            self.deltas[name] = _StagedDelta(delta)
+        else:
+            prior.then_in_place(delta)
         overlay = self._materialized.get(name)
         if overlay is not None:
             overlay -= delta.deletions
@@ -260,6 +313,16 @@ class Engine:
         self.backend = create_backend(backend, schema)
         self.batch_deltas = batch_deltas
         self._views: dict[str, ViewEntry] = {}
+        # Serialises the two catalog-mutating side paths that a
+        # concurrent reader can race with a transaction on: lazy view
+        # materialisation (two threads both missing the cache) and the
+        # drift re-plan (two threads swapping a ViewEntry's plans and
+        # ``replans``/``drift_probes`` counters).  The transaction
+        # pipeline itself holds no engine-global mutable state — one
+        # engine is driven by at most one transaction at a time, which
+        # is what the parallel sharded engine's per-shard fan-out
+        # guarantees.
+        self._plan_lock = threading.RLock()
         #: Where planner statistics come from — both the seed at
         #: ``define_view`` time and the drift check/re-seed in
         #: :meth:`_maybe_replan`.  A coordinator embedding this engine
@@ -284,14 +347,20 @@ class Engine:
 
     def _ensure_view_cache(self, name: str) -> None:
         """Materialise view ``name`` (and, recursively, its view
-        sources) into the backend's cache storage."""
+        sources) into the backend's cache storage.  Double-checked
+        under ``_plan_lock`` so a concurrent reader and an in-flight
+        transaction build the cache exactly once."""
         if self.backend.has_cache(name):
             return
-        entry = self._views[name]
-        self._maybe_replan(entry)
-        sources = {s: self.eval_handle(s) for s in entry.source_names}
-        rows = self.backend.evaluate_get(entry, sources)
-        self.backend.store_cache(name, rows)
+        with self._plan_lock:
+            if self.backend.has_cache(name):
+                return
+            entry = self._views[name]
+            self._maybe_replan(entry)
+            sources = {s: self.eval_handle(s)
+                       for s in entry.source_names}
+            rows = self.backend.evaluate_get(entry, sources)
+            self.backend.store_cache(name, rows)
 
     def eval_handle(self, name: str):
         """The backend's evaluation handle for a table or (materialised)
@@ -327,6 +396,10 @@ class Engine:
             self.schema[name].validate_tuple(row)
         self.backend.load(name, loaded)
         self._invalidate_dependents({name})
+
+    def close(self) -> None:
+        """Release backend resources (connections, files)."""
+        self.backend.close()
 
     # -- view definition ---------------------------------------------------------
 
@@ -457,39 +530,42 @@ class Engine:
         """
         if self.backend.kind != 'memory':
             return
-        entry.drift_probes += 1
-        if (entry.drift_probes - 1) % REPLAN_CHECK_INTERVAL:
-            return
-        factor = REPLAN_DRIFT_FACTOR
-        stats = None
-        drifted = False
-        for rel in entry.source_names:
-            if rel in self._views and not self.backend.has_cache(rel):
-                continue
-            if stats is None:
-                stats = self.stats_provider()
-            if rel not in stats:
-                continue
-            seeded = max(entry.stats_seed.get(rel, 0), 1)
-            current = max(stats[rel], 1)
-            if current >= factor * seeded or seeded >= factor * current:
-                drifted = True
-                break
-        if not drifted:
-            return
-        entry.get_plan = compile_program(entry.get_program, stats=stats)
-        if entry.use_incremental:
-            try:
-                entry.incremental_program, entry.incremental_plan = \
-                    incrementalize_plan(entry.strategy.putdelta,
-                                        entry.name, lvgn=entry.lvgn,
-                                        stats=stats)
-            except Exception:
-                pass  # keep the old incremental plan
-        entry.stats_seed = dict(stats)
-        entry.replans += 1
-        entry.drift_probes = 0
-        self._register_index_hints(entry)
+        with self._plan_lock:
+            entry.drift_probes += 1
+            if (entry.drift_probes - 1) % REPLAN_CHECK_INTERVAL:
+                return
+            factor = REPLAN_DRIFT_FACTOR
+            stats = None
+            drifted = False
+            for rel in entry.source_names:
+                if rel in self._views and not self.backend.has_cache(rel):
+                    continue
+                if stats is None:
+                    stats = self.stats_provider()
+                if rel not in stats:
+                    continue
+                seeded = max(entry.stats_seed.get(rel, 0), 1)
+                current = max(stats[rel], 1)
+                if current >= factor * seeded \
+                        or seeded >= factor * current:
+                    drifted = True
+                    break
+            if not drifted:
+                return
+            entry.get_plan = compile_program(entry.get_program,
+                                             stats=stats)
+            if entry.use_incremental:
+                try:
+                    entry.incremental_program, entry.incremental_plan = \
+                        incrementalize_plan(entry.strategy.putdelta,
+                                            entry.name, lvgn=entry.lvgn,
+                                            stats=stats)
+                except Exception:
+                    pass  # keep the old incremental plan
+            entry.stats_seed = dict(stats)
+            entry.replans += 1
+            entry.drift_probes = 0
+            self._register_index_hints(entry)
 
     def _register_index_hints(self, entry: ViewEntry) -> None:
         """Pre-build the persistent access structures the view's
@@ -527,6 +603,8 @@ class Engine:
                      ) -> None:
         """One transaction spanning several targets (BEGIN ... END)."""
         working = self.begin()
+        if self.batch_deltas:
+            batches = coalesce_buckets(batches)
         for target, statements in batches:
             self.apply_statements(working, target, statements)
         self._commit(working)
@@ -633,9 +711,7 @@ class Engine:
         origins = working.pending_origins.pop(name)
         entry = self._views[name]
         self._maybe_replan(entry)
-        merged = staged[0]
-        for later in staged[1:]:
-            merged = _compose(merged, later)
+        merged = Delta.compose(staged)
         # Re-projecting onto the pre-delta state drops write-then-undo
         # artifacts of the composition (a row deleted and re-inserted
         # contributes nothing net).

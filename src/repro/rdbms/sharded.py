@@ -51,14 +51,38 @@ per-shard view caches.
 runs, ⊥-constraint checks, schema validation — everything that can
 fail) and applies the prepared storage batches only after *all* shards
 prepared, so an abort mid-transaction leaves every shard untouched.
+
+**Parallelism.**  ``ShardedEngine(parallelism=N)`` backs the pipeline
+with a thread pool: statement fan-out (``apply_statements`` per routed
+shard), the cluster flush gate, the two-phase ``prepare_commit`` and
+the apply phase all run concurrently across the shards a transaction
+touches, and ``get``/``rows`` scatter-gathers reads concurrently.
+Per-shard state keeps the fan-out safe: each shard is one inner engine
+with its own backend (SQLite backends lease one connection per worker
+thread), compiled plans are immutable and shared, and the engine
+pipeline holds no engine-global mutable state during prepare.  Results
+are bit-identical to ``parallelism=1``: workers run every task to
+completion and the coordinator joins them in the order the serial loop
+would have run, so the *first* error — in first-touched shard order —
+is the one raised, no matter which worker failed first (the fuzz
+oracle's ``parallel`` axis pins this).  Reads during an in-flight
+transaction's *prepare* phase see pre-transaction state and are never
+blocked (prepare stages in Python; only the apply phase writes
+storage, and it excludes readers per shard with a lock).  During the
+brief apply phase itself, consistency is per shard: a multi-shard
+scatter-gather racing the apply may combine shards from either side
+of the commit — cross-shard snapshot isolation for readers is future
+work.
 """
 
 from __future__ import annotations
 
+import threading
 import zlib
 from abc import ABC, abstractmethod
 from bisect import bisect_right
-from typing import Iterable, Mapping, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.core.strategy import UpdateStrategy
 from repro.core.validation import ValidationReport, validate
@@ -67,8 +91,9 @@ from repro.datalog.ast import (Lit, Program, Rule, Var, delta_base,
 from repro.errors import SchemaError
 from repro.rdbms.backends import create_shard_backends
 from repro.rdbms.dml import (Delete, Insert, Statement, Update,
-                             _apply_assignments, match_where)
-from repro.rdbms.engine import Engine, Transaction, ViewEntry
+                             _apply_assignments, compile_where)
+from repro.rdbms.engine import (Engine, Transaction, ViewEntry,
+                                coalesce_buckets)
 from repro.relational.database import Database
 from repro.relational.delta import Delta
 from repro.relational.schema import DatabaseSchema, RelationSchema
@@ -156,6 +181,16 @@ class RangePartitioner(Partitioner):
 # The sharded engine
 # ---------------------------------------------------------------------------
 
+#: Set inside pool workers so nested coordinator calls (a worker that
+#: ends up back in ShardedEngine code) never re-submit to the pool —
+#: re-entrant submission from a full pool would deadlock.
+_IN_WORKER = threading.local()
+
+
+def _run_in_worker(thunk: Callable):
+    _IN_WORKER.active = True
+    return thunk()
+
 
 class ShardedEngine:
     """N inner engines over key-range partitions, one backend each.
@@ -180,6 +215,11 @@ class ShardedEngine:
         ``{relation_or_view: attribute name (or position)}`` — the
         declared shard key of each partitioned relation.  Relations
         without a key are *global*: stored wholly on ``global_shard``.
+    parallelism:
+        Worker threads for the per-shard fan-out (capped at the shard
+        count).  ``1`` (the default) is the serial baseline: every
+        pipeline phase runs inline on the calling thread, with
+        identical results (§"Parallelism" in the module docstring).
     """
 
     def __init__(self, schema: DatabaseSchema, *,
@@ -188,7 +228,8 @@ class ShardedEngine:
                  partitioner: Partitioner | None = None,
                  shard_keys: Mapping[str, str | int] | None = None,
                  batch_deltas: bool = True,
-                 global_shard: int = 0):
+                 global_shard: int = 0,
+                 parallelism: int = 1):
         if shards is None:
             if partitioner is not None:
                 shards = partitioner.n_shards
@@ -208,6 +249,20 @@ class ShardedEngine:
             raise SchemaError(f'global_shard {global_shard} out of range '
                               f'for {shards} shards')
         self.global_shard = global_shard
+        self.batch_deltas = batch_deltas
+        if parallelism < 1:
+            raise SchemaError(f'parallelism must be >= 1, '
+                              f'got {parallelism}')
+        self.parallelism = min(parallelism, shards)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        # One lock per shard: the apply phase (the only storage writer)
+        # takes a shard's lock exclusively; scatter-gather readers take
+        # it around their per-shard copy.  Prepare runs lock-free, so
+        # reads overlap an in-flight transaction and see
+        # pre-transaction state.
+        self._shard_locks = tuple(threading.RLock()
+                                  for _ in range(shards))
         shard_backends = create_shard_backends(backends, schema, shards)
         self.engines = tuple(Engine(schema, backend=b,
                                     batch_deltas=batch_deltas)
@@ -234,6 +289,51 @@ class ShardedEngine:
                 self._pending_keys[name] = key
         for rel in schema.names():
             self._placement.setdefault(rel, self.global_shard)
+
+    # -- the worker pool ----------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor | None:
+        if self.parallelism <= 1:
+            return None
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    pool = ThreadPoolExecutor(
+                        max_workers=self.parallelism,
+                        thread_name_prefix='repro-shard')
+                    self._pool = pool
+        return pool
+
+    def _pmap(self, thunks: Sequence[Callable]) -> list:
+        """Run ``thunks`` and return their results in order.
+
+        Parallel mode fans the thunks out to the pool, waits for ALL of
+        them, and raises the first exception *in thunk order* — the
+        error the serial loop would have raised, regardless of which
+        worker actually failed first.  Runs inline when there is
+        nothing to overlap (one thunk, ``parallelism=1``) or when the
+        calling thread is itself a pool worker (re-submitting from
+        inside the pool could exhaust it and deadlock)."""
+        if len(thunks) <= 1 or self.parallelism <= 1 \
+                or getattr(_IN_WORKER, 'active', False):
+            return [thunk() for thunk in thunks]
+        pool = self._ensure_pool()
+        futures = [pool.submit(_run_in_worker, thunk)
+                   for thunk in thunks]
+        results: list = []
+        first_error: BaseException | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as error:
+                if first_error is None:
+                    first_error = error
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results
 
     # -- configuration introspection ----------------------------------
 
@@ -298,21 +398,32 @@ class ShardedEngine:
 
     # -- storage access ------------------------------------------------
 
+    def _read_shard(self, index: int, name: str) -> frozenset:
+        """One shard's contents of ``name``, copied under the shard
+        lock so an apply phase cannot mutate the rows mid-copy."""
+        with self._shard_locks[index]:
+            return frozenset(self.engines[index].rows(name))
+
     def rows(self, name: str) -> frozenset:
         """Scatter-gather union of ``name`` across its shards (the
-        whole relation/view, exactly as the single engine reports it)."""
+        whole relation/view, exactly as the single engine reports it).
+        Concurrent under ``parallelism > 1``: each shard's view cache
+        is read by its own worker."""
         place = self._placement_of(name)
         if place is not None:
-            return frozenset(self.engines[place].rows(name))
+            return self._read_shard(place, name)
+        parts = self._pmap([
+            (lambda index=index: self._read_shard(index, name))
+            for index in range(self.n_shards)])
         gathered: set = set()
-        for engine in self.engines:
-            gathered |= set(engine.rows(name))
+        for part in parts:
+            gathered |= part
         return frozenset(gathered)
 
     def shard_rows(self, name: str) -> tuple[frozenset, ...]:
         """Per-shard contents of ``name`` (diagnostics and tests)."""
-        return tuple(frozenset(engine.rows(name))
-                     for engine in self.engines)
+        return tuple(self._read_shard(index, name)
+                     for index in range(self.n_shards))
 
     def count(self, name: str) -> int:
         """Cluster-wide cardinality, aggregated from the per-shard
@@ -325,12 +436,18 @@ class ShardedEngine:
 
     def database(self) -> Database:
         """A frozen snapshot of the cluster-wide base-table state."""
+        snapshots = self._pmap([
+            (lambda index=index: self._snapshot_shard(index))
+            for index in range(self.n_shards)])
         merged: dict[str, set] = {}
-        for engine in self.engines:
-            snapshot = engine.database()
+        for snapshot in snapshots:
             for name in snapshot.names():
                 merged.setdefault(name, set()).update(snapshot[name])
         return Database.from_dict(merged)
+
+    def _snapshot_shard(self, index: int) -> Database:
+        with self._shard_locks[index]:
+            return self.engines[index].database()
 
     def load(self, name: str, rows: Iterable[tuple]) -> None:
         """Bulk-load a base table, splitting the rows across shards."""
@@ -346,12 +463,26 @@ class ShardedEngine:
         shares: dict[int, set] = {i: set() for i in range(self.n_shards)}
         for row in loaded:
             shares[classify(row)].add(row)
-        for index, engine in enumerate(self.engines):
-            engine.load(name, shares[index])
+        self._pmap([
+            (lambda index=index: self._load_shard(index, name,
+                                                  shares[index]))
+            for index in range(self.n_shards)])
+
+    def _load_shard(self, index: int, name: str, rows: set) -> None:
+        with self._shard_locks[index]:
+            self.engines[index].load(name, rows)
 
     def close(self) -> None:
+        """Shut the worker pool down (joining every worker, which
+        bounds when per-thread backend leases stop being created) and
+        close every shard's backend — closing a backend releases all
+        of its thread leases, whichever threads hold them."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
         for engine in self.engines:
-            engine.backend.close()
+            engine.close()
 
     # -- view definition ----------------------------------------------
 
@@ -587,13 +718,37 @@ class ShardedEngine:
         The apply phase carries the same trust the single engine
         places in ``Backend.apply_deltas``: a storage-level I/O
         failure there is not compensated (durable cross-shard 2PC
-        logs are out of scope for this reproduction)."""
+        logs are out of scope for this reproduction; under
+        ``parallelism > 1`` every shard's apply is attempted even if a
+        sibling's storage write fails, where the serial loop would
+        have stopped — both leave a partially applied batch only on
+        storage-level I/O failure).
+
+        Under ``parallelism > 1`` the prepare phase runs concurrently
+        across the touched shards — it is embarrassingly parallel:
+        prepare only stages in Python and every already-prepared
+        shard's work is simply abandoned on abort, which *is* the
+        rollback (no shard storage was touched).  The coordinator
+        waits for every in-flight prepare and then joins in
+        first-touched order, so the raised error is deterministic and
+        serial-identical."""
+        if self.batch_deltas:
+            batches = coalesce_buckets(batches)
         workings: dict[int, object] = {}     # insertion-ordered
         for target, statements in batches:
             self._route_bucket(workings, target, statements)
-        prepared = [(index, self.engines[index].prepare_commit(working))
-                    for index, working in workings.items()]
-        for index, commit in prepared:
+        order = list(workings.items())
+        prepared = self._pmap([
+            (lambda index=index, working=working:
+             self.engines[index].prepare_commit(working))
+            for index, working in order])
+        self._pmap([
+            (lambda index=index, commit=commit:
+             self._apply_shard(index, commit))
+            for (index, _), commit in zip(order, prepared)])
+
+    def _apply_shard(self, index: int, commit) -> None:
+        with self._shard_locks[index]:
             self.engines[index].apply_prepared(commit)
 
     # -- routing internals --------------------------------------------
@@ -605,11 +760,19 @@ class ShardedEngine:
 
     def _forward(self, workings: dict, target: str,
                  per_shard: dict[int, list[Statement]]) -> None:
+        thunks = []
         for index in sorted(per_shard):
             statements = per_shard[index]
             if statements:
-                self.engines[index].apply_statements(
-                    self._working(workings, index), target, statements)
+                # The working MUST be created here, on the routing
+                # thread: its insertion position in ``workings`` is
+                # the first-touched order that prepare joins in.
+                working = self._working(workings, index)
+                thunks.append(
+                    lambda engine=self.engines[index], working=working,
+                    statements=statements:
+                    engine.apply_statements(working, target, statements))
+        self._pmap(thunks)
 
     def _route_bucket(self, workings: dict, target: str,
                       statements: Sequence[Statement]) -> None:
@@ -626,9 +789,12 @@ class ShardedEngine:
         # must drain it.  Without this, two faults routed to different
         # shards can surface in a different order than on a single
         # node — committing the same state but raising a different
-        # error type, which the differential oracle forbids.
-        for index, working in list(workings.items()):
-            self.engines[index].flush_reads(working, target)
+        # error type, which the differential oracle forbids.  The
+        # drains are independent plan runs, one per shard: fan out.
+        self._pmap([
+            (lambda index=index, working=working:
+             self.engines[index].flush_reads(working, target))
+            for index, working in list(workings.items())])
         if place is not None:
             self.engines[place].apply_statements(
                 self._working(workings, place), target,
@@ -715,12 +881,13 @@ class ShardedEngine:
         shards = range(self.n_shards) if pinned is None else (pinned,)
         victims: set = set()
         replacements: set = set()
+        match = compile_where(statement.where, schema)
         for index in shards:
             engine = self.engines[index]
             working = self._working(workings, index)
             engine.flush_reads(working, target)
             for row in working.rows(target):
-                if not match_where(row, statement.where, schema):
+                if not match(row):
                     continue
                 new_row = _apply_assignments(row, statement.assignments,
                                              schema)

@@ -14,7 +14,7 @@ putback program's result becomes an update.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.datalog.ast import (delete_pred, delta_base, insert_pred,
                                is_delete_pred, is_delta_pred, is_insert_pred)
@@ -32,8 +32,14 @@ class Delta:
     deletions: frozenset = frozenset()
 
     def __post_init__(self):
-        object.__setattr__(self, 'insertions', frozenset(self.insertions))
-        object.__setattr__(self, 'deletions', frozenset(self.deletions))
+        # Deltas are allocated on every statement of every transaction:
+        # skip the (re)freeze when the caller already passed frozensets.
+        if type(self.insertions) is not frozenset:
+            object.__setattr__(self, 'insertions',
+                               frozenset(self.insertions))
+        if type(self.deletions) is not frozenset:
+            object.__setattr__(self, 'deletions',
+                               frozenset(self.deletions))
 
     def is_empty(self) -> bool:
         return not self.insertions and not self.deletions
@@ -54,7 +60,12 @@ class Delta:
         """The part of the delta that actually changes ``rows``: deletions
         present in ``rows`` and insertions absent from it (cf. §5's steady
         state discussion)."""
-        return Delta(self.insertions - rows, self.deletions & rows)
+        insertions = self.insertions - rows
+        deletions = self.deletions & rows
+        if len(insertions) == len(self.insertions) \
+                and len(deletions) == len(self.deletions):
+            return self          # already fully effective: no new object
+        return Delta(insertions, deletions)
 
     def then(self, later: 'Delta') -> 'Delta':
         """Sequential composition (the Algorithm 2 merge): the single
@@ -66,6 +77,10 @@ class Delta:
         contradictions, so is the composition.  This is how the batched
         transaction pipeline coalesces a view's staged deltas into the
         one delta its plan runs over."""
+        if not (later.insertions or later.deletions):
+            return self
+        if not (self.insertions or self.deletions):
+            return later
         return Delta((self.insertions - later.deletions)
                      | later.insertions,
                      (self.deletions - later.insertions)
@@ -92,6 +107,28 @@ class Delta:
             minus.setdefault(classify(row), set()).add(row)
         return {part: Delta(plus.get(part, ()), minus.get(part, ()))
                 for part in set(plus) | set(minus)}
+
+    @classmethod
+    def compose(cls, deltas: Sequence['Delta']) -> 'Delta':
+        """Sequential composition of a whole sequence — ``then`` folded
+        left, but accumulated in two mutable sets so composing N staged
+        single-row deltas costs O(total rows), not O(N²) frozen-set
+        rebuilds.  This is the once-per-transaction merge of the
+        batched pipeline."""
+        if not deltas:
+            return cls()
+        if len(deltas) == 1:
+            return deltas[0]
+        plus = set(deltas[0].insertions)
+        minus = set(deltas[0].deletions)
+        for later in deltas[1:]:
+            if later.deletions:
+                plus -= later.deletions
+            if later.insertions:
+                plus |= later.insertions
+                minus -= later.insertions
+            minus |= later.deletions
+        return cls(plus, minus)
 
     @classmethod
     def merge(cls, parts: Iterable['Delta']) -> 'Delta':

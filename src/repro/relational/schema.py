@@ -63,6 +63,13 @@ class RelationSchema:
         if len(set(self.attributes)) != len(self.attributes):
             raise SchemaError(
                 f'relation {self.name!r} has duplicate attribute names')
+        # Row validation runs for every inserted tuple of every
+        # transaction: resolve the python types once, here, instead of
+        # per value per row.  (Plain attributes, not fields — they are
+        # derived, so equality/pickling of the schema is unaffected.)
+        object.__setattr__(self, '_py_types',
+                           tuple(AttributeType.python_type(t)
+                                 for t in self.types))
 
     @property
     def arity(self) -> int:
@@ -70,18 +77,23 @@ class RelationSchema:
 
     def validate_tuple(self, row: tuple) -> None:
         """Raise :class:`SchemaError` when ``row`` does not fit."""
-        if len(row) != self.arity:
+        if len(row) != len(self.attributes):
             raise SchemaError(
                 f'relation {self.name!r} has arity {self.arity} but got a '
                 f'tuple of length {len(row)}: {row!r}')
-        for value, attr, type_name in zip(row, self.attributes, self.types):
-            expected = AttributeType.python_type(type_name)
+        py_types = self._py_types
+        for index, value in enumerate(row):
+            expected = py_types[index]
+            cls = value.__class__
+            if cls is expected:
+                continue                   # the overwhelming fast path
             if expected is float and isinstance(value, int):
-                continue  # ints are acceptable floats
+                continue  # ints (incl. bool, an int subclass — the
+                #           historical contract) are acceptable floats
             if not isinstance(value, expected) or isinstance(value, bool):
                 raise SchemaError(
-                    f'{self.name}.{attr} expects {type_name}, got '
-                    f'{value!r}')
+                    f'{self.name}.{self.attributes[index]} expects '
+                    f'{self.types[index]}, got {value!r}')
 
     def __str__(self) -> str:
         cols = ', '.join(f'{a}: {t}'

@@ -1,8 +1,9 @@
 """Property-based differential fuzzing of the execution modes.
 
-With three execution axes live (memory/SQLite storage × batched/
-statement-at-a-time translation × sharded/single deployment), the
-equivalence surface has outgrown hand-written differential tests; this
+With four execution axes live (memory/SQLite storage × batched/
+statement-at-a-time translation × sharded/single deployment ×
+thread-pooled parallel/serial fan-out), the equivalence surface has
+outgrown hand-written differential tests; this
 package is the repo's standing randomized oracle.  See
 ``strategies.py`` for the workload generator and ``test_differential``
 for the assertions.

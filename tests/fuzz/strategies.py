@@ -309,9 +309,11 @@ def build_engines(workload: Workload, *,
     workload's base data and the view materialised.
 
     The core matrix covers memory-vs-SQLite × batched-vs-stmt ×
-    sharded-vs-single with four entries (one per axis endpoint);
-    ``extended`` completes the cross with the two remaining costly
-    combinations for the deep (``REPRO_FUZZ=long``) runs.
+    sharded-vs-single × parallel-vs-serial with five entries (one per
+    axis endpoint — ``sharded-parallel`` drives the same mixed-backend
+    shards through the thread pool); ``extended`` completes the cross
+    with the remaining costly combinations for the deep
+    (``REPRO_FUZZ=long``) runs.
     """
     strategy = _strategy(workload.view)
     configs: dict[str, object] = {}
@@ -320,19 +322,22 @@ def build_engines(workload: Workload, *,
         return Engine(strategy.sources, backend=backend,
                       batch_deltas=batch)
 
-    def sharded(batch: bool) -> ShardedEngine:
+    def sharded(batch: bool, parallelism: int = 1) -> ShardedEngine:
         return ShardedEngine(strategy.sources,
                              backends=list(SHARD_BACKENDS),
                              shard_keys=SHARD_KEYS[workload.view],
-                             batch_deltas=batch)
+                             batch_deltas=batch,
+                             parallelism=parallelism)
 
     configs['memory-batched'] = single('memory', True)
     configs['memory-stmt'] = single('memory', False)
     configs['sqlite-batched'] = single('sqlite', True)
     configs['sharded-batched'] = sharded(True)
+    configs['sharded-parallel'] = sharded(True, parallelism=2)
     if extended:
         configs['sqlite-stmt'] = single('sqlite', False)
         configs['sharded-stmt'] = sharded(False)
+        configs['sharded-parallel-stmt'] = sharded(False, parallelism=3)
 
     for engine in configs.values():
         for name in strategy.sources.names():

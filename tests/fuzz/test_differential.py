@@ -3,9 +3,10 @@ state, or raises the same error, on randomized workloads.
 
 Configurations compared (see ``strategies.build_engines``): memory vs
 SQLite storage, batched vs statement-at-a-time translation, sharded
-(3 mixed-backend shards) vs single engine.  After every transaction the
-committed base tables, the materialised view caches, and the
-raised-error behavior must agree across all of them.
+(3 mixed-backend shards) vs single engine, and thread-pooled parallel
+vs serial sharded execution.  After every transaction the committed
+base tables, the materialised view caches, and the raised-error
+behavior must agree across all of them.
 
 Profiles: CI runs the bounded smoke (``--hypothesis-profile=ci``);
 ``REPRO_FUZZ=long`` selects the deep profile locally (≥200 generated
@@ -36,30 +37,39 @@ SEED_CORPUS = [('luxuryitems', 7), ('luxuryitems', 1031),
 
 
 def run_differential(workload: Workload, *, extended: bool = False,
-                     reference: str = 'memory-batched') -> dict:
+                     reference: str = 'memory-batched',
+                     keep_engines: bool = False) -> dict:
     """Execute the workload on every configuration, asserting identical
-    outcomes after each transaction.  Returns per-config engines for
-    extra assertions."""
+    outcomes after each transaction.  Engines are closed on the way out
+    (they hold thread pools and SQLite connections); pass
+    ``keep_engines`` for extra assertions on live engines — the caller
+    then owns the close."""
     engines = build_engines(workload, extended=extended)
     view = workload.view
-    for number, transaction in enumerate(workload.transactions):
-        outcomes: dict[str, str | None] = {}
-        for name, engine in engines.items():
-            try:
-                engine.execute_many(transaction)
-                outcomes[name] = None
-            except ReproError as error:
-                outcomes[name] = type(error).__name__
-        assert len(set(outcomes.values())) == 1, (
-            f'divergent raise behavior on {workload!r} '
-            f'transaction #{number}: {outcomes}')
-        reference_state = (engines[reference].database(),
-                           frozenset(engines[reference].rows(view)))
-        for name, engine in engines.items():
-            state = (engine.database(), frozenset(engine.rows(view)))
-            assert state == reference_state, (
-                f'{name} diverged from {reference} on {workload!r} '
-                f'transaction #{number} (outcome {outcomes[name]})')
+    try:
+        for number, transaction in enumerate(workload.transactions):
+            outcomes: dict[str, str | None] = {}
+            for name, engine in engines.items():
+                try:
+                    engine.execute_many(transaction)
+                    outcomes[name] = None
+                except ReproError as error:
+                    outcomes[name] = type(error).__name__
+            assert len(set(outcomes.values())) == 1, (
+                f'divergent raise behavior on {workload!r} '
+                f'transaction #{number}: {outcomes}')
+            reference_state = (engines[reference].database(),
+                               frozenset(engines[reference].rows(view)))
+            for name, engine in engines.items():
+                state = (engine.database(),
+                         frozenset(engine.rows(view)))
+                assert state == reference_state, (
+                    f'{name} diverged from {reference} on {workload!r} '
+                    f'transaction #{number} (outcome {outcomes[name]})')
+    finally:
+        if not keep_engines:
+            for engine in engines.values():
+                engine.close()
     return engines
 
 
@@ -73,8 +83,9 @@ def run_differential(workload: Workload, *, extended: bool = False,
 @settings(deadline=None)
 def test_all_modes_agree(view, seed):
     """The core matrix: memory/SQLite × batched/stmt × sharded/single
-    leave identical committed base tables and view caches, and raise
-    identically, on every generated transaction sequence."""
+    × parallel/serial leave identical committed base tables and view
+    caches, and raise identically, on every generated transaction
+    sequence."""
     run_differential(random_workload(view, seed))
 
 
@@ -97,11 +108,18 @@ def test_seed_corpus_deterministic(view, seed):
     assert workload.transactions == again.transactions
     assert {n: set(workload.data[n]) for n in workload.data.names()} \
         == {n: set(again.data[n]) for n in again.data.names()}
-    engines = run_differential(workload)
-    # Sharded placement really was shard-local — the partitioned paths
-    # (routing, scatter-gather, fan-back) were exercised, not the
-    # global-fallback degenerate case.
-    assert engines['sharded-batched'].placement(view) == 'partitioned'
+    engines = run_differential(workload, keep_engines=True)
+    try:
+        # Sharded placement really was shard-local — the partitioned
+        # paths (routing, scatter-gather, fan-back) were exercised, not
+        # the global-fallback degenerate case — and the parallel engine
+        # agreed while actually running with a pool.
+        assert engines['sharded-batched'].placement(view) \
+            == 'partitioned'
+        assert engines['sharded-parallel'].parallelism == 2
+    finally:
+        for engine in engines.values():
+            engine.close()
 
 
 def test_violating_workloads_raise_everywhere():

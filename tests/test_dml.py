@@ -3,8 +3,8 @@
 import pytest
 
 from repro.errors import SchemaError, ViewUpdateError
-from repro.rdbms.dml import (Delete, Insert, Update, derive_view_delta,
-                             match_where)
+from repro.rdbms.dml import (Delete, Insert, Update, compile_where,
+                             derive_view_delta, match_where)
 from repro.relational.schema import RelationSchema
 
 SCHEMA = RelationSchema('v', ('a', 'b'), ('int', 'string'))
@@ -29,6 +29,36 @@ class TestWhereMatching:
     def test_unknown_column(self):
         with pytest.raises(SchemaError):
             match_where((1, 'x'), {'zzz': 1}, SCHEMA)
+
+    def test_compile_where_matches_match_where(self):
+        cases = [None, {'a': 1}, {'a': 2}, {'a': 1, 'b': 'x'},
+                 {'a': 1, 'b': 'y'}, lambda row: row['a'] > 3]
+        for where in cases:
+            compiled = compile_where(where, SCHEMA)
+            for row in ((1, 'x'), (5, 'x'), (2, 'y')):
+                assert compiled(row) == match_where(row, where, SCHEMA)
+
+    def test_compile_where_unknown_column_stays_lazy(self):
+        """Exactly match_where's data-dependent raise: an unknown
+        column only fires when every condition *before* it matched —
+        an earlier failing condition still returns False."""
+        where = {'a': 999, 'zzz': 1}
+        compiled = compile_where(where, SCHEMA)
+        assert compiled((1, 'x')) is False       # a != 999: no raise
+        assert not match_where((1, 'x'), where, SCHEMA)
+        with pytest.raises(SchemaError):
+            compiled((999, 'x'))                  # a matched: raise
+        with pytest.raises(SchemaError):
+            match_where((999, 'x'), where, SCHEMA)
+
+    def test_bool_stays_acceptable_float(self):
+        """The historical validate_tuple contract: bool (an int
+        subclass) passes for float columns, is rejected for int."""
+        floaty = RelationSchema('f', ('x',), ('float',))
+        floaty.validate_tuple((True,))
+        inty = RelationSchema('i', ('x',), ('int',))
+        with pytest.raises(SchemaError):
+            inty.validate_tuple((True,))
 
 
 class TestStatementDeltas:

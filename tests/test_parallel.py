@@ -1,0 +1,403 @@
+"""Concurrency suite for the thread-pooled sharded engine.
+
+What ``ShardedEngine(parallelism=N)`` must guarantee, and what these
+tests pin:
+
+* committed state and raise behavior are bit-identical to the serial
+  (``parallelism=1``) pipeline — including WHICH constraint violation
+  surfaces when several shards fail in the same transaction (the
+  coordinator joins prepares in first-touched order);
+* an abort while sibling shards are still mid-prepare waits for every
+  in-flight worker and leaves every shard untouched;
+* readers are never blocked by an in-flight transaction's prepare
+  phase and observe pre-transaction state (only the apply phase takes
+  the per-shard locks);
+* the fan-out is real: two shards' prepares genuinely overlap in time
+  (a barrier that only opens when both are in-flight);
+* SQLite shards work from pool worker threads — connections are
+  leased per thread (the thread-affinity regression) and released
+  deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ConstraintViolation, SchemaError
+from repro.rdbms.backends.memory import MemoryBackend
+from repro.rdbms.dml import Delete, Insert
+from repro.rdbms.engine import Engine
+from repro.rdbms.sharded import RangePartitioner, ShardedEngine
+
+WAIT = 10.0         # generous upper bound; normal runs take milliseconds
+
+BASE_ROWS = [(1, 'watch', 5000), (2, 'ring', 4000),
+             (101, 'vase', 3000), (102, 'clock', 2500)]
+
+
+class GateBackend(MemoryBackend):
+    """A memory backend whose ∂put evaluation can be held at a gate.
+
+    ``armed`` is off during setup (load / view materialisation); once
+    armed, entering the incremental evaluation announces itself via
+    ``entered`` and blocks until ``release`` — the window the tests
+    use to observe a transaction mid-prepare."""
+
+    def __init__(self, schema):
+        super().__init__(schema)
+        self.armed = False
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def evaluate_incremental_batch(self, entry, sources, view_handle,
+                                   delta, *, new_view_rows=None):
+        if self.armed:
+            self.entered.set()
+            assert self.release.wait(WAIT), 'gate never released'
+        return super().evaluate_incremental_batch(
+            entry, sources, view_handle, delta,
+            new_view_rows=new_view_rows)
+
+
+class BarrierBackend(MemoryBackend):
+    """Blocks ∂put evaluation on a shared barrier: the barrier opens
+    only when every participating shard is in-flight simultaneously —
+    true overlap, not interleaving."""
+
+    def __init__(self, schema, barrier: threading.Barrier):
+        super().__init__(schema)
+        self.armed = False
+        self.barrier = barrier
+
+    def evaluate_incremental_batch(self, entry, sources, view_handle,
+                                   delta, *, new_view_rows=None):
+        if self.armed:
+            self.barrier.wait(timeout=WAIT)
+        return super().evaluate_incremental_batch(
+            entry, sources, view_handle, delta,
+            new_view_rows=new_view_rows)
+
+
+def build_engine(luxury_strategy, *, parallelism, backends=None,
+                 shards=2):
+    """Two range shards of ``luxuryitems``: iid < 100 on shard 0."""
+    boundaries = [100 * (i + 1) for i in range(shards - 1)]
+    engine = ShardedEngine(
+        luxury_strategy.sources,
+        partitioner=RangePartitioner(boundaries),
+        backends=backends,
+        shard_keys={'luxuryitems': 'iid', 'items': 'iid'},
+        parallelism=parallelism)
+    engine.load('items', BASE_ROWS)
+    engine.define_view(luxury_strategy, validate_first=False)
+    engine.rows('luxuryitems')
+    return engine
+
+
+class TestParallelEquivalence:
+
+    def test_parallel_matches_serial(self, luxury_strategy):
+        serial = build_engine(luxury_strategy, parallelism=1)
+        parallel = build_engine(luxury_strategy, parallelism=2)
+        txns = [
+            [('luxuryitems', [Insert((7, 'tiara', 9000))]),
+             ('luxuryitems', [Insert((107, 'bust', 8000))])],
+            [('luxuryitems', [Delete({'iid': 7})]),
+             ('items', [Insert((150, 'statue', 1500))])],
+            [('luxuryitems', [Insert((8, 'orb', 7000)),
+                              Delete({'iid': 107})])],
+        ]
+        for txn in txns:
+            serial.execute_many(txn)
+            parallel.execute_many(txn)
+            assert parallel.database() == serial.database()
+            assert parallel.rows('luxuryitems') \
+                == serial.rows('luxuryitems')
+        serial.close()
+        parallel.close()
+
+    def test_parallelism_capped_at_shards(self, luxury_strategy):
+        engine = build_engine(luxury_strategy, parallelism=64)
+        assert engine.parallelism == 2
+        engine.close()
+
+    def test_parallelism_must_be_positive(self, luxury_strategy):
+        with pytest.raises(SchemaError):
+            build_engine(luxury_strategy, parallelism=0)
+
+
+class TestDeterministicFirstViolation:
+
+    def _witness(self, luxury_strategy, parallelism, txn):
+        engine = build_engine(luxury_strategy, parallelism=parallelism)
+        before = engine.database()
+        with pytest.raises(ConstraintViolation) as err:
+            engine.execute_many(txn)
+        assert engine.database() == before
+        engine.close()
+        return str(err.value)
+
+    def test_first_touched_shard_wins_in_one_bucket(
+            self, luxury_strategy):
+        """Both shards violate inside one (coalesced) bucket: the
+        fan-out forwards shards in sorted order, so shard 0 is
+        first-touched and its witness must surface — serial and
+        parallel alike, even though parallel workers may finish in
+        either order."""
+        txn = [('luxuryitems', [Insert((150, 'cheap_hi', 10))]),
+               ('luxuryitems', [Insert((50, 'cheap_lo', 20))])]
+        witnesses = {self._witness(luxury_strategy, p, txn)
+                     for p in (1, 2, 2)}
+        assert len(witnesses) == 1
+        assert 'cheap_lo' in witnesses.pop()   # shard 0 sorts first
+
+    def test_first_touched_shard_wins_across_buckets(
+            self, luxury_strategy):
+        """Separated buckets (no coalescing): shard 1's working is
+        created first, so its violation wins over shard 0's — the
+        serial first-staged drain order, preserved by the parallel
+        prepare join."""
+        txn = [('luxuryitems', [Insert((150, 'cheap_hi', 10))]),
+               ('items', [Insert((160, 'plain', 50))]),
+               ('luxuryitems', [Insert((50, 'cheap_lo', 20))])]
+        witnesses = {self._witness(luxury_strategy, p, txn)
+                     for p in (1, 2, 2)}
+        assert len(witnesses) == 1
+        assert 'cheap_hi' in witnesses.pop()   # shard 1 touched first
+
+
+class TestMidFlightAbort:
+
+    def test_abort_waits_for_inflight_prepare_and_rolls_back(
+            self, luxury_strategy):
+        """Shard 0's prepare is held at the gate while shard 1's
+        prepare fails: the coordinator must wait for shard 0, raise
+        shard 1's violation, and leave both shards untouched."""
+        gated = GateBackend(luxury_strategy.sources)
+        engine = build_engine(luxury_strategy, parallelism=2,
+                              backends=[gated, 'memory'])
+        before = engine.database()
+        before_view = engine.rows('luxuryitems')
+        gated.armed = True
+        failed = {}
+
+        def transaction():
+            try:
+                engine.execute_many([
+                    ('luxuryitems', [Insert((9, 'valid', 6000))]),
+                    ('luxuryitems', [Insert((109, 'cheap', 5))]),
+                ])
+            except ConstraintViolation as err:
+                failed['error'] = err
+
+        runner = threading.Thread(target=transaction)
+        runner.start()
+        # Shard 0 really is mid-prepare when we let the abort happen.
+        assert gated.entered.wait(WAIT)
+        gated.release.set()
+        runner.join(WAIT)
+        assert not runner.is_alive()
+        gated.armed = False
+        assert 'error' in failed
+        assert engine.database() == before
+        assert engine.rows('luxuryitems') == before_view
+        for shard in engine.shard_rows('items'):
+            assert not shard & {(9, 'valid', 6000), (109, 'cheap', 5)}
+        engine.close()
+
+
+class TestConcurrentReads:
+
+    def test_get_during_inflight_prepare_sees_pre_state(
+            self, luxury_strategy):
+        """A reader during another transaction's prepare phase is not
+        blocked and sees pre-transaction state; after commit it sees
+        the update."""
+        gated = GateBackend(luxury_strategy.sources)
+        engine = build_engine(luxury_strategy, parallelism=2,
+                              backends=[gated, 'memory'])
+        before_view = engine.rows('luxuryitems')
+        gated.armed = True
+        runner = threading.Thread(
+            target=engine.execute_many,
+            args=([('luxuryitems', [Insert((10, 'crown', 9999))])],))
+        runner.start()
+        assert gated.entered.wait(WAIT)
+        # The transaction is mid-prepare on shard 0 right now.
+        assert engine.rows('luxuryitems') == before_view
+        assert engine.count('items') == len(BASE_ROWS)
+        gated.release.set()
+        runner.join(WAIT)
+        assert not runner.is_alive()
+        gated.armed = False
+        assert engine.rows('luxuryitems') \
+            == before_view | {(10, 'crown', 9999)}
+        engine.close()
+
+
+class TestTrueOverlap:
+
+    def test_two_shards_prepare_simultaneously(self, luxury_strategy):
+        """The barrier opens only if BOTH shards' prepares are
+        in-flight at the same moment — serial execution would time
+        out.  This is the proof the fan-out actually overlaps."""
+        barrier = threading.Barrier(2)
+        backends = [BarrierBackend(luxury_strategy.sources, barrier),
+                    BarrierBackend(luxury_strategy.sources, barrier)]
+        engine = build_engine(luxury_strategy, parallelism=2,
+                              backends=backends)
+        for backend in backends:
+            backend.armed = True
+        engine.execute_many([
+            ('luxuryitems', [Insert((11, 'sceptre', 5000))]),
+            ('luxuryitems', [Insert((111, 'globe', 5000))]),
+        ])
+        for backend in backends:
+            backend.armed = False
+        assert not barrier.broken
+        assert {(11, 'sceptre', 5000), (111, 'globe', 5000)} \
+            <= engine.rows('luxuryitems')
+        engine.close()
+
+    def test_stress_concurrent_readers_and_transactions(
+            self, luxury_strategy):
+        """Transactions against a parallel engine while reader threads
+        hammer scatter-gather ``rows``: no exceptions, and the final
+        state equals the serial reference."""
+        parallel = build_engine(luxury_strategy, parallelism=2)
+        serial = build_engine(luxury_strategy, parallelism=1)
+        stop = threading.Event()
+        errors: list = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    rows = parallel.rows('luxuryitems')
+                    assert isinstance(rows, frozenset)
+                    parallel.count('items')
+                except Exception as exc:      # pragma: no cover
+                    errors.append(exc)
+                    return
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in readers:
+            thread.start()
+        try:
+            for n in range(30):
+                txn = [('luxuryitems',
+                        [Insert((n + 10, f'a{n}', 2000 + n)),
+                         Insert((n + 210, f'b{n}', 3000 + n))])]
+                parallel.execute_many(txn)
+                serial.execute_many(txn)
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join(WAIT)
+        assert not errors
+        assert parallel.database() == serial.database()
+        assert parallel.rows('luxuryitems') == serial.rows('luxuryitems')
+        parallel.close()
+        serial.close()
+
+
+class TestSQLiteThreadAffinity:
+
+    def test_sqlite_shard_from_worker_thread(self, luxury_strategy):
+        """The regression that motivated per-thread leasing: a SQLite
+        shard driven by pool workers used to die with SQLite's
+        cross-thread ProgrammingError."""
+        engine = build_engine(luxury_strategy, parallelism=2,
+                              backends=['sqlite', 'sqlite'])
+        engine.execute_many([
+            ('luxuryitems', [Insert((12, 'fan', 4000))]),
+            ('luxuryitems', [Insert((112, 'lamp', 4500))]),
+        ])
+        assert {(12, 'fan', 4000), (112, 'lamp', 4500)} \
+            <= engine.rows('luxuryitems')
+        engine.close()
+
+    def test_engine_usable_from_foreign_thread(self):
+        """A plain SQLite-backed Engine crosses threads freely: each
+        thread leases its own connection."""
+        from repro.relational.schema import DatabaseSchema
+        schema = DatabaseSchema.build(t={'a': 'int', 'b': 'string'})
+        engine = Engine(schema, backend='sqlite')
+        engine.load('t', {(1, 'x')})
+        with ThreadPoolExecutor(2) as pool:
+            pool.submit(engine.insert, 't', (2, 'y')).result()
+            seen = pool.submit(engine.rows, 't').result()
+        assert seen == {(1, 'x'), (2, 'y')}
+        assert engine.backend.leased_threads() >= 2
+        engine.close()
+
+    def test_release_thread_is_deterministic(self):
+        from repro.relational.schema import DatabaseSchema
+        schema = DatabaseSchema.build(t={'a': 'int'})
+        engine = Engine(schema, backend='sqlite')
+        engine.load('t', {(1,)})
+        backend = engine.backend
+        released = threading.Event()
+
+        def use_and_release():
+            # A write must touch SQLite (reads may be served from the
+            # Python-side row cache without ever leasing a connection).
+            engine.insert('t', (2,))
+            before = backend.leased_threads()
+            assert before >= 2            # root lease + this worker
+            backend.release_thread()
+            assert backend.leased_threads() == before - 1
+            released.set()
+
+        worker = threading.Thread(target=use_and_release)
+        worker.start()
+        worker.join(WAIT)
+        assert released.is_set()
+        # The root lease survives; the worker's write is visible.
+        assert engine.rows('t') == {(1,), (2,)}
+        engine.close()
+        # close() is idempotent, and a lease after close refuses.
+        engine.close()
+        with pytest.raises(SchemaError):
+            backend.rows('t')
+
+
+class TestPlannerLocking:
+
+    def test_concurrent_compiles_share_one_plan(self):
+        from repro.datalog.parser import parse_program
+        from repro.datalog.plan import compile_program
+        program = parse_program('v(X) :- r(X), not s(X).')
+        plans = []
+        with ThreadPoolExecutor(4) as pool:
+            futures = [pool.submit(compile_program, program)
+                       for _ in range(16)]
+            plans = [f.result() for f in futures]
+        assert all(plan is plans[0] for plan in plans)
+
+    def test_concurrent_replans_do_not_interleave(self, luxury_strategy):
+        """Hammer _maybe_replan for one entry from several threads
+        while stats drift: the replans counter must move coherently
+        and the entry must stay internally consistent."""
+        engine = Engine(luxury_strategy.sources, backend='memory')
+        engine.load('items', BASE_ROWS)
+        engine.define_view(luxury_strategy, validate_first=False)
+        entry = engine.view('luxuryitems')
+        engine.load('items', [(i, f'x{i}', 2000 + i)
+                              for i in range(500)])
+
+        def hammer():
+            for _ in range(50):
+                engine._maybe_replan(entry)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(WAIT)
+        assert entry.replans >= 1
+        assert entry.incremental_plan is not None
+        assert entry.stats_seed['items'] == 500
+        engine.close()

@@ -270,3 +270,70 @@ class TestEngineReuse:
         assert declared            # the join declares at least one probe
         for pred, positions in declared:
             assert positions in engine.backend._tables[pred]._indexes
+
+
+class TestSealedExecutor:
+    """The generated (sealed) executor tier must be observationally
+    identical to the generic step interpreter — same rows, same
+    constraint witnesses, same limit behavior."""
+
+    def _both_tiers(self, program, instance, goals=None):
+        from repro.datalog import evaluator as ev
+        plan = compile_program(program, cache=False)
+        for _ in range(3):        # past the seal threshold
+            sealed = plan.evaluate(instance, goals=goals)
+            sealed_viol = plan.constraint_violations(instance)
+        old = ev._SEALING
+        ev._SEALING = False
+        try:
+            generic = plan.evaluate(instance, goals=goals)
+            generic_viol = plan.constraint_violations(instance)
+        finally:
+            ev._SEALING = old
+        assert sealed == generic
+        assert sealed_viol == generic_viol
+
+    @pytest.mark.parametrize('entry',
+                             [e for e in QA_ENTRIES if e.expressible],
+                             ids=lambda e: e.name)
+    def test_sealed_matches_generic_on_qa_catalog(self, entry):
+        for program, instance in _qa_instances(entry):
+            self._both_tiers(program, instance)
+
+    def test_sealed_matches_generic_on_probe_heavy_program(self):
+        program = parse_program("""
+            aux(X, Y) :- r(X, Y), Y > 2.
+            v(X) :- s(X), not aux(X, X).
+            w(X, Y) :- r(X, Y), s(X), X = Y.
+            ⊥ :- v(X), X > 90.
+        """)
+        instance = db(r={(i, i % 7) for i in range(100)},
+                      s={(i,) for i in range(0, 100, 3)})
+        self._both_tiers(program, instance)
+
+    def test_sealed_first_witness_limit(self):
+        from repro.datalog import evaluator as ev
+        program = parse_program('⊥ :- r(X), X > 10.')
+        plan = compile_program(program, cache=False)
+        instance = db(r={(i,) for i in range(100)})
+        for _ in range(3):
+            sealed = plan.constraint_violations(instance,
+                                                first_witness=True)
+        assert len(sealed) == 1
+        rule, witness = sealed[0]
+        assert witness[0] > 10
+        # The sealed run functions really are installed and shared
+        # (unless the whole run pins the generic tier).
+        if ev._SEALING:
+            rule_plan = plan.constraint_plans[0].rule_plan
+            assert callable(rule_plan.sealed[0])
+
+    def test_repro_sealed_env_disables(self, monkeypatch):
+        import subprocess, sys
+        code = ('from repro.datalog import evaluator as ev; '
+                'print(ev._SEALING)')
+        out = subprocess.run(
+            [sys.executable, '-c', code],
+            env={'PYTHONPATH': 'src', 'REPRO_SEALED': '0'},
+            capture_output=True, text=True, cwd='.')
+        assert out.stdout.strip() == 'False'
