@@ -42,6 +42,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / 'src'))
 
+from repro.benchsuite.latency import summarize_latencies     # noqa: E402
 from repro.core.strategy import UpdateStrategy               # noqa: E402
 from repro.rdbms.dml import Delete, Insert, Update           # noqa: E402
 from repro.rdbms.engine import Engine                        # noqa: E402
@@ -132,9 +133,11 @@ def _hot_mix_transaction(counter: list[int], hot_shard: int,
 
 
 def _throughput(engine, key_shards: int, statements: int, keyed: int,
-                repeats: int, counter: list[int]) -> float:
+                repeats: int,
+                counter: list[int]) -> tuple[float, list[float]]:
     """Median statements/second over ``repeats`` hot-range
-    transactions, rotating the hot shard, after one warmup."""
+    transactions, rotating the hot shard, after one warmup — plus the
+    raw per-transaction latencies for the percentile summary."""
     engine.execute_many(_hot_mix_transaction(counter, 0, statements,
                                              keyed))
     times = []
@@ -144,7 +147,7 @@ def _throughput(engine, key_shards: int, statements: int, keyed: int,
         started = time.perf_counter()
         engine.execute_many(work)
         times.append(time.perf_counter() - started)
-    return statements / statistics.median(times)
+    return statements / statistics.median(times), times
 
 
 def run_bench(size: int, statements: int, keyed: int, repeats: int,
@@ -156,36 +159,38 @@ def run_bench(size: int, statements: int, keyed: int, repeats: int,
     counter = [0]
     points = []
 
-    def record(config, shards, parallelism, tput, baseline):
+    def record(config, shards, parallelism, tput, times, baseline):
         point = {'config': config, 'shards': shards,
                  'parallelism': parallelism, 'base_size': size,
                  'statements': statements, 'keyed': keyed,
                  'stmts_per_second': tput,
-                 'speedup': tput / baseline if baseline else 1.0}
+                 'speedup': tput / baseline if baseline else 1.0,
+                 'txn_latency': summarize_latencies(times)}
         points.append(point)
         if progress:
             progress(point)
         return point
 
     single = _build_single(strategy, size, max_shards)
-    single_tput = _throughput(single, max_shards, statements, keyed,
-                              repeats, counter)
-    record('single', 1, 1, single_tput, single_tput)
+    single_tput, single_times = _throughput(single, max_shards,
+                                            statements, keyed, repeats,
+                                            counter)
+    record('single', 1, 1, single_tput, single_times, single_tput)
 
     for shards in shard_counts:
         engine = _build_sharded(strategy, size, shards)
-        tput = _throughput(engine, shards, statements, keyed, repeats,
-                           counter)
-        record(f'sharded-{shards}', shards, 1, tput, single_tput)
+        tput, times = _throughput(engine, shards, statements, keyed,
+                                  repeats, counter)
+        record(f'sharded-{shards}', shards, 1, tput, times, single_tput)
         engine.close()
 
     for workers in parallelism_sweep:
         engine = _build_sharded(strategy, size, max_shards,
                                 parallelism=workers)
-        tput = _throughput(engine, max_shards, statements, keyed,
-                           repeats, counter)
+        tput, times = _throughput(engine, max_shards, statements, keyed,
+                                  repeats, counter)
         record(f'sharded-{max_shards}x{workers}', max_shards, workers,
-               tput, single_tput)
+               tput, times, single_tput)
         engine.close()
     return points
 
@@ -196,11 +201,11 @@ def run_insert_only(size: int, statements: int, repeats: int) -> dict:
     strategy = _strategy()
     counter = [0]
     single = _build_single(strategy, size, 4)
-    single_tput = _throughput(single, 4, statements, 0, repeats,
-                              counter)
+    single_tput, _ = _throughput(single, 4, statements, 0, repeats,
+                                 counter)
     sharded = _build_sharded(strategy, size, 4)
-    sharded_tput = _throughput(sharded, 4, statements, 0, repeats,
-                               counter)
+    sharded_tput, _ = _throughput(sharded, 4, statements, 0, repeats,
+                                  counter)
     sharded.close()
     return {'workload': 'insert-only', 'base_size': size,
             'statements': statements,
@@ -212,14 +217,16 @@ def run_insert_only(size: int, statements: int, repeats: int) -> dict:
 def format_points(points) -> str:
     lines = [f'{"config":<14} {"shards":>6} {"par":>4} {"n":>8} '
              f'{"stmts":>6} {"keyed":>6} {"stmts/s":>10} '
-             f'{"vs single":>10}']
+             f'{"vs single":>10} {"p50 ms":>8} {"p99 ms":>8}']
     lines.append('-' * len(lines[0]))
     for p in points:
+        latency = p['txn_latency']
         lines.append(
             f'{p["config"]:<14} {p["shards"]:>6} {p["parallelism"]:>4} '
             f'{p["base_size"]:>8} {p["statements"]:>6} '
             f'{p["keyed"]:>6} {p["stmts_per_second"]:>10.0f} '
-            f'{p["speedup"]:>9.2f}x')
+            f'{p["speedup"]:>9.2f}x {latency["p50_ms"]:>8.1f} '
+            f'{latency["p99_ms"]:>8.1f}')
     return '\n'.join(lines)
 
 

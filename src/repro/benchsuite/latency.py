@@ -1,0 +1,54 @@
+"""Latency summarisation for the benchmark suite.
+
+Mean throughput hides the tail — a serving layer is judged on what its
+*slowest* percentile of clients experience, so the benchmarks record
+per-transaction latencies from seeded iterated runs and summarise them
+here: P50/P95/P99 by linear interpolation (the same estimator NumPy
+calls ``linear`` and SQL engines call ``percentile_cont``), which is
+stable for the small-N samples a quick bench run produces — the nearest
+-rank estimator would jump a whole sample at a time.
+
+This is the first slice of the ROADMAP observability item; the JSON
+artifacts (``BENCH_shard.json``, ``BENCH_serve.json``) carry the
+summaries so regressions in tail latency gate like throughput does.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Iterable, Sequence
+
+__all__ = ['percentile', 'summarize_latencies']
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (``0 <= q <= 100``) of ``samples`` by
+    linear interpolation between closest ranks."""
+    if not samples:
+        raise ValueError('percentile of an empty sample set')
+    if not 0 <= q <= 100:
+        raise ValueError(f'percentile must be in [0, 100], got {q}')
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (q / 100.0)
+    low = int(rank)
+    frac = rank - low
+    if frac == 0:
+        return ordered[low]
+    return ordered[low] + (ordered[low + 1] - ordered[low]) * frac
+
+
+def summarize_latencies(seconds: Iterable[float]) -> dict:
+    """Summarise per-operation latencies (in seconds) into the
+    milliseconds the JSON artifacts record: P50/P95/P99, mean, max and
+    the sample count."""
+    samples = [s * 1000.0 for s in seconds]
+    return {
+        'n': len(samples),
+        'mean_ms': statistics.fmean(samples),
+        'p50_ms': percentile(samples, 50),
+        'p95_ms': percentile(samples, 95),
+        'p99_ms': percentile(samples, 99),
+        'max_ms': max(samples),
+    }

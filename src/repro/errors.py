@@ -27,8 +27,17 @@ class DatalogSyntaxError(ReproError):
             if column is not None:
                 location += f', column {column}'
         super().__init__(message + location)
+        self.message = message
         self.line = line
         self.column = column
+
+    def __reduce__(self):
+        # Exceptions pickle through ``(cls, self.args)`` by default,
+        # which would re-run __init__ on the already-located message
+        # (doubling the location) and drop line/column.  The process
+        # pool ships exceptions between worker and coordinator, so the
+        # round trip must be exact.
+        return (type(self), (self.message, self.line, self.column))
 
 
 class SafetyError(ReproError):
@@ -58,6 +67,12 @@ class ContradictionError(ReproError):
         self.relation = relation
         self.tuples = tuples
 
+    def __reduce__(self):
+        # args holds the formatted message, not (relation, tuples) —
+        # reconstruct from the real attributes so the process pool's
+        # exception round trip is exact (see DatalogSyntaxError).
+        return (type(self), (self.relation, self.tuples))
+
 
 class ValidationError(ReproError):
     """A view update strategy failed validation (Algorithm 1)."""
@@ -74,9 +89,33 @@ class ConstraintViolation(ReproError):
         self.constraint = constraint
         self.witness = witness
 
+    def __reduce__(self):
+        # See DatalogSyntaxError: reconstruct from the originating
+        # attributes, not the formatted args, so pickling is exact.
+        return (type(self), (self.constraint, self.witness))
+
 
 class ViewUpdateError(ReproError):
     """A DML statement against a view could not be translated to the source."""
+
+
+class ShardUnavailableError(ReproError):
+    """A shard's worker process died (or its RPC channel broke) while a
+    request was outstanding.  The cluster transaction that hit it is
+    rolled back on every other shard; the pool restarts the worker so
+    the *next* transaction finds a serving (catalog-recovered) shard.
+    """
+
+    def __init__(self, shard: int, reason: str = ''):
+        message = f'shard {shard} worker is unavailable'
+        if reason:
+            message += f': {reason}'
+        super().__init__(message)
+        self.shard = shard
+        self.reason = reason
+
+    def __reduce__(self):
+        return (type(self), (self.shard, self.reason))
 
 
 class TransformationError(ReproError):

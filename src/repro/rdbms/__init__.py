@@ -5,9 +5,11 @@ DESIGN.md)."""
 from repro.rdbms.dml import (Delete, Insert, Statement, Update,
                              derive_view_delta)
 from repro.rdbms.engine import Engine, Transaction, ViewEntry
+from repro.rdbms.serve import Receipt, ViewServer
 from repro.rdbms.sharded import (HashPartitioner, Partitioner,
                                  RangePartitioner, ShardedEngine)
 
 __all__ = ['Delete', 'Insert', 'Statement', 'Update', 'derive_view_delta',
            'Engine', 'Transaction', 'ViewEntry', 'ShardedEngine',
-           'Partitioner', 'HashPartitioner', 'RangePartitioner']
+           'Partitioner', 'HashPartitioner', 'RangePartitioner',
+           'Receipt', 'ViewServer']

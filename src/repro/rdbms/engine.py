@@ -401,6 +401,12 @@ class Engine:
         """Release backend resources (connections, files)."""
         self.backend.close()
 
+    def __enter__(self) -> 'Engine':
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # -- view definition ---------------------------------------------------------
 
     def define_view(self, strategy: UpdateStrategy, *,

@@ -1,0 +1,514 @@
+"""Process-per-shard execution: worker processes owning one engine each.
+
+Threads cannot beat the GIL on CPU-bound putback translation
+(BENCH_shard.json: 4 shards × 4 threads ≈ serial), so this module moves
+each shard of a :class:`~repro.rdbms.sharded.ShardedEngine` into a
+**worker process**.  The engine's transaction pipeline is already
+message-shaped — ``begin`` / ``apply_statements`` / ``flush_reads`` /
+``prepare_commit`` / ``apply_prepared`` are pure-data calls, and every
+value they carry (statements, deltas, strategies, compiled plans,
+library exceptions) pickles — so a worker is simply the same inner
+:class:`~repro.rdbms.engine.Engine` behind an RPC loop.
+
+Wire protocol
+-------------
+
+Length-prefixed pickle frames over a ``multiprocessing`` pipe: each
+message is pickled with :data:`pickle.HIGHEST_PROTOCOL` and shipped via
+``Connection.send_bytes`` (a 4-byte length header plus the payload).
+Requests are ``(seq, method, args)`` triples; replies are ``(seq, ok,
+payload)`` where ``payload`` is the return value (``ok``) or the
+serialised exception (the library's error classes define ``__reduce__``
+so the round trip is exact — see :mod:`repro.errors`).
+
+**Pipelining.**  The worker serves strictly in request order and every
+request gets exactly one reply, so the coordinator may submit several
+requests before draining any reply (:meth:`_RpcChannel.submit` /
+:meth:`_RpcChannel.drain`).  The sharded coordinator pipelines the
+statement fan-out — ``begin``, ``flush_reads`` and ``apply_statements``
+are fire-and-forget — and collects their outcomes at the next barrier
+*in submission order*, which is exactly the order the serial loop
+executes in, so the first error raised is the serial-identical one (the
+PR 5 thread contract, kept by construction: a pipelined call's effect
+and failure are both deterministic functions of its inputs).
+
+Worker lifecycle
+----------------
+
+Backends are constructed **inside** the worker (the coordinator ships a
+backend *kind*, never an instance), so SQLite connections never cross
+the fork.  A dead worker (killed, crashed, broken pipe) surfaces as
+:class:`~repro.errors.ShardUnavailableError`; the coordinator aborts
+the cluster transaction on every other shard and restarts the worker,
+replaying the recorded catalog setup (latest ``load`` per base table,
+``define_view`` in definition order) so the next transaction finds a
+serving shard.  Committed deltas since the last load are *not*
+replayed — durable recovery is the write-ahead-log roadmap item, not
+this one.
+
+Fork hygiene: a forked worker inherits the coordinator's file
+descriptors for every *other* worker's pipe.  Each worker closes those
+inherited ends on startup (:data:`_COORDINATOR_CONNS`), otherwise a
+sibling's death would never surface as EOF on the coordinator side; and
+every shutdown finalizer is pid-guarded so a worker's own exit cannot
+run the coordinator's cleanup against its siblings.
+
+Statistics: workers re-plan on cardinality drift against their *local*
+counts (a worker cannot ask the coordinator mid-transaction).  The
+``define_view`` seed still uses cluster-wide aggregated stats (the
+coordinator passes them explicitly), and re-planning only affects join
+order, never results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import threading
+import weakref
+from typing import Mapping, Sequence
+
+from repro.errors import SchemaError, ShardUnavailableError
+from repro.rdbms.backends import Backend, create_backend
+from repro.rdbms.engine import Engine
+
+__all__ = ['ProcessPool', 'ProcessShard', 'WorkerRuntime',
+           'serve_connection']
+
+#: Coordinator-side pipe ends of every live worker, inherited by forked
+#: children; a starting worker closes them all (its own inherited
+#: duplicate included — the coordinator's original stays open).
+_COORDINATOR_CONNS: 'weakref.WeakSet' = weakref.WeakSet()
+
+#: The worker's shard index inside a worker process, ``None`` in the
+#: coordinator.  Tests use this to make fork-inherited monkeypatches
+#: fire in exactly one worker.
+WORKER_INDEX: int | None = None
+
+
+def _dumps(obj) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+class WorkerRuntime:
+    """One worker's state: the inner engine plus per-transaction
+    working/prepared slots, with every RPC method as a plain method.
+
+    Kept separate from the process entry point so the dispatch loop is
+    drivable in-process (a thread over a pipe) by the test suite."""
+
+    def __init__(self, schema, backend_spec, *, batch_deltas: bool = True,
+                 index: int = 0, n_shards: int = 1):
+        self.index = index
+        self.engine = Engine(schema,
+                             backend=create_backend(backend_spec, schema),
+                             batch_deltas=batch_deltas)
+        self._workings: dict[int, object] = {}
+        self._prepared: dict[int, object] = {}
+
+    # -- transaction pipeline -----------------------------------------
+
+    def begin(self, txn: int) -> None:
+        self._workings[txn] = self.engine.begin()
+
+    def apply_statements(self, txn: int, target: str,
+                         statements: Sequence) -> None:
+        self.engine.apply_statements(self._workings[txn], target,
+                                     statements)
+
+    def flush_reads(self, txn: int, target: str) -> None:
+        self.engine.flush_reads(self._workings[txn], target)
+
+    def txn_rows(self, txn: int, target: str) -> frozenset:
+        """The transaction's view of ``target`` (flushing pending
+        translations first) — the coordinator's cross-shard read for
+        key-moving UPDATE derivation."""
+        working = self._workings[txn]
+        self.engine.flush_reads(working, target)
+        return frozenset(working.rows(target))
+
+    def prepare_commit(self, txn: int) -> None:
+        self._prepared[txn] = self.engine.prepare_commit(
+            self._workings[txn])
+
+    def apply_prepared(self, txn: int) -> None:
+        prepared = self._prepared.pop(txn)
+        self._workings.pop(txn, None)
+        self.engine.apply_prepared(prepared)
+
+    def abort(self, txn: int) -> None:
+        """Drop a transaction's staged state (storage was never
+        touched: abandoning the working/prepared slots IS rollback)."""
+        self._workings.pop(txn, None)
+        self._prepared.pop(txn, None)
+
+    # -- storage / catalog --------------------------------------------
+
+    def rows(self, name: str) -> frozenset:
+        return frozenset(self.engine.rows(name))
+
+    def snapshot(self):
+        return self.engine.database()
+
+    def load(self, name: str, rows) -> None:
+        self.engine.load(name, rows)
+
+    def count(self, name: str) -> int:
+        return self.engine.backend.count(name)
+
+    def has_cache(self, name: str) -> bool:
+        return self.engine.backend.has_cache(name)
+
+    def define_view(self, strategy, report, use_incremental: bool,
+                    stats: Mapping[str, int]):
+        return self.engine.define_view(strategy, report=report,
+                                       validate_first=False,
+                                       use_incremental=use_incremental,
+                                       stats=stats)
+
+    def drop_view(self, name: str) -> None:
+        self.engine.drop_view(name)
+
+    def ping(self) -> str:
+        return 'pong'
+
+    def close(self) -> None:
+        self.engine.close()
+
+    def dispatch(self, method: str, args: tuple):
+        """Execute one request (the RPC loop's inner step)."""
+        if method.startswith('_') or not hasattr(self, method):
+            raise SchemaError(f'unknown worker RPC method {method!r}')
+        return getattr(self, method)(*args)
+
+
+def serve_connection(runtime: WorkerRuntime, conn) -> None:
+    """The RPC loop: recv → dispatch → reply, strictly in order, one
+    reply per request, until ``close`` or EOF.  Request failures are
+    replies, not loop exits — the worker survives a failed transaction
+    exactly as an in-process engine does."""
+    while True:
+        try:
+            request = pickle.loads(conn.recv_bytes())
+        except (EOFError, OSError):
+            break                          # coordinator went away
+        seq, method, args = request
+        try:
+            result = runtime.dispatch(method, args)
+            reply = (seq, True, result)
+        except Exception as error:
+            reply = (seq, False, error)
+        try:
+            conn.send_bytes(_dumps(reply))
+        except Exception as error:
+            # An unpicklable *result* must not kill the channel: the
+            # coordinator is blocked waiting for exactly this seq.
+            if reply[1]:
+                conn.send_bytes(_dumps(
+                    (seq, False,
+                     SchemaError(f'worker reply for {method!r} did not '
+                                 f'serialise: {error}'))))
+            else:
+                conn.send_bytes(_dumps(
+                    (seq, False,
+                     SchemaError(f'worker error for {method!r} did not '
+                                 f'serialise: {error}'))))
+        if method == 'close':
+            break
+
+
+def _worker_main(conn, index: int, schema, backend_spec,
+                 batch_deltas: bool) -> None:
+    """Process entry point: drop inherited sibling pipe ends, build the
+    engine *in this process*, serve until told to stop."""
+    global WORKER_INDEX
+    WORKER_INDEX = index
+    for inherited in list(_COORDINATOR_CONNS):
+        try:
+            inherited.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    runtime = WorkerRuntime(schema, backend_spec,
+                            batch_deltas=batch_deltas, index=index)
+    try:
+        serve_connection(runtime, conn)
+    finally:
+        runtime.close()
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+
+class _RpcChannel:
+    """Pipelined request/reply over one connection.
+
+    ``submit`` sends a request and returns its sequence number (the
+    *token*); ``drain`` blocks until that token's reply arrived —
+    absorbing, in order, every reply before it.  Thread-safe: all I/O
+    happens under one lock, and because the worker replies strictly in
+    order, the thread holding the lock is always the one whose reply
+    arrives next (no cross-thread starvation)."""
+
+    def __init__(self, conn, shard: int):
+        self.conn = conn
+        self.shard = shard
+        self._seq = 0
+        self._lock = threading.RLock()
+        self._replies: dict[int, tuple[bool, object]] = {}
+        self.dead: str | None = None       # reason, once broken
+
+    def _broken(self, reason: str) -> ShardUnavailableError:
+        self.dead = self.dead or reason
+        return ShardUnavailableError(self.shard, self.dead)
+
+    def submit(self, method: str, *args) -> int:
+        with self._lock:
+            if self.dead:
+                raise ShardUnavailableError(self.shard, self.dead)
+            seq = self._seq + 1
+            # Pickle before sending: a pickling error must surface
+            # before any bytes hit the pipe, or the frame stream (and
+            # the seq numbering) would be corrupt.
+            payload = _dumps((seq, method, args))
+            self._seq = seq
+            try:
+                self.conn.send_bytes(payload)
+            except (OSError, ValueError) as error:
+                raise self._broken(f'send failed: {error}') from error
+            return seq
+
+    def drain(self, token: int):
+        """The reply for ``token``: its value, or its raised error."""
+        with self._lock:
+            while token not in self._replies:
+                if self.dead:
+                    raise ShardUnavailableError(self.shard, self.dead)
+                try:
+                    seq, ok, payload = pickle.loads(
+                        self.conn.recv_bytes())
+                except (EOFError, OSError) as error:
+                    raise self._broken(
+                        f'worker died mid-request ({error!r})'
+                    ) from error
+                self._replies[seq] = (ok, payload)
+            ok, payload = self._replies.pop(token)
+        if ok:
+            return payload
+        raise payload
+
+    def call(self, method: str, *args):
+        return self.drain(self.submit(method, *args))
+
+
+class ProcessShard:
+    """Coordinator-side client for one worker process.
+
+    Presents the same surface as a local shard (see
+    ``LocalShard`` in :mod:`repro.rdbms.sharded`): the transaction
+    pipeline, scatter-gather reads, and catalog operations — plus the
+    pipelined ``queue_*`` variants the router uses, whose tokens the
+    cluster transaction collects and drains at its barriers."""
+
+    def __init__(self, index: int, schema, backend_spec, *,
+                 batch_deltas: bool = True,
+                 mp_context=None):
+        if isinstance(backend_spec, Backend):
+            raise SchemaError(
+                'process shards construct their backend inside the '
+                'worker (connections must not cross the fork); pass a '
+                'backend kind name, not an instance')
+        self.index = index
+        self._schema = schema
+        self._spec = backend_spec
+        self._batch_deltas = batch_deltas
+        self._ctx = mp_context or _default_context()
+        self._txn_counter = 0
+        # Recovery journal: the catalog calls a restarted worker
+        # replays (latest load per table; views in definition order).
+        self._loads: dict[str, frozenset] = {}
+        self._views: list[tuple] = []
+        self.channel: _RpcChannel | None = None
+        self.process = None
+        self._spawn()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def _spawn(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.index, self._schema, self._spec,
+                  self._batch_deltas),
+            name=f'repro-shard-{self.index}', daemon=True)
+        process.start()
+        child_conn.close()                 # the worker owns that end
+        _COORDINATOR_CONNS.add(parent_conn)
+        self.channel = _RpcChannel(parent_conn, self.index)
+        self.process = process
+
+    @property
+    def alive(self) -> bool:
+        return (self.channel is not None and not self.channel.dead
+                and self.process is not None and self.process.is_alive())
+
+    def restart(self) -> None:
+        """Replace a dead worker with a fresh one and replay the
+        recorded catalog setup.  Committed deltas since the last bulk
+        load are lost (durability is the WAL roadmap item)."""
+        self._reap()
+        self._spawn()
+        for name, rows in self._loads.items():
+            self.channel.call('load', name, rows)
+        for view_args in self._views:
+            self.channel.call('define_view', *view_args)
+
+    def _reap(self) -> None:
+        if self.channel is not None:
+            try:
+                self.channel.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self.channel = None
+        if self.process is not None:
+            if self.process.is_alive():    # pragma: no cover - kill path
+                self.process.terminate()
+            self.process.join(timeout=5)
+            self.process = None
+
+    def close(self) -> None:
+        """Idempotent worker shutdown: ask politely, then reap."""
+        if self.channel is not None and not self.channel.dead:
+            try:
+                self.channel.call('close')
+            except ShardUnavailableError:
+                pass
+        self._reap()
+
+    # -- transaction pipeline (pipelined where the router allows) -----
+
+    def begin(self) -> int:
+        # Synchronous (one RTT per first touch): begin cannot fail
+        # logically, and a fire-and-forget token here would have no
+        # barrier responsible for draining it.
+        self._txn_counter += 1
+        txn = self._txn_counter
+        self.channel.call('begin', txn)
+        return txn
+
+    def queue_apply(self, txn: int, target: str, statements) -> int:
+        return self.channel.submit('apply_statements', txn, target,
+                                   list(statements))
+
+    def queue_flush(self, txn: int, target: str) -> int:
+        return self.channel.submit('flush_reads', txn, target)
+
+    def drain(self, token: int):
+        return self.channel.drain(token)
+
+    def txn_rows(self, txn: int, target: str) -> frozenset:
+        return self.channel.call('txn_rows', txn, target)
+
+    def prepare_commit(self, txn: int) -> int:
+        self.channel.call('prepare_commit', txn)
+        return txn
+
+    def apply_prepared(self, prepared: int) -> None:
+        self.channel.call('apply_prepared', prepared)
+
+    def abort(self, txn: int) -> None:
+        if self.channel is not None and not self.channel.dead:
+            try:
+                self.channel.call('abort', txn)
+            except ShardUnavailableError:
+                pass
+
+    # -- storage / catalog --------------------------------------------
+
+    def rows(self, name: str) -> frozenset:
+        return self.channel.call('rows', name)
+
+    def snapshot(self):
+        return self.channel.call('snapshot')
+
+    def load(self, name: str, rows) -> None:
+        rows = frozenset(tuple(r) for r in rows)
+        self.channel.call('load', name, rows)
+        self._loads[name] = rows
+
+    def count(self, name: str) -> int:
+        return self.channel.call('count', name)
+
+    def has_cache(self, name: str) -> bool:
+        return self.channel.call('has_cache', name)
+
+    def define_view(self, strategy, *, report=None,
+                    use_incremental: bool = True, stats=None):
+        args = (strategy, report, use_incremental, dict(stats or {}))
+        entry = self.channel.call('define_view', *args)
+        self._views.append(args)
+        return entry
+
+    def drop_view(self, name: str) -> None:
+        self.channel.call('drop_view', name)
+        self._views = [args for args in self._views
+                       if args[0].view.name != name]
+
+
+def _default_context():
+    """Fork where available (cheap, inherits the warmed import state);
+    the platform default elsewhere.  The entry point is module-level
+    and all arguments pickle, so spawn works too."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        'fork' if 'fork' in methods else None)
+
+
+def _shutdown_shards(shards, owner_pid: int) -> None:
+    """The pool finalizer.  Pid-guarded: a forked worker inherits this
+    finalizer and must not run the coordinator's cleanup at its own
+    exit (it would close its siblings' pipes)."""
+    if os.getpid() != owner_pid:  # pragma: no cover - worker-side exit
+        return
+    for shard in shards:
+        try:
+            shard.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+
+class ProcessPool:
+    """N worker processes, one per shard, shut down idempotently on
+    :meth:`shutdown`, coordinator GC, and interpreter exit (one
+    pid-guarded ``weakref.finalize``, which Python also runs atexit)."""
+
+    def __init__(self, schema, backend_specs: Sequence, *,
+                 batch_deltas: bool = True):
+        context = _default_context()
+        self.shards = tuple(
+            ProcessShard(index, schema, spec, batch_deltas=batch_deltas,
+                         mp_context=context)
+            for index, spec in enumerate(backend_specs))
+        self._finalizer = weakref.finalize(
+            self, _shutdown_shards, self.shards, os.getpid())
+
+    def restart_dead(self) -> list[int]:
+        """Restart every dead worker; the restarted shard indices."""
+        restarted = []
+        for shard in self.shards:
+            if not shard.alive:
+                shard.restart()
+                restarted.append(shard.index)
+        return restarted
+
+    def shutdown(self) -> None:
+        if self._finalizer.detach() is not None:
+            _shutdown_shards(self.shards, os.getpid())

@@ -73,6 +73,25 @@ brief apply phase itself, consistency is per shard: a multi-shard
 scatter-gather racing the apply may combine shards from either side
 of the commit — cross-shard snapshot isolation for readers is future
 work.
+
+**Process execution.**  ``ShardedEngine(execution='processes')`` moves
+each shard into a worker *process* (:mod:`repro.rdbms.procpool`),
+escaping the GIL that makes the thread mode ≈ serial on CPU-bound
+putbacks.  The coordinator logic above is unchanged — routing, the
+flush gate, placement, 2PC — but each shard is driven through an RPC
+client instead of an inner engine: statement fan-out is *pipelined*
+(fire-and-forget submits whose outcomes are collected at the next
+barrier **in submission order**, which is the serial execution order,
+so the first error raised is serial-identical), while prepare, apply
+and scatter-gather reads are synchronous RPCs overlapped by the same
+thread pool (each blocks in ``recv``, releasing the GIL, so N workers
+genuinely compute in parallel).  A worker death surfaces as
+:class:`~repro.errors.ShardUnavailableError`: the cluster transaction
+aborts on every surviving shard (staging never touches storage, so
+abandoning it *is* rollback) and the pool restarts the worker with its
+catalog replayed.  Thread mode routes through the same
+:class:`LocalShard` client, so both modes run one code path and the
+differential fuzz oracle holds them bit-identical.
 """
 
 from __future__ import annotations
@@ -88,18 +107,20 @@ from repro.core.strategy import UpdateStrategy
 from repro.core.validation import ValidationReport, validate
 from repro.datalog.ast import (Lit, Program, Rule, Var, delta_base,
                                is_delta_pred)
-from repro.errors import SchemaError
-from repro.rdbms.backends import create_shard_backends
+from repro.errors import SchemaError, ShardUnavailableError
+from repro.rdbms.backends import (BACKENDS, Backend,
+                                  create_shard_backends)
 from repro.rdbms.dml import (Delete, Insert, Statement, Update,
                              _apply_assignments, compile_where)
 from repro.rdbms.engine import (Engine, Transaction, ViewEntry,
                                 coalesce_buckets)
+from repro.rdbms.procpool import ProcessPool
 from repro.relational.database import Database
 from repro.relational.delta import Delta
 from repro.relational.schema import DatabaseSchema, RelationSchema
 
 __all__ = ['Partitioner', 'HashPartitioner', 'RangePartitioner',
-           'ShardedEngine']
+           'LocalShard', 'ShardedEngine']
 
 
 # ---------------------------------------------------------------------------
@@ -178,6 +199,128 @@ class RangePartitioner(Partitioner):
 
 
 # ---------------------------------------------------------------------------
+# Shard clients
+# ---------------------------------------------------------------------------
+
+
+class LocalShard:
+    """In-process shard client: the thread-mode counterpart of
+    :class:`~repro.rdbms.procpool.ProcessShard`, presenting the same
+    surface over an inner engine on the coordinator's heap.  Reads and
+    the apply phase take the shard's lock (the per-shard writer/reader
+    exclusion of §"Parallelism"); transaction staging is lock-free."""
+
+    def __init__(self, index: int, engine: Engine):
+        self.index = index
+        self.engine = engine
+        self._lock = threading.RLock()
+
+    # -- transaction pipeline -----------------------------------------
+
+    def begin(self):
+        return self.engine.begin()
+
+    def apply_statements(self, handle, target: str, statements) -> None:
+        self.engine.apply_statements(handle, target, statements)
+
+    def flush_reads(self, handle, target: str) -> None:
+        self.engine.flush_reads(handle, target)
+
+    def txn_rows(self, handle, target: str) -> frozenset:
+        self.engine.flush_reads(handle, target)
+        return frozenset(handle.rows(target))
+
+    def prepare_commit(self, handle):
+        return self.engine.prepare_commit(handle)
+
+    def apply_prepared(self, prepared) -> None:
+        with self._lock:
+            self.engine.apply_prepared(prepared)
+
+    def abort(self, handle) -> None:
+        """Abandoning the working IS rollback — staging never touches
+        storage (§"Atomicity")."""
+
+    # -- storage / catalog --------------------------------------------
+
+    def rows(self, name: str) -> frozenset:
+        with self._lock:
+            return frozenset(self.engine.rows(name))
+
+    def snapshot(self) -> Database:
+        with self._lock:
+            return self.engine.database()
+
+    def load(self, name: str, rows) -> None:
+        with self._lock:
+            self.engine.load(name, rows)
+
+    def count(self, name: str) -> int:
+        return self.engine.backend.count(name)
+
+    def has_cache(self, name: str) -> bool:
+        return self.engine.backend.has_cache(name)
+
+    def define_view(self, strategy, *, report=None,
+                    use_incremental: bool = True, stats=None):
+        return self.engine.define_view(strategy, report=report,
+                                       validate_first=False,
+                                       use_incremental=use_incremental,
+                                       stats=stats)
+
+    def drop_view(self, name: str) -> None:
+        self.engine.drop_view(name)
+
+    def close(self) -> None:
+        self.engine.close()
+
+
+class _ClusterTxn:
+    """One cross-shard transaction's coordinator-side state: the
+    per-shard transaction handles in **first-touched order** (the order
+    prepare joins in) and, under process execution, the submission-order
+    log of pipelined RPC tokens — drained at the next barrier in exactly
+    the order the serial loop would have executed the calls, so the
+    first error to surface is the serial-identical one."""
+
+    __slots__ = ('handles', 'log')
+
+    def __init__(self):
+        self.handles: dict[int, object] = {}
+        self.log: list[tuple[object, int]] = []
+
+
+def _process_backend_specs(spec, n_shards: int) -> list:
+    """Per-shard backend *kind names* for process execution, mirroring
+    :func:`~repro.rdbms.backends.create_shard_backends` — except that
+    prebuilt instances are rejected outright: a backend constructed in
+    the coordinator cannot cross the fork (SQLite connections are
+    process-bound), which is exactly why workers build their own."""
+    reject = ('process shards construct their backend inside the '
+              'worker (connections must not cross the fork); pass '
+              'backend kind names, not instances')
+    if isinstance(spec, Backend):
+        raise SchemaError(reject)
+    if spec is None or isinstance(spec, str):
+        spec = [spec] * n_shards
+    else:
+        spec = list(spec)
+    if len(spec) != n_shards:
+        raise SchemaError(
+            f'{len(spec)} shard backends specified for {n_shards} shards')
+    for kind in spec:
+        if isinstance(kind, Backend):
+            raise SchemaError(reject)
+        if kind is not None and kind not in BACKENDS:
+            # Fail here, in the coordinator, with the canonical error —
+            # a worker dying on a bad name would surface as an opaque
+            # ShardUnavailableError instead.
+            raise SchemaError(f'unknown backend {kind!r}; expected one '
+                              f'of {sorted(BACKENDS)}')
+    return spec
+
+
+# ---------------------------------------------------------------------------
 # The sharded engine
 # ---------------------------------------------------------------------------
 
@@ -217,9 +360,15 @@ class ShardedEngine:
         without a key are *global*: stored wholly on ``global_shard``.
     parallelism:
         Worker threads for the per-shard fan-out (capped at the shard
-        count).  ``1`` (the default) is the serial baseline: every
-        pipeline phase runs inline on the calling thread, with
-        identical results (§"Parallelism" in the module docstring).
+        count).  Defaults to ``1`` under thread execution — the serial
+        baseline: every pipeline phase runs inline on the calling
+        thread, with identical results (§"Parallelism" in the module
+        docstring) — and to the shard count under process execution,
+        where the threads only overlap blocking RPCs.
+    execution:
+        ``'threads'`` (inner engines on the coordinator's heap, default)
+        or ``'processes'`` (one worker process per shard, §"Process
+        execution"); results are bit-identical either way.
     """
 
     def __init__(self, schema: DatabaseSchema, *,
@@ -229,7 +378,11 @@ class ShardedEngine:
                  shard_keys: Mapping[str, str | int] | None = None,
                  batch_deltas: bool = True,
                  global_shard: int = 0,
-                 parallelism: int = 1):
+                 parallelism: int | None = None,
+                 execution: str = 'threads'):
+        if execution not in ('threads', 'processes'):
+            raise SchemaError(f"execution must be 'threads' or "
+                              f"'processes', got {execution!r}")
         if shards is None:
             if partitioner is not None:
                 shards = partitioner.n_shards
@@ -250,28 +403,45 @@ class ShardedEngine:
                               f'for {shards} shards')
         self.global_shard = global_shard
         self.batch_deltas = batch_deltas
+        self.execution = execution
+        if parallelism is None:
+            # Threads default to the serial baseline; processes default
+            # to full fan-out — overlapping the workers is the whole
+            # point of paying for them.
+            parallelism = shards if execution == 'processes' else 1
         if parallelism < 1:
             raise SchemaError(f'parallelism must be >= 1, '
                               f'got {parallelism}')
         self.parallelism = min(parallelism, shards)
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
-        # One lock per shard: the apply phase (the only storage writer)
-        # takes a shard's lock exclusively; scatter-gather readers take
-        # it around their per-shard copy.  Prepare runs lock-free, so
-        # reads overlap an in-flight transaction and see
-        # pre-transaction state.
-        self._shard_locks = tuple(threading.RLock()
-                                  for _ in range(shards))
-        shard_backends = create_shard_backends(backends, schema, shards)
-        self.engines = tuple(Engine(schema, backend=b,
-                                    batch_deltas=batch_deltas)
-                             for b in shard_backends)
-        for engine in self.engines:
-            # Planner statistics (define_view seed AND drift re-plans)
-            # come from cluster-wide aggregated counts, never from one
-            # shard's local sizes.
-            engine.stats_provider = self._aggregated_stats
+        if execution == 'processes':
+            self._procpool: ProcessPool | None = ProcessPool(
+                schema, _process_backend_specs(backends, shards),
+                batch_deltas=batch_deltas)
+            self.shards = self._procpool.shards
+            #: the inner engines live in the workers under process
+            #: execution; thread-mode introspection goes via .engines
+            self.engines: tuple[Engine, ...] = ()
+        else:
+            self._procpool = None
+            shard_backends = create_shard_backends(backends, schema,
+                                                   shards)
+            self.engines = tuple(Engine(schema, backend=b,
+                                        batch_deltas=batch_deltas)
+                                 for b in shard_backends)
+            for engine in self.engines:
+                # Planner statistics (define_view seed AND drift
+                # re-plans) come from cluster-wide aggregated counts,
+                # never from one shard's local sizes.  (Process workers
+                # cannot call back mid-transaction: their define_view
+                # seed is the aggregated stats the coordinator ships,
+                # and drift re-plans use local counts — which only ever
+                # changes a join order, never a result.)
+                engine.stats_provider = self._aggregated_stats
+            self.shards = tuple(LocalShard(index, engine)
+                                for index, engine
+                                in enumerate(self.engines))
         self._entries: dict[str, ViewEntry] = {}
         #: relation/view -> None (partitioned) or the pinned shard index
         self._placement: dict[str, int | None] = {}
@@ -339,7 +509,7 @@ class ShardedEngine:
 
     @property
     def n_shards(self) -> int:
-        return len(self.engines)
+        return len(self.shards)
 
     def is_view(self, name: str) -> bool:
         return name in self._entries
@@ -400,9 +570,9 @@ class ShardedEngine:
 
     def _read_shard(self, index: int, name: str) -> frozenset:
         """One shard's contents of ``name``, copied under the shard
-        lock so an apply phase cannot mutate the rows mid-copy."""
-        with self._shard_locks[index]:
-            return frozenset(self.engines[index].rows(name))
+        lock (worker-serialised for process shards) so an apply phase
+        cannot mutate the rows mid-copy."""
+        return self.shards[index].rows(name)
 
     def rows(self, name: str) -> frozenset:
         """Scatter-gather union of ``name`` across its shards (the
@@ -432,22 +602,18 @@ class ShardedEngine:
         if name in self._entries:
             return len(self.rows(name))
         self._placement_of(name)
-        return sum(engine.backend.count(name) for engine in self.engines)
+        return sum(client.count(name) for client in self.shards)
 
     def database(self) -> Database:
         """A frozen snapshot of the cluster-wide base-table state."""
         snapshots = self._pmap([
-            (lambda index=index: self._snapshot_shard(index))
-            for index in range(self.n_shards)])
+            (lambda client=client: client.snapshot())
+            for client in self.shards])
         merged: dict[str, set] = {}
         for snapshot in snapshots:
             for name in snapshot.names():
                 merged.setdefault(name, set()).update(snapshot[name])
         return Database.from_dict(merged)
-
-    def _snapshot_shard(self, index: int) -> Database:
-        with self._shard_locks[index]:
-            return self.engines[index].database()
 
     def load(self, name: str, rows: Iterable[tuple]) -> None:
         """Bulk-load a base table, splitting the rows across shards."""
@@ -464,25 +630,30 @@ class ShardedEngine:
         for row in loaded:
             shares[classify(row)].add(row)
         self._pmap([
-            (lambda index=index: self._load_shard(index, name,
-                                                  shares[index]))
+            (lambda index=index: self.shards[index].load(name,
+                                                         shares[index]))
             for index in range(self.n_shards)])
-
-    def _load_shard(self, index: int, name: str, rows: set) -> None:
-        with self._shard_locks[index]:
-            self.engines[index].load(name, rows)
 
     def close(self) -> None:
         """Shut the worker pool down (joining every worker, which
         bounds when per-thread backend leases stop being created) and
-        close every shard's backend — closing a backend releases all
-        of its thread leases, whichever threads hold them."""
+        close every shard — the backend's thread leases for local
+        shards, the worker process for process shards.  Idempotent."""
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
-        for engine in self.engines:
-            engine.close()
+        if self._procpool is not None:
+            self._procpool.shutdown()
+        else:
+            for client in self.shards:
+                client.close()
+
+    def __enter__(self) -> 'ShardedEngine':
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- view definition ----------------------------------------------
 
@@ -512,12 +683,16 @@ class ShardedEngine:
                                                       get_program)
         stats = self._aggregated_stats()
         demoted: list[tuple[str, int, str]] = []
+        entry: ViewEntry | None = None
         try:
-            for engine in self.engines:
-                engine.define_view(strategy, report=report,
-                                   validate_first=False,
-                                   use_incremental=use_incremental,
-                                   stats=stats)
+            for client in self.shards:
+                created = client.define_view(
+                    strategy, report=report,
+                    use_incremental=use_incremental, stats=stats)
+                if entry is None:
+                    # Shard 0's entry (a pickled copy under process
+                    # execution) is the cluster's catalog record.
+                    entry = created
             # Cluster bookkeeping runs only once every shard accepted
             # the view; demotions are ordered after that so a failed
             # define_view cannot leave bases demoted.
@@ -525,7 +700,7 @@ class ShardedEngine:
                 undo = (base, self._key_pos[base], self._key_attr[base])
                 self._demote_to_global(base)
                 demoted.append(undo)
-            self._entries[name] = self.engines[0].view(name)
+            self._entries[name] = entry
             if placement is None:
                 pos, attr = _resolve_key(strategy.view,
                                          self._pending_keys[name])
@@ -536,12 +711,18 @@ class ShardedEngine:
                 self._placement[name] = placement
         except BaseException:
             # All-or-nothing across shards: a view registered on a
-            # subset of the engines (drop_view is a no-op on the rest)
+            # subset of the shards (drop_view is a no-op on the rest)
             # would wedge its name forever, and bases demoted for a
             # view that never materialised must get their partitioned
-            # layout back.
-            for engine in self.engines:
-                engine.drop_view(name)
+            # layout back.  A shard whose worker died is skipped (its
+            # restart replays a journal that never recorded this view).
+            for client in self.shards:
+                try:
+                    client.drop_view(name)
+                except ShardUnavailableError:
+                    pass
+            if self._procpool is not None:
+                self._procpool.restart_dead()
             self._entries.pop(name, None)
             for base, pos, attr in reversed(demoted):
                 self._repartition(base, pos, attr)
@@ -648,8 +829,8 @@ class ShardedEngine:
         it rather than leaving rows duplicated or half-moved."""
         gathered = set(self.rows(base))
         try:
-            for index, engine in enumerate(self.engines):
-                engine.load(base, gathered
+            for index, client in enumerate(self.shards):
+                client.load(base, gathered
                             if index == self.global_shard else ())
         except BaseException:
             # _placement has not flipped yet, so a plain reload routes
@@ -671,16 +852,16 @@ class ShardedEngine:
 
     def _aggregated_stats(self) -> dict[str, int]:
         """Cluster-wide cardinalities for the per-shard planners."""
-        stats = {name: sum(engine.backend.count(name)
-                           for engine in self.engines)
+        stats = {name: sum(client.count(name)
+                           for client in self.shards)
                  for name in self.schema.names()}
         for view in self._entries:
             place = self._placement.get(view)
-            holders = [self.engines[place]] if place is not None \
-                else list(self.engines)
-            if all(engine.backend.has_cache(view) for engine in holders):
-                stats[view] = sum(engine.backend.count(view)
-                                  for engine in holders)
+            holders = [self.shards[place]] if place is not None \
+                else list(self.shards)
+            if all(client.has_cache(view) for client in holders):
+                stats[view] = sum(client.count(view)
+                                  for client in holders)
         return stats
 
     # -- DML -----------------------------------------------------------
@@ -731,52 +912,124 @@ class ShardedEngine:
         rollback (no shard storage was touched).  The coordinator
         waits for every in-flight prepare and then joins in
         first-touched order, so the raised error is deterministic and
-        serial-identical."""
+        serial-identical.
+
+        Under ``execution='processes'`` the statement fan-out is
+        additionally *pipelined*: routing submits RPCs without waiting
+        and a barrier before any synchronous read — and before the
+        prepare phase — drains every outcome in submission order, so
+        the first error surfaced is still the serial one.  Any failure
+        (including a worker death) aborts the transaction on every
+        shard and restarts dead workers before re-raising."""
         if self.batch_deltas:
             batches = coalesce_buckets(batches)
-        workings: dict[int, object] = {}     # insertion-ordered
-        for target, statements in batches:
-            self._route_bucket(workings, target, statements)
-        order = list(workings.items())
-        prepared = self._pmap([
-            (lambda index=index, working=working:
-             self.engines[index].prepare_commit(working))
-            for index, working in order])
-        self._pmap([
-            (lambda index=index, commit=commit:
-             self._apply_shard(index, commit))
-            for (index, _), commit in zip(order, prepared)])
+        txn = _ClusterTxn()
+        order: list = []
+        try:
+            for target, statements in batches:
+                self._route_bucket(txn, target, statements)
+            self._barrier(txn)
+            order = list(txn.handles.items())
+            prepared = self._pmap([
+                (lambda index=index, handle=handle:
+                 self.shards[index].prepare_commit(handle))
+                for index, handle in order])
+        except BaseException:
+            self._abort(txn)
+            raise
+        try:
+            self._pmap([
+                (lambda index=index, commit=commit:
+                 self.shards[index].apply_prepared(commit))
+                for (index, _), commit in zip(order, prepared)])
+        except BaseException:
+            # Apply carries the single engine's storage trust (see
+            # above): no compensation, but a worker that died here is
+            # restarted so the cluster keeps serving.
+            if self._procpool is not None:
+                self._procpool.restart_dead()
+            raise
 
-    def _apply_shard(self, index: int, commit) -> None:
-        with self._shard_locks[index]:
-            self.engines[index].apply_prepared(commit)
+    def _barrier(self, txn: _ClusterTxn) -> None:
+        """Drain every pipelined outcome in submission order and raise
+        the first failure — the serial-identical error.  Every token is
+        drained even after a failure (an undrained reply would sit in
+        the channel forever)."""
+        log, txn.log = txn.log, []
+        first_error: BaseException | None = None
+        for client, token in log:
+            try:
+                client.drain(token)
+            except Exception as error:
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+
+    def _abort(self, txn: _ClusterTxn) -> None:
+        """Roll the cluster transaction back: drain what is still in
+        flight (outcomes no longer matter), drop every shard's staged
+        state, and restart any worker that died — so the *next*
+        transaction finds a serving cluster."""
+        for client, token in txn.log:
+            try:
+                client.drain(token)
+            except Exception:
+                pass
+        txn.log = []
+        for index, handle in txn.handles.items():
+            try:
+                self.shards[index].abort(handle)
+            except Exception:
+                pass
+        if self._procpool is not None:
+            self._procpool.restart_dead()
 
     # -- routing internals --------------------------------------------
 
-    def _working(self, workings: dict, index: int):
-        if index not in workings:
-            workings[index] = self.engines[index].begin()
-        return workings[index]
+    def _handle(self, txn: _ClusterTxn, index: int):
+        if index not in txn.handles:
+            txn.handles[index] = self.shards[index].begin()
+        return txn.handles[index]
 
-    def _forward(self, workings: dict, target: str,
+    def _forward(self, txn: _ClusterTxn, target: str,
                  per_shard: dict[int, list[Statement]]) -> None:
+        if self._procpool is not None:
+            for index in sorted(per_shard):
+                statements = per_shard[index]
+                if statements:
+                    # Handle creation position fixes first-touched
+                    # (prepare) order; submit position fixes error
+                    # order — both on the routing thread.
+                    handle = self._handle(txn, index)
+                    client = self.shards[index]
+                    txn.log.append((client, client.queue_apply(
+                        handle, target, statements)))
+            return
         thunks = []
         for index in sorted(per_shard):
             statements = per_shard[index]
             if statements:
-                # The working MUST be created here, on the routing
-                # thread: its insertion position in ``workings`` is
+                # The handle MUST be created here, on the routing
+                # thread: its insertion position in ``txn.handles`` is
                 # the first-touched order that prepare joins in.
-                working = self._working(workings, index)
+                handle = self._handle(txn, index)
                 thunks.append(
-                    lambda engine=self.engines[index], working=working,
+                    lambda client=self.shards[index], handle=handle,
                     statements=statements:
-                    engine.apply_statements(working, target, statements))
+                    client.apply_statements(handle, target, statements))
         self._pmap(thunks)
 
-    def _route_bucket(self, workings: dict, target: str,
+    def _route_bucket(self, txn: _ClusterTxn, target: str,
                       statements: Sequence[Statement]) -> None:
-        place = self._placement_of(target)
+        try:
+            place = self._placement_of(target)
+        except SchemaError:
+            # A coordinator-side routing error must not outrank a
+            # failure already in flight from an earlier bucket — the
+            # serial loop would have hit that one first.
+            self._barrier(txn)
+            raise
         if not statements:
             # Mirror Engine.apply_statements exactly: an empty bucket
             # is a no-op BEFORE the flush gate, so it cannot split a
@@ -790,15 +1043,28 @@ class ShardedEngine:
         # shards can surface in a different order than on a single
         # node — committing the same state but raising a different
         # error type, which the differential oracle forbids.  The
-        # drains are independent plan runs, one per shard: fan out.
-        self._pmap([
-            (lambda index=index, working=working:
-             self.engines[index].flush_reads(working, target))
-            for index, working in list(workings.items())])
+        # drains are independent plan runs, one per shard: fan out
+        # (threads) or pipeline (processes — per-channel FIFO keeps
+        # each shard's gate ahead of this bucket's statements).
+        if self._procpool is not None:
+            for index, handle in list(txn.handles.items()):
+                client = self.shards[index]
+                txn.log.append((client,
+                                client.queue_flush(handle, target)))
+        else:
+            self._pmap([
+                (lambda client=self.shards[index], handle=handle:
+                 client.flush_reads(handle, target))
+                for index, handle in list(txn.handles.items())])
         if place is not None:
-            self.engines[place].apply_statements(
-                self._working(workings, place), target,
-                list(statements))
+            handle = self._handle(txn, place)
+            client = self.shards[place]
+            if self._procpool is not None:
+                txn.log.append((client, client.queue_apply(
+                    handle, target, list(statements))))
+            else:
+                client.apply_statements(handle, target,
+                                        list(statements))
             return
         key_attr = self._key_attr[target]
         key_pos = self._key_pos[target]
@@ -834,10 +1100,9 @@ class ShardedEngine:
                     # re-emit as per-shard DELETE + INSERT.  Forward
                     # what is already staged first so statement order
                     # is preserved on every shard.
-                    self._forward(workings, target, per_shard)
+                    self._forward(txn, target, per_shard)
                     per_shard = {}
-                    self._route_moving_update(workings, target,
-                                              statement)
+                    self._route_moving_update(txn, target, statement)
                 else:
                     routed = self._where_shard(target, statement.where,
                                                key_attr)
@@ -846,8 +1111,9 @@ class ShardedEngine:
                     else:
                         stage(routed, statement)
             else:
+                self._barrier(txn)   # in-flight failures rank first
                 raise SchemaError(f'unknown statement {statement!r}')
-        self._forward(workings, target, per_shard)
+        self._forward(txn, target, per_shard)
 
     def _where_shard(self, target: str, where,
                      key_attr: str) -> int | None:
@@ -867,26 +1133,34 @@ class ShardedEngine:
             return self._entries[target].schema
         return self.schema[target]
 
-    def _route_moving_update(self, workings: dict, target: str,
+    def _route_moving_update(self, txn: _ClusterTxn, target: str,
                              statement: Update) -> None:
         """An UPDATE that assigns the shard key: gather the matched
         rows from every shard's transaction state, apply the
         assignments centrally into one (Δ⁺, Δ⁻) pair, split it by the
         partition predicate (:meth:`Delta.split` — deletions route by
         the old row's owner, insertions by the new row's), and re-emit
-        each shard's share as DELETE + INSERT statements."""
+        each shard's share as DELETE + INSERT statements.
+
+        The gather is a synchronous read, so under process execution
+        every pipelined outcome submitted before it must surface first
+        (:meth:`_barrier`) — a failed earlier translation stops the
+        derivation exactly where it stops the serial loop.  The
+        per-shard reads themselves stay serial in shard order: each
+        shard's flush errors must interleave with its rows' validation
+        errors the way the serial loop produces them."""
         schema = self._target_schema(target)
         key_attr = self._key_attr[target]
         pinned = self._where_shard(target, statement.where, key_attr)
         shards = range(self.n_shards) if pinned is None else (pinned,)
+        if self._procpool is not None:
+            self._barrier(txn)
         victims: set = set()
         replacements: set = set()
         match = compile_where(statement.where, schema)
         for index in shards:
-            engine = self.engines[index]
-            working = self._working(workings, index)
-            engine.flush_reads(working, target)
-            for row in working.rows(target):
+            handle = self._handle(txn, index)
+            for row in self.shards[index].txn_rows(handle, target):
                 if not match(row):
                     continue
                 new_row = _apply_assignments(row, statement.assignments,
@@ -904,7 +1178,7 @@ class ShardedEngine:
                 [Delete(dict(zip(schema.attributes, row)))
                  for row in sorted(part.deletions)] + \
                 [Insert(row) for row in sorted(part.insertions)]
-        self._forward(workings, target, merged)
+        self._forward(txn, target, merged)
 
 
 # ---------------------------------------------------------------------------

@@ -309,11 +309,12 @@ def build_engines(workload: Workload, *,
     workload's base data and the view materialised.
 
     The core matrix covers memory-vs-SQLite × batched-vs-stmt ×
-    sharded-vs-single × parallel-vs-serial with five entries (one per
-    axis endpoint — ``sharded-parallel`` drives the same mixed-backend
-    shards through the thread pool); ``extended`` completes the cross
-    with the remaining costly combinations for the deep
-    (``REPRO_FUZZ=long``) runs.
+    sharded-vs-single × parallel-vs-serial × threads-vs-processes with
+    six entries (one per axis endpoint — ``sharded-parallel`` drives
+    the same mixed-backend shards through the thread pool,
+    ``sharded-procs`` through worker *processes*); ``extended``
+    completes the cross with the remaining costly combinations for the
+    deep (``REPRO_FUZZ=long``) runs.
     """
     strategy = _strategy(workload.view)
     configs: dict[str, object] = {}
@@ -329,6 +330,19 @@ def build_engines(workload: Workload, *,
                              batch_deltas=batch,
                              parallelism=parallelism)
 
+    def procs(batch: bool) -> ShardedEngine:
+        return ShardedEngine(strategy.sources,
+                             backends=list(SHARD_BACKENDS),
+                             shard_keys=SHARD_KEYS[workload.view],
+                             batch_deltas=batch,
+                             execution='processes')
+
+    # Process-backed engines fork FIRST, before any other config has
+    # lazily created thread pools or SQLite connections the child
+    # would pointlessly inherit.
+    configs['sharded-procs'] = procs(True)
+    if extended:
+        configs['sharded-procs-stmt'] = procs(False)
     configs['memory-batched'] = single('memory', True)
     configs['memory-stmt'] = single('memory', False)
     configs['sqlite-batched'] = single('sqlite', True)

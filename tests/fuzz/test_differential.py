@@ -3,10 +3,11 @@ state, or raises the same error, on randomized workloads.
 
 Configurations compared (see ``strategies.build_engines``): memory vs
 SQLite storage, batched vs statement-at-a-time translation, sharded
-(3 mixed-backend shards) vs single engine, and thread-pooled parallel
-vs serial sharded execution.  After every transaction the committed
-base tables, the materialised view caches, and the raised-error
-behavior must agree across all of them.
+(3 mixed-backend shards) vs single engine, thread-pooled parallel vs
+serial sharded execution, and process-per-shard workers
+(``execution='processes'``) vs everything in-process.  After every
+transaction the committed base tables, the materialised view caches,
+and the raised-error behavior must agree across all of them.
 
 Profiles: CI runs the bounded smoke (``--hypothesis-profile=ci``);
 ``REPRO_FUZZ=long`` selects the deep profile locally (≥200 generated
@@ -83,9 +84,9 @@ def run_differential(workload: Workload, *, extended: bool = False,
 @settings(deadline=None)
 def test_all_modes_agree(view, seed):
     """The core matrix: memory/SQLite × batched/stmt × sharded/single
-    × parallel/serial leave identical committed base tables and view
-    caches, and raise identically, on every generated transaction
-    sequence."""
+    × parallel/serial × threads/processes leave identical committed
+    base tables and view caches, and raise identically, on every
+    generated transaction sequence."""
     run_differential(random_workload(view, seed))
 
 
@@ -117,6 +118,12 @@ def test_seed_corpus_deterministic(view, seed):
         assert engines['sharded-batched'].placement(view) \
             == 'partitioned'
         assert engines['sharded-parallel'].parallelism == 2
+        # The process-backed engine really ran with worker processes
+        # (and shard-local placement), not a degenerate fallback.
+        assert engines['sharded-procs'].execution == 'processes'
+        assert engines['sharded-procs'].placement(view) == 'partitioned'
+        assert all(shard.alive
+                   for shard in engines['sharded-procs'].shards)
     finally:
         for engine in engines.values():
             engine.close()

@@ -1,0 +1,520 @@
+"""Process-per-shard execution tests: the worker RPC runtime, the wire
+protocol (pickle round-trips over every message type), worker-death
+recovery (full-cluster rollback + restart), and shutdown hygiene (no
+orphaned workers after close / GC / context-manager exit).
+
+The randomized bit-identical-to-serial proof for process execution
+lives in ``tests/fuzz/test_differential.py`` (the ``sharded-procs``
+axis); these are the deterministic anchors.  The dispatch loop is
+exercised both in-process (``serve_connection`` on a thread, so
+coverage sees the worker side) and against real forked workers."""
+
+import gc
+import multiprocessing
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.errors import (ConstraintViolation, ContradictionError,
+                          DatalogSyntaxError, ReproError, SchemaError,
+                          ShardUnavailableError, ValidationError)
+from repro.rdbms import procpool
+from repro.rdbms.backends import MemoryBackend
+from repro.rdbms.dml import Delete, Insert, Update
+from repro.rdbms.engine import Engine
+from repro.rdbms.procpool import (ProcessPool, ProcessShard,
+                                  WorkerRuntime, _RpcChannel,
+                                  serve_connection)
+from repro.rdbms.sharded import ShardedEngine, _process_backend_specs
+
+UNION_KEYS = {'v': 'a', 'r1': 'a', 'r2': 'a'}
+_SRC = str(Path(__file__).resolve().parent.parent / 'src')
+
+
+def _procs_pair(union_strategy, shards=3):
+    """(single Engine, process-backed ShardedEngine) with identical
+    starting state — the process twin of test_sharded's helper."""
+    single = Engine(union_strategy.sources)
+    sharded = ShardedEngine(union_strategy.sources, shards=shards,
+                            shard_keys=UNION_KEYS,
+                            execution='processes')
+    for engine in (single, sharded):
+        engine.load('r1', [(1,), (4,)])
+        engine.load('r2', [(2,), (5,)])
+        engine.define_view(union_strategy, validate_first=False)
+    return single, sharded
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol: every RPC message type round-trips through pickle
+# ---------------------------------------------------------------------------
+
+
+class TestWireProtocol:
+
+    def _roundtrip(self, message):
+        return pickle.loads(pickle.dumps(
+            message, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def test_every_request_type_roundtrips(self, union_strategy):
+        """One representative ``(seq, method, args)`` frame per worker
+        RPC method survives pickling exactly (the coordinator→worker
+        direction of the protocol)."""
+        statements = [Insert((1,)), Delete({'a': 2}),
+                      Update({'a': 3}, {'a': 1})]
+        requests = [
+            (1, 'begin', (7,)),
+            (2, 'apply_statements', (7, 'v', statements)),
+            (3, 'flush_reads', (7, 'v')),
+            (4, 'txn_rows', (7, 'v')),
+            (5, 'prepare_commit', (7,)),
+            (6, 'apply_prepared', (7,)),
+            (7, 'abort', (7,)),
+            (8, 'rows', ('r1',)),
+            (9, 'snapshot', ()),
+            (10, 'load', ('r1', frozenset({(1,), (2,)}))),
+            (11, 'count', ('r1',)),
+            (12, 'has_cache', ('v',)),
+            (13, 'define_view',
+             (union_strategy, None, True, {'r1': 10, 'r2': 3})),
+            (14, 'drop_view', ('v',)),
+            (15, 'ping', ()),
+            (16, 'close', ()),
+        ]
+        for request in requests:
+            back = self._roundtrip(request)
+            seq, method, args = back
+            assert (seq, method) == request[:2]
+            if method == 'define_view':
+                strategy = args[0]
+                assert strategy.view.name == union_strategy.view.name
+                assert strategy.putdelta == union_strategy.putdelta
+                assert args[1:] == request[2][1:]
+            else:
+                assert args == request[2]
+
+    def test_every_reply_type_roundtrips(self, union_database):
+        """Success replies carry frozensets, Database snapshots,
+        strings, ints, bools and None — all exact through the pipe."""
+        payloads = [None, 'pong', 42, True,
+                    frozenset({(1, 'a'), (2, 'b')}),
+                    union_database]
+        for payload in payloads:
+            seq, ok, back = self._roundtrip((3, True, payload))
+            assert (seq, ok) == (3, True)
+            assert back == payload
+
+    @pytest.mark.parametrize('error', [
+        SchemaError('no such relation'),
+        ValidationError('putget failed'),
+        DatalogSyntaxError('bad token', 3, 14),
+        ContradictionError('r1', frozenset({(1,)})),
+        ConstraintViolation('⊥ :- v(X), not X > 0.',
+                            witness=frozenset({(-1,)})),
+        ShardUnavailableError(2, 'worker died mid-request'),
+    ])
+    def test_every_error_class_roundtrips_exactly(self, error):
+        """Error replies reconstruct the same class, message, and
+        structured attributes (the ``__reduce__`` contract)."""
+        _, ok, back = self._roundtrip((9, False, error))
+        assert not ok
+        assert type(back) is type(error)
+        assert str(back) == str(error)
+        assert isinstance(back, ReproError)
+        for attr in ('relation', 'tuples', 'constraint', 'witness',
+                     'shard', 'reason', 'line', 'column'):
+            if hasattr(error, attr):
+                assert getattr(back, attr) == getattr(error, attr)
+
+
+# ---------------------------------------------------------------------------
+# The dispatch loop, in-process (coverage sees the worker side)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def served_runtime(union_strategy):
+    """A ``WorkerRuntime`` served by ``serve_connection`` on a thread
+    over a real pipe, driven through ``_RpcChannel`` — the whole RPC
+    stack minus the fork."""
+    runtime = WorkerRuntime(union_strategy.sources, 'memory')
+    parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
+
+    def serve_and_hang_up():
+        # A real worker's exit closes the pipe (EOF on the
+        # coordinator); in-process the thread must do it explicitly.
+        try:
+            serve_connection(runtime, child_conn)
+        finally:
+            child_conn.close()
+
+    thread = threading.Thread(target=serve_and_hang_up, daemon=True)
+    thread.start()
+    channel = _RpcChannel(parent_conn, shard=0)
+    yield runtime, channel
+    if not channel.dead:
+        try:
+            channel.call('close')
+        except (ShardUnavailableError, ReproError):
+            pass
+    thread.join(timeout=5)
+    parent_conn.close()
+
+
+class TestServeConnection:
+
+    def test_full_transaction_lifecycle(self, served_runtime,
+                                        union_strategy):
+        runtime, channel = served_runtime
+        channel.call('load', 'r1', frozenset({(1,)}))
+        channel.call('load', 'r2', frozenset({(2,)}))
+        channel.call('define_view', union_strategy, None, True, {})
+        channel.call('begin', 1)
+        channel.call('apply_statements', 1, 'v', [Insert((3,))])
+        assert channel.call('txn_rows', 1, 'v') == \
+            frozenset({(1,), (2,), (3,)})
+        channel.call('prepare_commit', 1)
+        channel.call('apply_prepared', 1)
+        assert channel.call('rows', 'r1') == frozenset({(1,), (3,)})
+        assert channel.call('count', 'r1') == 2
+        assert channel.call('has_cache', 'v')
+        snapshot = channel.call('snapshot')
+        assert set(snapshot['r2']) == {(2,)}
+        channel.call('drop_view', 'v')
+        assert channel.call('ping') == 'pong'
+
+    def test_pipelined_requests_reply_in_order(self, served_runtime):
+        """Several requests in flight at once; drains return each
+        token's own reply even when collected out of order."""
+        _, channel = served_runtime
+        channel.call('begin', 5)
+        t1 = channel.submit('load', 'r1', frozenset({(9,)}))
+        t2 = channel.submit('ping')
+        t3 = channel.submit('rows', 'r1')
+        assert channel.drain(t3) == frozenset({(9,)})
+        assert channel.drain(t1) is None
+        assert channel.drain(t2) == 'pong'
+
+    def test_abort_discards_staged_state(self, served_runtime):
+        _, channel = served_runtime
+        channel.call('load', 'r1', frozenset({(1,)}))
+        channel.call('begin', 2)
+        channel.call('apply_statements', 2, 'r1', [Insert((8,))])
+        channel.call('abort', 2)
+        assert channel.call('rows', 'r1') == frozenset({(1,)})
+        # The slot really is gone: prepare on the aborted txn fails.
+        with pytest.raises(KeyError):
+            channel.call('prepare_commit', 2)
+
+    def test_request_failure_is_a_reply_not_a_loop_exit(
+            self, served_runtime):
+        _, channel = served_runtime
+        with pytest.raises(SchemaError):
+            channel.call('rows', 'nonexistent')
+        assert channel.call('ping') == 'pong'   # worker kept serving
+
+    def test_unknown_and_private_methods_rejected(self, served_runtime):
+        _, channel = served_runtime
+        with pytest.raises(SchemaError, match='unknown worker RPC'):
+            channel.call('no_such_method')
+        with pytest.raises(SchemaError, match='unknown worker RPC'):
+            channel.call('_workings')
+        assert channel.call('ping') == 'pong'
+
+    def test_unpicklable_result_becomes_schema_error(
+            self, served_runtime):
+        """A reply that will not serialise must not wedge the channel:
+        the coordinator is blocked on exactly that seq."""
+        runtime, channel = served_runtime
+        runtime.opaque = lambda: (lambda: 1)      # result: a lambda
+        with pytest.raises(SchemaError, match='did not serialise'):
+            channel.call('opaque')
+        assert channel.call('ping') == 'pong'
+
+    def test_unpicklable_error_becomes_schema_error(
+            self, served_runtime):
+        runtime, channel = served_runtime
+        def explode():
+            raise RuntimeError(lambda: 1)         # unpicklable args
+        runtime.explode = explode
+        with pytest.raises(SchemaError, match='did not serialise'):
+            channel.call('explode')
+        assert channel.call('ping') == 'pong'
+
+    def test_close_stops_the_loop(self, served_runtime):
+        _, channel = served_runtime
+        channel.call('close')
+        with pytest.raises(ShardUnavailableError):
+            channel.call('ping')
+        assert channel.dead
+
+    def test_submit_after_death_raises_immediately(
+            self, served_runtime):
+        _, channel = served_runtime
+        channel.call('close')
+        with pytest.raises(ShardUnavailableError):
+            channel.call('ping')
+        with pytest.raises(ShardUnavailableError):
+            channel.submit('ping')
+
+
+# ---------------------------------------------------------------------------
+# Real worker processes
+# ---------------------------------------------------------------------------
+
+
+class TestProcessShard:
+
+    def test_backend_instances_rejected(self, union_sources):
+        """Connections must not cross the fork: only kind names."""
+        backend = MemoryBackend(union_sources)
+        with pytest.raises(SchemaError, match='kind name'):
+            ProcessShard(0, union_sources, backend)
+
+    def test_process_backend_specs_validate_coordinator_side(
+            self, union_sources):
+        with pytest.raises(SchemaError, match='unknown backend'):
+            _process_backend_specs('no-such-backend', 2)
+        with pytest.raises(SchemaError, match='2 shards'):
+            _process_backend_specs(['memory'], 2)    # count mismatch
+        backend = MemoryBackend(union_sources)
+        with pytest.raises(SchemaError, match='not instances'):
+            _process_backend_specs([backend, 'memory'], 2)
+        # Uniform names fan out; None means the backend default.
+        assert _process_backend_specs('sqlite', 3) == ['sqlite'] * 3
+        assert _process_backend_specs(None, 2) == [None, None]
+
+    def test_restart_replays_catalog(self, union_strategy):
+        shard = ProcessShard(0, union_strategy.sources, 'memory')
+        try:
+            shard.load('r1', [(1,), (2,)])
+            shard.load('r2', [(3,)])
+            shard.define_view(union_strategy)
+            os.kill(shard.process.pid, signal.SIGKILL)
+            shard.process.join(5)
+            assert not shard.alive
+            shard.restart()
+            assert shard.alive
+            assert shard.rows('r1') == frozenset({(1,), (2,)})
+            assert shard.rows('v') == frozenset({(1,), (2,), (3,)})
+        finally:
+            shard.close()
+
+    def test_drop_view_trims_the_replay_journal(self, union_strategy):
+        shard = ProcessShard(0, union_strategy.sources, 'memory')
+        try:
+            shard.define_view(union_strategy)
+            shard.drop_view('v')
+            assert shard._views == []
+            os.kill(shard.process.pid, signal.SIGKILL)
+            shard.process.join(5)
+            shard.restart()
+            assert not shard.has_cache('v')
+        finally:
+            shard.close()
+
+    def test_close_is_idempotent_and_reaps(self, union_sources):
+        shard = ProcessShard(0, union_sources, 'memory')
+        process = shard.process
+        shard.close()
+        assert not process.is_alive()
+        shard.close()                              # second close: no-op
+        assert shard.process is None
+
+
+class TestProcessPool:
+
+    def test_pool_gc_reaps_workers(self, union_sources):
+        """Dropping the last reference shuts the workers down (the
+        ``weakref.finalize``) — no orphans from forgotten pools."""
+        pool = ProcessPool(union_sources, ['memory', 'memory'])
+        processes = [shard.process for shard in pool.shards]
+        assert all(p.is_alive() for p in processes)
+        del pool
+        gc.collect()
+        for process in processes:
+            process.join(timeout=5)
+        assert not any(p.is_alive() for p in processes)
+
+    def test_shutdown_idempotent(self, union_sources):
+        pool = ProcessPool(union_sources, ['memory'])
+        pool.shutdown()
+        assert not any(s.alive for s in pool.shards)
+        pool.shutdown()                            # detach() already ran
+
+    def test_restart_dead_reports_indices(self, union_sources):
+        pool = ProcessPool(union_sources, ['memory', 'memory',
+                                           'memory'])
+        try:
+            os.kill(pool.shards[1].process.pid, signal.SIGKILL)
+            pool.shards[1].process.join(5)
+            assert pool.restart_dead() == [1]
+            assert all(s.alive for s in pool.shards)
+            assert pool.restart_dead() == []
+        finally:
+            pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# The process-backed sharded engine
+# ---------------------------------------------------------------------------
+
+
+class TestProcessExecution:
+
+    def test_matches_single_engine(self, union_strategy):
+        single, sharded = _procs_pair(union_strategy)
+        try:
+            for txn in ([('v', [Insert((3,)), Insert((6,))])],
+                        [('v', [Delete({'a': 2})])],
+                        [('v', [Update({'a': 9}, {'a': 4})])],
+                        [('r1', [Insert((12,))]),
+                         ('v', [Delete({'a': 9})])]):
+                single.execute_many(txn)
+                sharded.execute_many(txn)
+                assert sharded.database() == single.database()
+                assert frozenset(sharded.rows('v')) == \
+                    frozenset(single.rows('v'))
+        finally:
+            single.close()
+            sharded.close()
+
+    def test_errors_raise_identically_and_roll_back(self,
+                                                    luxury_strategy):
+        single = Engine(luxury_strategy.sources)
+        sharded = ShardedEngine(luxury_strategy.sources, shards=3,
+                                shard_keys={'luxuryitems': 'iid',
+                                            'items': 'iid'},
+                                execution='processes')
+        try:
+            for engine in (single, sharded):
+                engine.load('items', [(1, 'watch', 5000),
+                                      (2, 'ring', 4000)])
+                engine.define_view(luxury_strategy,
+                                   validate_first=False)
+            txn = [('luxuryitems', [Insert((7, 'socks', 8))])]
+            for engine in (single, sharded):
+                with pytest.raises(ConstraintViolation):
+                    engine.execute_many(txn)
+            assert sharded.database() == single.database()
+        finally:
+            single.close()
+            sharded.close()
+
+    def test_worker_killed_mid_prepare_rolls_back_cluster(
+            self, union_strategy, monkeypatch):
+        """The satellite's centerpiece: worker 1 dies *inside*
+        ``prepare_commit`` → the whole cluster transaction rolls back
+        (no shard applied), the coordinator raises a clean
+        ``ShardUnavailableError``, and the restarted worker serves the
+        next transaction."""
+        original = Engine.prepare_commit
+
+        def dying(self, working):
+            if procpool.WORKER_INDEX == 1:
+                os._exit(1)                 # mid-prepare, no reply sent
+            return original(self, working)
+
+        # Patch BEFORE the fork so workers inherit it; undo in the
+        # parent immediately — the coordinator (and any worker
+        # restarted later) runs the real prepare.
+        monkeypatch.setattr(Engine, 'prepare_commit', dying)
+        sharded = ShardedEngine(union_strategy.sources, shards=3,
+                                shard_keys=UNION_KEYS,
+                                execution='processes')
+        monkeypatch.undo()
+        try:
+            sharded.load('r1', [(0,), (1,), (2,)])
+            sharded.define_view(union_strategy, validate_first=False)
+            before = sharded.database()
+            txn = [('v', [Insert((3,)), Insert((4,)), Insert((5,))])]
+            with pytest.raises(ShardUnavailableError):
+                sharded.execute_many(txn)
+            # Full-cluster rollback: shards 0 and 2 had prepared but
+            # never applied; the restarted shard 1 replayed its loads.
+            assert sharded.database() == before
+            assert all(shard.alive for shard in sharded.shards)
+            # Recovery: the same transaction now commits (the
+            # restarted worker forked from the unpatched parent).
+            sharded.execute_many(txn)
+            assert frozenset(sharded.rows('v')) == \
+                frozenset({(0,), (1,), (2,), (3,), (4,), (5,)})
+        finally:
+            sharded.close()
+
+    def test_sigkill_surfaces_cleanly_and_pool_recovers(
+            self, union_strategy):
+        """An externally killed worker: the next transaction touching
+        it fails with ``ShardUnavailableError`` (not a pickle or pipe
+        traceback), aborts cluster-wide, and the one after succeeds."""
+        single, sharded = _procs_pair(union_strategy)
+        try:
+            victim = sharded.shards[2]
+            os.kill(victim.process.pid, signal.SIGKILL)
+            victim.process.join(5)
+            txn = [('v', [Insert((3,)), Insert((2,)),  # hits shard 2
+                          Insert((8,))])]
+            with pytest.raises(ShardUnavailableError):
+                sharded.execute_many(txn)
+            assert all(shard.alive for shard in sharded.shards)
+            sharded.execute_many(txn)
+            single.execute_many(txn)
+            assert sharded.database() == single.database()
+        finally:
+            single.close()
+            sharded.close()
+
+    def test_close_leaves_no_workers(self, union_strategy):
+        _, sharded = _procs_pair(union_strategy)
+        processes = [shard.process for shard in sharded.shards]
+        sharded.close()
+        assert not any(p.is_alive() for p in processes)
+        sharded.close()                            # idempotent
+
+    def test_context_manager_closes_workers(self, union_sources):
+        with ShardedEngine(union_sources, shards=2,
+                           shard_keys=UNION_KEYS,
+                           execution='processes') as sharded:
+            processes = [shard.process for shard in sharded.shards]
+            assert all(p.is_alive() for p in processes)
+        assert not any(p.is_alive() for p in processes)
+
+    def test_engine_context_manager(self, union_sources):
+        with Engine(union_sources) as engine:
+            engine.load('r1', [(1,)])
+            assert frozenset(engine.rows('r1')) == {(1,)}
+
+    def test_thread_mode_context_manager(self, union_sources):
+        with ShardedEngine(union_sources, shards=2,
+                           shard_keys=UNION_KEYS) as sharded:
+            sharded.load('r1', [(1,), (2,)])
+        # Closed: the inner engines' backends are shut down.
+
+    def test_worker_index_is_none_in_coordinator(self):
+        assert procpool.WORKER_INDEX is None
+
+    def test_no_orphans_at_interpreter_exit(self, tmp_path):
+        """A script that builds a pool and exits WITHOUT closing must
+        still reap its workers (the atexit side of the finalizer) —
+        asserted by the interpreter actually exiting promptly."""
+        script = tmp_path / 'leak.py'
+        script.write_text(
+            'import sys\n'
+            f'sys.path.insert(0, {str(_SRC)!r})\n'
+            'from repro.relational.schema import DatabaseSchema\n'
+            'from repro.rdbms.procpool import ProcessPool\n'
+            'schema = DatabaseSchema.build(r1={"a": "int"})\n'
+            'pool = ProcessPool(schema, ["memory", "memory"])\n'
+            'print(len([s for s in pool.shards if s.alive]))\n',
+            encoding='utf-8')
+        result = subprocess.run([sys.executable, str(script)],
+                                capture_output=True, text=True,
+                                timeout=60)
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == '2'
