@@ -75,10 +75,13 @@ def run_batch(views, size: int, statements: int, repeats: int,
             for mode, batch in (('stmt', False), ('batched', True)):
                 engine = build_engine(entry, size, incremental=True,
                                       strategy=strategy, backend=backend)
-                engine.batch_deltas = batch
-                engine.rows(view)                   # materialise cache
-                timings[mode] = _transaction_seconds(
-                    engine, entry, statements, repeats, counter)
+                try:
+                    engine.batch_deltas = batch
+                    engine.rows(view)               # materialise cache
+                    timings[mode] = _transaction_seconds(
+                        engine, entry, statements, repeats, counter)
+                finally:
+                    engine.close()
             point = {
                 'view': view, 'backend': backend, 'base_size': size,
                 'statements': statements,

@@ -24,6 +24,7 @@ machine-readable across PRs.
 """
 
 import argparse
+import atexit
 import itertools
 import json
 import sys
@@ -42,6 +43,15 @@ SIZE = 20_000
 
 _COUNTERS = itertools.count(1)
 _SETUPS: dict = {}
+
+
+@atexit.register
+def _close_setups() -> None:
+    """Engines are cached per view for the whole run (pytest or plain);
+    close them on exit so backend resources are released."""
+    while _SETUPS:
+        _, engine = _SETUPS.popitem()[1]
+        engine.close()
 
 
 def _steady_state(view: str, reuse: bool):

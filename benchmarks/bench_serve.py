@@ -29,7 +29,11 @@ Configurations:
   JSON's ``note``).
 
 Each configuration reports sustained txn/s and P50/P95/P99 submit→
-receipt latency (seeded, iterated) into ``BENCH_serve.json``.
+receipt latency into ``BENCH_serve.json``.  The configurations run on
+the shared ``benchsuite.harness`` core: engines live for the whole
+run, every timed round drives one full client swarm (fresh key epoch
+per round), and rounds interleave the configurations in rotated order
+so no configuration systematically inherits a warm machine.
 
 Run:  python benchmarks/bench_serve.py [--quick] [--check] [--json PATH]
 
@@ -48,7 +52,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / 'src'))
 
-from repro.benchsuite.latency import summarize_latencies     # noqa: E402
+from repro.benchsuite.harness import BenchCase, run_cases    # noqa: E402
 from repro.core.strategy import UpdateStrategy               # noqa: E402
 from repro.rdbms.dml import Delete, Insert                   # noqa: E402
 from repro.rdbms.engine import Engine                        # noqa: E402
@@ -86,17 +90,20 @@ def _base_rows(size: int) -> list[tuple]:
     return rows
 
 
-def _client_txns(client: int, txns: int) -> list[list]:
+def _client_txns(client: int, txns: int, epoch: int = 0) -> list[list]:
     """One client's transaction sequence: fresh INSERTs in the client's
     key block, every fourth transaction also deleting the client's
-    oldest remaining row (bounded table, deterministic keys)."""
-    base = (client % SHARDS) * SLOT + SLOT // 2 + client * BLOCK
+    oldest remaining row (bounded table, deterministic keys).
+    ``epoch`` offsets the keys so repeated rounds against a long-lived
+    engine never re-insert an existing row."""
+    base = (client % SHARDS) * SLOT + SLOT // 2 + client * BLOCK \
+        + epoch * txns
     live: list[int] = []
     sequence = []
     for n in range(txns):
         iid = base + n
         buckets = [('luxuryitems',
-                    [Insert((iid, f'c{client}_{n}', 5000))])]
+                    [Insert((iid, f'c{client}_{n}_{epoch}', 5000))])]
         live.append(iid)
         if n % 4 == 3:
             buckets.append(('luxuryitems',
@@ -123,42 +130,37 @@ def _build_engine(kind: str, strategy, size: int):
     return engine
 
 
-def _run_direct(engine, clients: int, txns: int) -> dict:
+def _run_direct(engine, clients: int, txns: int,
+                epoch: int) -> list[float]:
     """The serial baseline: every client transaction, one engine run
-    each, no server in front."""
-    plans = [_client_txns(c, txns) for c in range(clients)]
+    each, no server in front.  Returns per-transaction latencies."""
+    plans = [_client_txns(c, txns, epoch) for c in range(clients)]
     latencies = []
-    started = time.perf_counter()
     for round_ in range(txns):           # round-robin, like a fair loop
         for plan in plans:
             t0 = time.perf_counter()
             engine.execute_many(plan[round_])
             latencies.append(time.perf_counter() - t0)
-    elapsed = time.perf_counter() - started
-    return {'txns_per_second': clients * txns / elapsed,
-            'latency': summarize_latencies(latencies)}
+    return latencies
 
 
-def _run_served(engine, clients: int, txns: int, *, group: bool,
-                max_inflight: int, max_group: int) -> dict:
+def _run_served(engine, clients: int, txns: int, epoch: int, *,
+                group: bool, max_inflight: int,
+                max_group: int) -> tuple[list[float], dict]:
     async def main():
         latencies = []
         async with ViewServer(engine, max_inflight=max_inflight,
                               group_commit=group,
                               max_group=max_group) as server:
             async def session(client: int):
-                for buckets in _client_txns(client, txns):
+                for buckets in _client_txns(client, txns, epoch):
                     t0 = time.perf_counter()
                     await server.submit(buckets)
                     latencies.append(time.perf_counter() - t0)
-            started = time.perf_counter()
             await asyncio.gather(*[session(c) for c in range(clients)])
-            elapsed = time.perf_counter() - started
-        return {'txns_per_second': clients * txns / elapsed,
-                'latency': summarize_latencies(latencies),
-                'group_stats': {k: server.stats[k]
-                                for k in ('groups', 'grouped',
-                                          'max_group', 'retried')}}
+        return latencies, {k: server.stats[k]
+                           for k in ('groups', 'grouped', 'max_group',
+                                     'retried')}
     return asyncio.run(main())
 
 
@@ -171,31 +173,47 @@ CONFIGS = (
 )
 
 
-def run_bench(size: int, clients: int, txns: int, *,
+def run_bench(size: int, clients: int, txns: int, *, rounds: int = 3,
               max_inflight: int = 64, max_group: int = 32,
               progress=None) -> list[dict]:
     strategy = _strategy()
-    points = []
-    for config, kind, group in CONFIGS:
-        engine = _build_engine(kind, strategy, size)
-        try:
-            # One warmup pass primes plans and caches; the engine is
-            # rebuilt per configuration so key blocks replay cleanly.
-            engine.execute_many(_client_txns(10_000, 2)[0])
+    group_stats: dict[str, dict] = {}
+
+    def make_case(config: str, kind: str, group) -> BenchCase:
+        def op(ctx, round_index):
+            # Warmup rounds get their own epochs (round_index is
+            # negative there): every round inserts fresh keys.
+            epoch = round_index + 4
             if group is None:
-                result = _run_direct(engine, clients, txns)
-            else:
-                result = _run_served(engine, clients, txns, group=group,
-                                     max_inflight=max_inflight,
-                                     max_group=max_group)
-        finally:
-            engine.close()
-        point = {'config': config, 'engine': kind,
-                 'group_commit': bool(group), 'clients': clients,
-                 'txns_per_client': txns, 'base_size': size, **result}
+                return _run_direct(ctx, clients, txns, epoch)
+            latencies, stats = _run_served(
+                ctx, clients, txns, epoch, group=group,
+                max_inflight=max_inflight, max_group=max_group)
+            group_stats[config] = stats     # last round's server wins
+            return latencies
+
+        return BenchCase(name=config,
+                         setup=lambda: _build_engine(kind, strategy,
+                                                     size),
+                         op=op, teardown=lambda ctx: ctx.close(),
+                         warmup=1,
+                         meta={'engine': kind,
+                               'group_commit': bool(group)})
+
+    results = run_cases([make_case(*spec) for spec in CONFIGS],
+                        rounds=rounds, seed=17, progress=progress)
+    points = []
+    for result in results:
+        point = {'config': result.name, 'engine': result.meta['engine'],
+                 'group_commit': result.meta['group_commit'],
+                 'clients': clients, 'txns_per_client': txns,
+                 'rounds': len(result.wall), 'base_size': size,
+                 'txns_per_second': (clients * txns * len(result.wall)
+                                     / result.total_seconds),
+                 'latency': result.latency}
+        if result.name in group_stats:
+            point['group_stats'] = group_stats[result.name]
         points.append(point)
-        if progress:
-            progress(point)
     return points
 
 
@@ -224,6 +242,8 @@ def _main(argv=None) -> int:
                         help='concurrent client sessions')
     parser.add_argument('--txns', type=int, default=50,
                         help='transactions per client')
+    parser.add_argument('--rounds', type=int, default=3,
+                        help='timed harness rounds per configuration')
     parser.add_argument('--max-inflight', type=int, default=64)
     parser.add_argument('--max-group', type=int, default=32)
     parser.add_argument('--quick', action='store_true',
@@ -238,16 +258,14 @@ def _main(argv=None) -> int:
                         'BENCH_serve.json')
     args = parser.parse_args(argv)
     size, clients, txns = args.size, args.clients, args.txns
+    rounds = args.rounds
     if args.quick:
-        size, clients, txns = 8_000, 8, 30
-    points = run_bench(size, clients, txns,
+        size, clients, txns, rounds = 8_000, 8, 30, 2
+    points = run_bench(size, clients, txns, rounds=rounds,
                        max_inflight=args.max_inflight,
                        max_group=args.max_group,
-                       progress=lambda p: print(
-                           f'  {p["config"]}: '
-                           f'{p["txns_per_second"]:.0f} txn/s, '
-                           f'p99 {p["latency"]["p99_ms"]:.2f} ms',
-                           file=sys.stderr))
+                       progress=lambda msg: print(f'  {msg}',
+                                                  file=sys.stderr))
     print(format_points(points))
     by_config = {p['config']: p for p in points}
     payload = {

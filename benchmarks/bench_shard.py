@@ -24,6 +24,11 @@ single-core host they measure the pool's overhead (the gate allows a
 small tolerance for it).  Results are printed as a table and written to
 ``BENCH_shard.json`` together with the host's CPU count.
 
+All configurations run on the shared ``benchsuite.harness`` core:
+engines are set up once, rounds interleave the configurations in
+rotated order (no config systematically inherits a warm machine), and
+every engine is closed by the harness teardown.
+
 Run:  python benchmarks/bench_shard.py [--quick] [--check] [--json PATH]
 
 ``--quick`` shrinks sizes for CI smoke runs; ``--check`` exits nonzero
@@ -37,12 +42,11 @@ import json
 import os
 import statistics
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / 'src'))
 
-from repro.benchsuite.latency import summarize_latencies     # noqa: E402
+from repro.benchsuite.harness import BenchCase, run_cases    # noqa: E402
 from repro.core.strategy import UpdateStrategy               # noqa: E402
 from repro.rdbms.dml import Delete, Insert, Update           # noqa: E402
 from repro.rdbms.engine import Engine                        # noqa: E402
@@ -132,22 +136,46 @@ def _hot_mix_transaction(counter: list[int], hot_shard: int,
     return batches
 
 
-def _throughput(engine, key_shards: int, statements: int, keyed: int,
-                repeats: int,
-                counter: list[int]) -> tuple[float, list[float]]:
-    """Median statements/second over ``repeats`` hot-range
-    transactions, rotating the hot shard, after one warmup — plus the
-    raw per-transaction latencies for the percentile summary."""
-    engine.execute_many(_hot_mix_transaction(counter, 0, statements,
-                                             keyed))
-    times = []
-    for round_ in range(repeats):
-        work = _hot_mix_transaction(counter, round_ % key_shards,
+def _mix_case(name: str, build, key_shards: int, statements: int,
+              keyed: int, *, shards: int, parallelism: int
+              ) -> BenchCase:
+    """One harness case: the engine plus its own key counter; each
+    timed round runs one hot-range transaction (hot shard rotated by
+    the round index; warmup rounds use the negative indices and the
+    same counter, so keys never collide)."""
+    def setup():
+        return {'engine': build(), 'counter': [0]}
+
+    def op(ctx, round_index):
+        work = _hot_mix_transaction(ctx['counter'],
+                                    round_index % key_shards,
                                     statements, keyed)
-        started = time.perf_counter()
-        engine.execute_many(work)
-        times.append(time.perf_counter() - started)
-    return statements / statistics.median(times), times
+        ctx['engine'].execute_many(work)
+
+    return BenchCase(name=name, setup=setup, op=op,
+                     teardown=lambda ctx: ctx['engine'].close(),
+                     warmup=1,
+                     meta={'shards': shards,
+                           'parallelism': parallelism})
+
+
+def _case_points(results, *, size: int, statements: int,
+                 keyed: int) -> list[dict]:
+    """Harness results → the JSON point shape (throughput from the
+    median round, the full latency summary from every round)."""
+    points = []
+    for result in results:
+        tput = statements / statistics.median(result.wall)
+        points.append({'config': result.name,
+                       'shards': result.meta['shards'],
+                       'parallelism': result.meta['parallelism'],
+                       'base_size': size, 'statements': statements,
+                       'keyed': keyed, 'stmts_per_second': tput,
+                       'txn_latency': result.latency})
+    baseline = points[0]['stmts_per_second']
+    for point in points:
+        point['speedup'] = point['stmts_per_second'] / baseline
+    return points
 
 
 def run_bench(size: int, statements: int, keyed: int, repeats: int,
@@ -156,57 +184,42 @@ def run_bench(size: int, statements: int, keyed: int, repeats: int,
               progress=None) -> list[dict]:
     strategy = _strategy()
     max_shards = max(shard_counts)
-    counter = [0]
-    points = []
-
-    def record(config, shards, parallelism, tput, times, baseline):
-        point = {'config': config, 'shards': shards,
-                 'parallelism': parallelism, 'base_size': size,
-                 'statements': statements, 'keyed': keyed,
-                 'stmts_per_second': tput,
-                 'speedup': tput / baseline if baseline else 1.0,
-                 'txn_latency': summarize_latencies(times)}
-        points.append(point)
-        if progress:
-            progress(point)
-        return point
-
-    single = _build_single(strategy, size, max_shards)
-    single_tput, single_times = _throughput(single, max_shards,
-                                            statements, keyed, repeats,
-                                            counter)
-    record('single', 1, 1, single_tput, single_times, single_tput)
-
-    for shards in shard_counts:
-        engine = _build_sharded(strategy, size, shards)
-        tput, times = _throughput(engine, shards, statements, keyed,
-                                  repeats, counter)
-        record(f'sharded-{shards}', shards, 1, tput, times, single_tput)
-        engine.close()
-
+    cases = [_mix_case('single',
+                       lambda: _build_single(strategy, size, max_shards),
+                       max_shards, statements, keyed,
+                       shards=1, parallelism=1)]
+    for n in shard_counts:
+        cases.append(_mix_case(
+            f'sharded-{n}',
+            lambda n=n: _build_sharded(strategy, size, n),
+            n, statements, keyed, shards=n, parallelism=1))
     for workers in parallelism_sweep:
-        engine = _build_sharded(strategy, size, max_shards,
-                                parallelism=workers)
-        tput, times = _throughput(engine, max_shards, statements, keyed,
-                                  repeats, counter)
-        record(f'sharded-{max_shards}x{workers}', max_shards, workers,
-               tput, times, single_tput)
-        engine.close()
-    return points
+        cases.append(_mix_case(
+            f'sharded-{max_shards}x{workers}',
+            lambda w=workers: _build_sharded(strategy, size, max_shards,
+                                             parallelism=w),
+            max_shards, statements, keyed,
+            shards=max_shards, parallelism=workers))
+    results = run_cases(cases, rounds=repeats, seed=11,
+                        progress=progress)
+    return _case_points(results, size=size, statements=statements,
+                        keyed=keyed)
 
 
 def run_insert_only(size: int, statements: int, repeats: int) -> dict:
     """The insert-only extreme (informational): one coalesced O(|Δ|)
     bucket per transaction, where the single engine needs no help."""
     strategy = _strategy()
-    counter = [0]
-    single = _build_single(strategy, size, 4)
-    single_tput, _ = _throughput(single, 4, statements, 0, repeats,
-                                 counter)
-    sharded = _build_sharded(strategy, size, 4)
-    sharded_tput, _ = _throughput(sharded, 4, statements, 0, repeats,
-                                  counter)
-    sharded.close()
+    cases = [_mix_case('single',
+                       lambda: _build_single(strategy, size, 4),
+                       4, statements, 0, shards=1, parallelism=1),
+             _mix_case('sharded-4',
+                       lambda: _build_sharded(strategy, size, 4),
+                       4, statements, 0, shards=4, parallelism=1)]
+    results = run_cases(cases, rounds=repeats, seed=13)
+    single_tput, sharded_tput = (
+        statements / statistics.median(result.wall)
+        for result in results)
     return {'workload': 'insert-only', 'base_size': size,
             'statements': statements,
             'single_stmts_per_second': single_tput,
@@ -254,10 +267,8 @@ def _main(argv=None) -> int:
     if args.quick:
         size, repeats = 20_000, 4
     points = run_bench(size, args.statements, args.keyed, repeats,
-                       progress=lambda p: print(
-                           f'  {p["config"]}: '
-                           f'{p["stmts_per_second"]:.0f} stmts/s '
-                           f'({p["speedup"]:.2f}x)', file=sys.stderr))
+                       progress=lambda msg: print(f'  {msg}',
+                                                  file=sys.stderr))
     insert_only = run_insert_only(size, args.statements, repeats)
     print(format_points(points))
     print(f'insert-only extreme: single '

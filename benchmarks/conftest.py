@@ -17,6 +17,15 @@ _ENGINES: dict = {}
 _COUNTERS = itertools.count(1)
 
 
+@pytest.fixture(scope='session', autouse=True)
+def _close_cached_engines():
+    """Close every cached engine at session end — engines own SQLite
+    leases and caches; leaking them skews later benchmark RSS."""
+    yield
+    while _ENGINES:
+        _ENGINES.popitem()[1].close()
+
+
 @pytest.fixture
 def fig6_engine():
     """Factory: a loaded engine + a fresh-row generator for one panel."""

@@ -94,40 +94,45 @@ def show(engine: Engine, *names: str) -> None:
 
 def main() -> None:
     engine = Engine(BASE)
-    engine.load('male', [('bob', '1960-04-01'), ('dan', '1962-06-15')])
-    engine.load('female', [('carol', '1962-03-02')])
-    engine.load('others', [('alex', '1970-01-05', 'X')])
-    engine.load('ed', [('bob', 'cs'), ('carol', 'math'), ('dan', 'cs'),
-                       ('alex', 'bio')])
-    engine.load('eed', [('dan', 'cs')])
-
-    print('== defining the five case-study views ==')
-    define_views(engine)
-
-    print('\n== initial contents ==')
-    show(engine, 'residents', 'ced', 'residents1962', 'employees',
-         'retired')
-
-    print("\n== INSERT INTO residents1962 VALUES ('pat','1962-07-07','M')")
-    engine.insert('residents1962', ('pat', '1962-07-07', 'M'))
-    print('  cascades: residents1962 -> residents -> male')
-    show(engine, 'male', 'residents1962')
-
-    print("\n== DELETE FROM employees WHERE emp_name = 'carol' ==")
-    engine.delete('employees', where={'emp_name': 'carol'})
-    print('  cascades: employees -> residents -> female')
-    show(engine, 'female', 'employees')
-
-    print("\n== DELETE FROM retired WHERE emp_name = 'dan' ==")
-    engine.delete('retired', where={'emp_name': 'dan'})
-    print("  dan is re-employed with an 'unknown' department:")
-    show(engine, 'ced', 'eed', 'retired')
-
-    print('\n== constraint rejection ==')
     try:
-        engine.insert('employees', ('ghost', '1950-01-01', 'M'))
-    except Exception as exc:
-        print(f'  insert of unknown employee rejected: {exc}')
+        engine.load('male', [('bob', '1960-04-01'),
+                             ('dan', '1962-06-15')])
+        engine.load('female', [('carol', '1962-03-02')])
+        engine.load('others', [('alex', '1970-01-05', 'X')])
+        engine.load('ed', [('bob', 'cs'), ('carol', 'math'),
+                           ('dan', 'cs'), ('alex', 'bio')])
+        engine.load('eed', [('dan', 'cs')])
+
+        print('== defining the five case-study views ==')
+        define_views(engine)
+
+        print('\n== initial contents ==')
+        show(engine, 'residents', 'ced', 'residents1962', 'employees',
+             'retired')
+
+        print("\n== INSERT INTO residents1962 VALUES "
+              "('pat','1962-07-07','M')")
+        engine.insert('residents1962', ('pat', '1962-07-07', 'M'))
+        print('  cascades: residents1962 -> residents -> male')
+        show(engine, 'male', 'residents1962')
+
+        print("\n== DELETE FROM employees WHERE emp_name = 'carol' ==")
+        engine.delete('employees', where={'emp_name': 'carol'})
+        print('  cascades: employees -> residents -> female')
+        show(engine, 'female', 'employees')
+
+        print("\n== DELETE FROM retired WHERE emp_name = 'dan' ==")
+        engine.delete('retired', where={'emp_name': 'dan'})
+        print("  dan is re-employed with an 'unknown' department:")
+        show(engine, 'ced', 'eed', 'retired')
+
+        print('\n== constraint rejection ==')
+        try:
+            engine.insert('employees', ('ghost', '1950-01-01', 'M'))
+        except Exception as exc:
+            print(f'  insert of unknown employee rejected: {exc}')
+    finally:
+        engine.close()
 
 
 if __name__ == '__main__':

@@ -36,12 +36,18 @@ def main() -> None:
     for index, n in enumerate((5_000, 20_000, 80_000)):
         original = build_engine(entry, n, incremental=False,
                                 strategy=strategy)
-        original.rows(entry.name)
-        t_full = timed_insert(original, entry, index * 2)
+        try:
+            original.rows(entry.name)
+            t_full = timed_insert(original, entry, index * 2)
+        finally:
+            original.close()
         incremental = build_engine(entry, n, incremental=True,
                                    strategy=strategy)
-        incremental.rows(entry.name)
-        t_inc = timed_insert(incremental, entry, index * 2 + 1)
+        try:
+            incremental.rows(entry.name)
+            t_inc = timed_insert(incremental, entry, index * 2 + 1)
+        finally:
+            incremental.close()
         print(f'{n:>10} {t_full:>11.4f}s {t_inc:>11.5f}s   '
               f'({t_full / t_inc:,.0f}x)')
 

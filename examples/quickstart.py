@@ -33,23 +33,26 @@ def main() -> None:
 
     print('\n== running it in the engine ==')
     engine = Engine(sources)
-    engine.load('r1', [(1,)])
-    engine.load('r2', [(2,), (4,)])
-    engine.define_view(strategy, report=report)
-    print('view v          :', sorted(engine.rows('v')))
+    try:
+        engine.load('r1', [(1,)])
+        engine.load('r2', [(2,), (4,)])
+        engine.define_view(strategy, report=report)
+        print('view v          :', sorted(engine.rows('v')))
 
-    engine.insert('v', (3,))            # lands in r1 (the strategy says so)
-    print("after INSERT 3  : r1 =", sorted(engine.rows('r1')),
-          ' v =', sorted(engine.rows('v')))
+        engine.insert('v', (3,))        # lands in r1 (the strategy says so)
+        print("after INSERT 3  : r1 =", sorted(engine.rows('r1')),
+              ' v =', sorted(engine.rows('v')))
 
-    engine.delete('v', where={'a': 2})  # removed from r2
-    print("after DELETE 2  : r2 =", sorted(engine.rows('r2')),
-          ' v =', sorted(engine.rows('v')))
+        engine.delete('v', where={'a': 2})  # removed from r2
+        print("after DELETE 2  : r2 =", sorted(engine.rows('r2')),
+              ' v =', sorted(engine.rows('v')))
 
-    with engine.transaction() as txn:   # Appendix D: one merged delta
-        txn.insert('v', (9,))
-        txn.delete('v', where={'a': 9})
-    print('after no-op txn : v =', sorted(engine.rows('v')))
+        with engine.transaction() as txn:   # Appendix D: one merged delta
+            txn.insert('v', (9,))
+            txn.delete('v', where={'a': 9})
+        print('after no-op txn : v =', sorted(engine.rows('v')))
+    finally:
+        engine.close()
 
 
 if __name__ == '__main__':

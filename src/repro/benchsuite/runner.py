@@ -157,12 +157,18 @@ def run_fig6(views=None, sizes=(10_000, 25_000, 50_000, 100_000, 200_000),
         for i, n in enumerate(sizes):
             original = build_engine(entry, n, incremental=False,
                                     strategy=strategy, backend=backend)
-            original.rows(view)  # materialise once, as PostgreSQL would
-            t_orig = _measure_update(original, entry, i, repeats)
+            try:
+                original.rows(view)  # materialise once, as PostgreSQL would
+                t_orig = _measure_update(original, entry, i, repeats)
+            finally:
+                original.close()
             incremental = build_engine(entry, n, incremental=True,
                                        strategy=strategy, backend=backend)
-            incremental.rows(view)
-            t_inc = _measure_update(incremental, entry, i, repeats)
+            try:
+                incremental.rows(view)
+                t_inc = _measure_update(incremental, entry, i, repeats)
+            finally:
+                incremental.close()
             point = Fig6Point(view, n, t_orig, t_inc)
             points.append(point)
             if progress is not None:
@@ -216,13 +222,17 @@ def run_backends(views=None, size: int = 20_000, *, repeats: int = 5,
         for backend in backends:
             engine = build_engine(entry, size, incremental=True,
                                   strategy=strategy, backend=backend)
-            started = time.perf_counter()
-            engine.rows(view)
-            t_mat = time.perf_counter() - started
-            t_upd = _measure_update(engine, entry, 7, repeats)
-            fallbacks = 0
-            if hasattr(engine.backend, 'lowering_fallbacks'):
-                fallbacks = len(engine.backend.lowering_fallbacks(view))
+            try:
+                started = time.perf_counter()
+                engine.rows(view)
+                t_mat = time.perf_counter() - started
+                t_upd = _measure_update(engine, entry, 7, repeats)
+                fallbacks = 0
+                if hasattr(engine.backend, 'lowering_fallbacks'):
+                    fallbacks = len(
+                        engine.backend.lowering_fallbacks(view))
+            finally:
+                engine.close()
             point = BackendPoint(view, backend, size, t_mat, t_upd,
                                  fallbacks)
             points.append(point)

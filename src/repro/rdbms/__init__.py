@@ -5,11 +5,14 @@ DESIGN.md)."""
 from repro.rdbms.dml import (Delete, Insert, Statement, Update,
                              derive_view_delta)
 from repro.rdbms.engine import Engine, Transaction, ViewEntry
+from repro.rdbms.replica import ReplicaEngine, ReplicaSet
 from repro.rdbms.serve import Receipt, ViewServer
 from repro.rdbms.sharded import (HashPartitioner, Partitioner,
                                  RangePartitioner, ShardedEngine)
+from repro.rdbms.wal import WalRecord, WriteAheadLog
 
 __all__ = ['Delete', 'Insert', 'Statement', 'Update', 'derive_view_delta',
            'Engine', 'Transaction', 'ViewEntry', 'ShardedEngine',
            'Partitioner', 'HashPartitioner', 'RangePartitioner',
-           'Receipt', 'ViewServer']
+           'Receipt', 'ViewServer', 'WriteAheadLog', 'WalRecord',
+           'ReplicaEngine', 'ReplicaSet']

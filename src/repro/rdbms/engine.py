@@ -67,6 +67,7 @@ from repro.errors import (ContradictionError, SchemaError, ValidationError,
 from repro.rdbms.backends import Backend, create_backend
 from repro.rdbms.dml import (Delete, Insert, Statement, Update,
                              derive_view_delta)
+from repro.rdbms.wal import WriteAheadLog
 from repro.relational.database import Database
 from repro.relational.delta import Delta, DeltaSet
 from repro.relational.schema import DatabaseSchema, RelationSchema
@@ -308,11 +309,24 @@ class Engine:
 
     def __init__(self, schema: DatabaseSchema,
                  backend: str | Backend | None = None, *,
-                 batch_deltas: bool = True):
+                 batch_deltas: bool = True,
+                 wal: 'str | WriteAheadLog | None' = None,
+                 wal_sync: bool = True):
         self.schema = schema
         self.backend = create_backend(backend, schema)
         self.batch_deltas = batch_deltas
         self._views: dict[str, ViewEntry] = {}
+        # Durability: with a WAL attached, every committed transaction
+        # appends its PreparedCommit batch *before* storage is touched
+        # (the append is the commit point), and opening an engine on an
+        # existing log replays the committed prefix — see rdbms/wal.py.
+        # ``_wal_defines`` keeps each view's resolved define_view record
+        # payload so checkpoint() can re-emit the catalog.
+        if wal is not None and not isinstance(wal, WriteAheadLog):
+            wal = WriteAheadLog(wal, sync=wal_sync)
+        self.wal = wal
+        self._wal_replaying = False
+        self._wal_defines: dict[str, tuple] = {}
         # Serialises the two catalog-mutating side paths that a
         # concurrent reader can race with a transaction on: lazy view
         # materialisation (two threads both missing the cache) and the
@@ -330,6 +344,98 @@ class Engine:
         #: aggregated counts, so one shard's local sizes never drive a
         #: join order or a spurious re-plan.
         self.stats_provider = self._relation_stats
+        if self.wal is not None and self.wal.last_lsn:
+            self._recover()
+
+    # -- durability (write-ahead log) --------------------------------------
+
+    @property
+    def commit_lsn(self) -> int:
+        """The LSN of this engine's newest committed record (0 without
+        a WAL) — what a read-your-writes session passes as ``min_lsn``."""
+        return self.wal.last_lsn if self.wal is not None else 0
+
+    def _recover(self) -> None:
+        """Replay the WAL's committed prefix into a fresh backend.
+        Torn-tail truncation already happened when the log was opened,
+        so every record seen here is a committed transaction or catalog
+        operation."""
+        self._wal_replaying = True
+        try:
+            for record in self.wal.records():
+                self.apply_wal_record(record.kind, record.data)
+        finally:
+            self._wal_replaying = False
+
+    def apply_wal_record(self, kind: str, data) -> None:
+        """Apply one log record to this engine's state.  Shared by
+        primary recovery and :class:`~repro.rdbms.replica.ReplicaEngine`
+        catch-up — the replication path never re-runs ∂put/get plans,
+        it replays exactly the deltas the primary computed."""
+        if kind == 'load':
+            name, rows = data
+            self.backend.load(name, set(rows))
+            self._invalidate_dependents({name})
+        elif kind == 'define_view':
+            strategy, report, use_incremental, stats = data
+            # Replaying a checkpoint a reader has already seen: the
+            # catalog entry exists, nothing to do.
+            if strategy.view.name in self._views:
+                return
+            self.define_view(strategy, report=report,
+                             validate_first=False,
+                             use_incremental=use_incremental,
+                             stats=stats)
+        elif kind == 'drop_view':
+            self.drop_view(data)
+        elif kind == 'commit':
+            batch, changed_bases, keep = data
+            self._apply_logged_commit(batch, changed_bases, keep)
+        else:
+            raise SchemaError(f'unknown WAL record kind {kind!r}')
+
+    def _apply_logged_commit(self, batch, changed_bases, keep) -> None:
+        """Apply one logged transaction: the base-table deltas always,
+        each view-cache delta only where a cache is actually
+        materialised locally.  Cache bookkeeping mirrors
+        :meth:`apply_prepared`/:meth:`_invalidate_dependents`, with one
+        extra conservative rule: a view the primary *kept* but shipped
+        no cache delta for (it had no materialisation there) cannot be
+        maintained here either — drop ours rather than serve stale
+        rows."""
+        shipped = {name for name, _, is_cache in batch if is_cache}
+        apply = [(name, delta, is_cache)
+                 for name, delta, is_cache in batch
+                 if not is_cache or self.backend.has_cache(name)]
+        if apply:
+            self.backend.apply_deltas(apply)
+        for view, entry in self._views.items():
+            if view in keep and view in shipped:
+                continue
+            if view in keep or entry.base_closure & changed_bases:
+                self.backend.drop_cache(view)
+
+    def _wal_append(self, kind: str, data) -> None:
+        if self.wal is not None and not self._wal_replaying:
+            self.wal.append(kind, data)
+
+    def checkpoint(self) -> int:
+        """Compact the WAL to a snapshot of current committed state
+        (``load`` records for every base table, ``define_view`` records
+        for the catalog) so recovery and new replicas replay
+        O(|DB| + |tail|) instead of the full history.  Returns the new
+        last LSN."""
+        if self.wal is None:
+            raise SchemaError('engine has no write-ahead log')
+
+        def snapshot_records():
+            database = self.backend.snapshot()
+            for name in database.names():
+                yield ('load', (name, frozenset(database[name])))
+            for name in self._views:        # definition order = replay
+                if name in self._wal_defines:  # order (sources first)
+                    yield ('define_view', self._wal_defines[name])
+        return self.wal.checkpoint(snapshot_records())
 
     # -- basic access ------------------------------------------------------
 
@@ -371,11 +477,15 @@ class Engine:
             raise SchemaError(f'unknown relation {name!r}')
         return self.backend.eval_handle(name)
 
-    def rows(self, name: str):
+    def rows(self, name: str, *, min_lsn: int | None = None):
         """Contents of a base table or (materialized) view.
 
         Treat the result as read-only; depending on the backend it is
-        live storage state or a frozen copy.
+        live storage state or a frozen copy.  ``min_lsn`` is the
+        read-your-writes bound replica routing honors; on the primary
+        every own commit is trivially visible, so it is accepted and
+        ignored here (uniform read signature across Engine /
+        ReplicaSet / ShardedEngine).
         """
         if name in self._views:
             self._ensure_view_cache(name)
@@ -394,11 +504,14 @@ class Engine:
         loaded = {tuple(r) for r in rows}
         for row in loaded:
             self.schema[name].validate_tuple(row)
+        self._wal_append('load', (name, frozenset(loaded)))
         self.backend.load(name, loaded)
         self._invalidate_dependents({name})
 
     def close(self) -> None:
         """Release backend resources (connections, files)."""
+        if self.wal is not None:
+            self.wal.close()
         self.backend.close()
 
     def __enter__(self) -> 'Engine':
@@ -491,6 +604,12 @@ class Engine:
             # index the view must not leave it half-registered.
             self._views.pop(name, None)
             raise
+        # Log the *resolved* definition (certified report, chosen
+        # incremental mode, the stats the plans were seeded with) so
+        # recovery and replicas skip re-validation and re-derivation.
+        record = (strategy, report, entry.use_incremental, dict(stats))
+        self._wal_defines[name] = record
+        self._wal_append('define_view', record)
         return entry
 
     def drop_view(self, name: str) -> None:
@@ -512,6 +631,8 @@ class Engine:
                     f'or updates it')
         if self._views.pop(name, None) is not None:
             self.backend.drop_cache(name)
+            self._wal_defines.pop(name, None)
+            self._wal_append('drop_view', name)
 
     def _relation_stats(self) -> dict[str, int]:
         """Observed cardinalities the planner seeds its join order with:
@@ -807,8 +928,22 @@ class Engine:
         """Apply a prepared transaction: one backend delta batch plus
         cache invalidation bookkeeping.  Nothing here re-checks
         constraints or schemas — that all happened in
-        :meth:`prepare_commit`."""
+        :meth:`prepare_commit`.
+
+        With a WAL attached the transaction's coalesced deltas are
+        appended first — the append is the commit point; a crash after
+        it replays the transaction, a crash before it aborts cleanly
+        (committed-prefix semantics)."""
         if prepared.batch:
+            if self.wal is not None and not self._wal_replaying:
+                frozen = [(name, Delta(frozenset(delta.insertions),
+                                       frozenset(delta.deletions)),
+                           is_cache)
+                          for name, delta, is_cache in prepared.batch]
+                self.wal.append('commit',
+                                (frozen,
+                                 frozenset(prepared.changed_bases),
+                                 frozenset(prepared.keep)))
             self.backend.apply_deltas(prepared.batch)
         self._invalidate_dependents(prepared.changed_bases,
                                     keep=prepared.keep)

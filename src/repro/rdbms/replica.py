@@ -1,0 +1,211 @@
+"""Delta-fed read replicas: tail the WAL, apply the primary's deltas.
+
+A :class:`ReplicaEngine` is a full :class:`~repro.rdbms.engine.Engine`
+(own backend, own view catalog, own caches) that never accepts writes:
+its state advances only by replaying the primary's write-ahead log.
+Catch-up applies each ``commit`` record's coalesced deltas straight
+through ``Backend.apply_deltas`` — the ∂put/get plans that *derived*
+those deltas ran exactly once, on the primary — so replication costs
+O(|Δ|) per transaction regardless of |DB|.  That is the paper's
+incremental-view machinery doing double duty as the replication
+protocol.
+
+:class:`ReplicaSet` is the read-routing policy in front of a primary
+and N replicas:
+
+* ``round-robin`` — spread reads evenly;
+* ``freshest`` — always read the replica with the highest applied LSN;
+* ``min_lsn=`` per read — the read-your-writes bound: a session that
+  committed at LSN n passes ``min_lsn=n`` and is guaranteed to never
+  observe a replica behind its own write (the routed replica catches
+  up first if needed);
+* ``max_lag`` — bounded staleness for reads without a ``min_lsn``
+  bound: a replica more than ``max_lag`` records behind catches up
+  before serving.
+
+Replicas tail the log either in-process (sharing the primary's
+:class:`~repro.rdbms.wal.WriteAheadLog` instance for an exact lag
+signal) or by file path alone — a separate process pointed at the same
+log file replays the identical committed prefix, torn tails excluded
+by checksum.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from repro.errors import SchemaError
+from repro.rdbms.engine import Engine
+from repro.rdbms.wal import WriteAheadLog, read_records, scan_tail
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ['ReplicaEngine', 'ReplicaSet']
+
+
+class ReplicaEngine:
+    """A read-only engine kept fresh by replaying a primary's WAL.
+
+    ``wal`` is the primary's :class:`WriteAheadLog` (in-process; lag is
+    then exact and free) or a path to its log file (file-tail; lag
+    scans the file's frames).  ``catch_up()`` applies every committed
+    record past the replica's ``applied_lsn``; reads are served from
+    whatever LSN the replica has applied — call sites wanting
+    freshness bounds go through :class:`ReplicaSet`.
+    """
+
+    def __init__(self, schema: DatabaseSchema,
+                 wal: str | Path | WriteAheadLog, *,
+                 backend: str | None = 'memory'):
+        if isinstance(wal, WriteAheadLog):
+            self._wal = wal
+            self._path = wal.path
+        else:
+            self._wal = None
+            self._path = Path(wal)
+        self._engine = Engine(schema, backend=backend)
+        self._lock = threading.RLock()
+        self.applied_lsn = 0
+        self.stats = {'catch_ups': 0, 'records_applied': 0,
+                      'commits_applied': 0}
+
+    @property
+    def engine(self) -> Engine:
+        """The embedded engine (read-only by convention; writing to it
+        forks the replica from the log)."""
+        return self._engine
+
+    def tail_lsn(self) -> int:
+        """The newest committed LSN in the log being tailed."""
+        if self._wal is not None:
+            return self._wal.last_lsn
+        try:
+            return scan_tail(self._path).last_lsn
+        except FileNotFoundError:
+            return 0
+
+    def lag(self) -> int:
+        """How many committed records this replica has not yet applied."""
+        return max(0, self.tail_lsn() - self.applied_lsn)
+
+    def catch_up(self, upto: int | None = None) -> int:
+        """Apply committed records past ``applied_lsn`` (all of them,
+        or stop once ``upto`` is reached).  Returns the number of
+        records applied.  O(|Δ|) per record: deltas go straight to the
+        backend, no plan runs."""
+        applied = 0
+        with self._lock:
+            for record in read_records(self._path,
+                                       after=self.applied_lsn):
+                self._engine.apply_wal_record(record.kind, record.data)
+                self.applied_lsn = record.lsn
+                applied += 1
+                if record.kind == 'commit':
+                    self.stats['commits_applied'] += 1
+                if upto is not None and record.lsn >= upto:
+                    break
+            if applied:
+                self.stats['records_applied'] += applied
+                self.stats['catch_ups'] += 1
+        return applied
+
+    def rows(self, name: str, *, min_lsn: int | None = None):
+        """Read a table or view at the replica's applied LSN.  With
+        ``min_lsn``, catch up first when behind — the read-your-writes
+        guarantee."""
+        with self._lock:
+            if min_lsn is not None and self.applied_lsn < min_lsn:
+                self.catch_up(upto=min_lsn)
+            return self._engine.rows(name)
+
+    def database(self) -> Database:
+        """Frozen base-table snapshot at the replica's applied LSN."""
+        with self._lock:
+            return self._engine.database()
+
+    def close(self) -> None:
+        self._engine.close()
+
+    def __enter__(self) -> 'ReplicaEngine':
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class ReplicaSet:
+    """Read-routing over one primary and its replicas.
+
+    ``policy`` picks the replica for an unbounded read: ``round-robin``
+    rotates, ``freshest`` takes the highest applied LSN.  ``max_lag``
+    bounds staleness (a routed replica further behind catches up before
+    serving); ``read(..., min_lsn=n)`` additionally guarantees
+    read-your-writes for a session that committed at LSN n.  Writes
+    never route here — they stay on the primary, whose WAL feeds every
+    replica.
+    """
+
+    POLICIES = ('round-robin', 'freshest')
+
+    def __init__(self, primary: Engine, replicas, *,
+                 policy: str = 'round-robin', max_lag: int = 0):
+        if policy not in self.POLICIES:
+            raise SchemaError(f'unknown read policy {policy!r} '
+                              f'(expected one of {self.POLICIES})')
+        self.primary = primary
+        self.replicas = list(replicas)
+        self.policy = policy
+        self.max_lag = max_lag
+        self._lock = threading.Lock()
+        self._cursor = 0
+        self.stats = {'replica_reads': 0, 'primary_reads': 0,
+                      'catch_ups': 0}
+
+    def commit_lsn(self) -> int:
+        """The primary's newest committed LSN — the token a session
+        passes back as ``min_lsn`` to read its own writes."""
+        return self.primary.commit_lsn
+
+    def _pick(self) -> ReplicaEngine:
+        if self.policy == 'freshest':
+            return max(self.replicas, key=lambda r: r.applied_lsn)
+        with self._lock:
+            replica = self.replicas[self._cursor % len(self.replicas)]
+            self._cursor += 1
+        return replica
+
+    def read(self, name: str, *, min_lsn: int | None = None):
+        """Route one read.  Falls back to the primary when the set has
+        no replicas."""
+        if not self.replicas:
+            self.stats['primary_reads'] += 1
+            return self.primary.rows(name)
+        replica = self._pick()
+        behind = min_lsn is not None and replica.applied_lsn < min_lsn
+        stale = min_lsn is None and self.max_lag >= 0 \
+            and replica.lag() > self.max_lag
+        if behind or stale:
+            replica.catch_up(upto=min_lsn)
+            self.stats['catch_ups'] += 1
+        self.stats['replica_reads'] += 1
+        return replica.rows(name)
+
+    def catch_up(self) -> int:
+        """Bring every replica fully up to date (records applied)."""
+        return sum(replica.catch_up() for replica in self.replicas)
+
+    def max_applied_lsn(self) -> int:
+        return max((r.applied_lsn for r in self.replicas), default=0)
+
+    def close(self) -> None:
+        """Close the replicas (the primary's owner closes the
+        primary)."""
+        for replica in self.replicas:
+            replica.close()
+
+    def __enter__(self) -> 'ReplicaSet':
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

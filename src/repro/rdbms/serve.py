@@ -71,6 +71,11 @@ class Receipt:
     #: True when the submission's group failed and this transaction
     #: (re)committed alone in the individual-retry pass
     retried: bool = False
+    #: the engine's commit point after this transaction applied — an
+    #: int (Engine) or per-shard tuple (ShardedEngine); pass it back to
+    #: :meth:`ViewServer.rows` as ``min_lsn`` to read your own write
+    #: through the replicas.  0 when the engine has no WAL.
+    lsn: object = 0
 
 
 class ViewServer:
@@ -83,29 +88,45 @@ class ViewServer:
 
     ``group_commit=False`` degrades to one engine run per submission
     (the baseline ``bench_serve.py`` measures group commit against).
+
+    **Reads.**  :meth:`rows` serves ``get`` without ever queueing
+    behind the committer: reads run on their own executor
+    (``read_threads``), routed through ``replicas`` (a
+    :class:`~repro.rdbms.replica.ReplicaSet` in front of a single
+    engine) when given — a sharded engine built with
+    ``read_replicas=N`` routes internally instead.  A client holding a
+    :attr:`Receipt.lsn` passes it as ``min_lsn`` for read-your-writes.
     """
 
     def __init__(self, engine, *, max_inflight: int = 64,
-                 group_commit: bool = True, max_group: int = 32):
+                 group_commit: bool = True, max_group: int = 32,
+                 replicas=None, read_threads: int = 1):
         if max_inflight < 1:
             raise SchemaError(f'max_inflight must be >= 1, '
                               f'got {max_inflight}')
         if max_group < 1:
             raise SchemaError(f'max_group must be >= 1, got {max_group}')
+        if read_threads < 1:
+            raise SchemaError(f'read_threads must be >= 1, '
+                              f'got {read_threads}')
         self.engine = engine
         self.max_inflight = max_inflight
         self.group_commit = group_commit
         self.max_group = max_group
+        self.replicas = replicas
+        self.read_threads = read_threads
         self._admission: asyncio.Semaphore | None = None
         self._queue: asyncio.Queue | None = None
         self._committer: asyncio.Task | None = None
         self._executor: ThreadPoolExecutor | None = None
+        self._read_executor: ThreadPoolExecutor | None = None
         self._closed = True
         #: counters: submissions seen / committed / failed, engine runs,
-        #: runs carrying >1 txn, largest group, individually retried
+        #: runs carrying >1 txn, largest group, individually retried,
+        #: reads served
         self.stats = {'submitted': 0, 'committed': 0, 'failed': 0,
                       'groups': 0, 'grouped': 0, 'max_group': 0,
-                      'retried': 0}
+                      'retried': 0, 'reads': 0}
 
     # -- lifecycle ----------------------------------------------------
 
@@ -116,6 +137,9 @@ class ViewServer:
         self._queue = asyncio.Queue()
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix='repro-serve')
+        self._read_executor = ThreadPoolExecutor(
+            max_workers=self.read_threads,
+            thread_name_prefix='repro-serve-read')
         self._closed = False
         self._committer = asyncio.get_running_loop().create_task(
             self._commit_loop())
@@ -132,6 +156,8 @@ class ViewServer:
         self._committer = None
         self._executor.shutdown(wait=True)
         self._executor = None
+        self._read_executor.shutdown(wait=True)
+        self._read_executor = None
 
     async def __aenter__(self) -> 'ViewServer':
         return await self.start()
@@ -159,6 +185,29 @@ class ViewServer:
         async with self._admission:
             await self._queue.put((buckets, future))
             return await future
+
+    async def rows(self, name: str, *, min_lsn=None) -> frozenset:
+        """Serve one ``get``: the contents of a table or view, routed
+        through the read replicas when attached.  Runs on the read
+        executor — reads never wait for the committer thread.
+        ``min_lsn`` (a :attr:`Receipt.lsn`) bounds staleness to
+        read-your-writes."""
+        if self._closed or self._read_executor is None:
+            raise SchemaError('server is not running')
+        loop = asyncio.get_running_loop()
+        if self.replicas is not None:
+            read = lambda: self.replicas.read(name, min_lsn=min_lsn)  # noqa: E731
+        else:
+            read = lambda: self.engine.rows(name, min_lsn=min_lsn)    # noqa: E731
+        result = await loop.run_in_executor(self._read_executor,
+                                            lambda: frozenset(read()))
+        self.stats['reads'] += 1
+        return result
+
+    def _commit_lsn(self):
+        """The engine's current commit point — an int, a per-shard
+        tuple, or 0 for engines without a WAL."""
+        return getattr(self.engine, 'commit_lsn', 0)
 
     # -- the committer ------------------------------------------------
 
@@ -211,10 +260,15 @@ class ViewServer:
                     self.stats['retried'] += 1
                     self._resolve(future,
                                   receipt=Receipt(group_size=len(group),
-                                                  retried=True))
+                                                  retried=True,
+                                                  lsn=self._commit_lsn()))
             return
+        # The post-group commit point is a safe read-your-writes bound
+        # for every member: the group was one engine transaction.
+        lsn = self._commit_lsn()
         for _, future in group:
-            self._resolve(future, receipt=Receipt(group_size=len(group)))
+            self._resolve(future, receipt=Receipt(group_size=len(group),
+                                                  lsn=lsn))
 
     def _resolve(self, future, *, receipt: Receipt | None = None,
                  error: Exception | None = None) -> None:

@@ -96,11 +96,13 @@ differential fuzz oracle holds them bit-identical.
 
 from __future__ import annotations
 
+import tempfile
 import threading
 import zlib
 from abc import ABC, abstractmethod
 from bisect import bisect_right
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.core.strategy import UpdateStrategy
@@ -115,6 +117,7 @@ from repro.rdbms.dml import (Delete, Insert, Statement, Update,
 from repro.rdbms.engine import (Engine, Transaction, ViewEntry,
                                 coalesce_buckets)
 from repro.rdbms.procpool import ProcessPool
+from repro.rdbms.replica import ReplicaEngine, ReplicaSet
 from repro.relational.database import Database
 from repro.relational.delta import Delta
 from repro.relational.schema import DatabaseSchema, RelationSchema
@@ -379,10 +382,24 @@ class ShardedEngine:
                  batch_deltas: bool = True,
                  global_shard: int = 0,
                  parallelism: int | None = None,
-                 execution: str = 'threads'):
+                 execution: str = 'threads',
+                 wal_dir=None,
+                 wal_sync: bool = True,
+                 read_replicas: int = 0,
+                 read_policy: str = 'round-robin',
+                 replica_max_lag: int = 0):
         if execution not in ('threads', 'processes'):
             raise SchemaError(f"execution must be 'threads' or "
                               f"'processes', got {execution!r}")
+        if execution == 'processes' and (wal_dir is not None
+                                         or read_replicas):
+            raise SchemaError(
+                'wal_dir/read_replicas require thread execution: the '
+                'inner engines (and their logs) live in worker '
+                'processes under process execution')
+        if read_replicas < 0:
+            raise SchemaError(f'read_replicas must be >= 0, '
+                              f'got {read_replicas}')
         if shards is None:
             if partitioner is not None:
                 shards = partitioner.n_shards
@@ -423,13 +440,32 @@ class ShardedEngine:
             #: the inner engines live in the workers under process
             #: execution; thread-mode introspection goes via .engines
             self.engines: tuple[Engine, ...] = ()
+            self._wal_tmpdir = None
         else:
             self._procpool = None
             shard_backends = create_shard_backends(backends, schema,
                                                    shards)
+            # Durability + read replicas (thread execution only): each
+            # shard engine logs to ``wal_dir/shard-<i>.wal``; replicas
+            # tail their shard's log.  ``read_replicas`` without an
+            # explicit wal_dir uses an owned temporary directory — the
+            # replication substrate without the durability contract.
+            self._wal_tmpdir = None
+            wal_paths = [None] * shards
+            if wal_dir is None and read_replicas:
+                self._wal_tmpdir = tempfile.TemporaryDirectory(
+                    prefix='repro-wal-')
+                wal_dir = self._wal_tmpdir.name
+            if wal_dir is not None:
+                base = Path(wal_dir)
+                base.mkdir(parents=True, exist_ok=True)
+                wal_paths = [base / f'shard-{i}.wal'
+                             for i in range(shards)]
             self.engines = tuple(Engine(schema, backend=b,
-                                        batch_deltas=batch_deltas)
-                                 for b in shard_backends)
+                                        batch_deltas=batch_deltas,
+                                        wal=path, wal_sync=wal_sync)
+                                 for b, path in zip(shard_backends,
+                                                    wal_paths))
             for engine in self.engines:
                 # Planner statistics (define_view seed AND drift
                 # re-plans) come from cluster-wide aggregated counts,
@@ -442,6 +478,17 @@ class ShardedEngine:
             self.shards = tuple(LocalShard(index, engine)
                                 for index, engine
                                 in enumerate(self.engines))
+        #: one ReplicaSet per shard (empty tuple when read_replicas=0):
+        #: reads fan across them, writes stay on the shard engines.
+        self.replica_sets: tuple[ReplicaSet, ...] = ()
+        if read_replicas:
+            self.replica_sets = tuple(
+                ReplicaSet(engine,
+                           [ReplicaEngine(schema, engine.wal)
+                            for _ in range(read_replicas)],
+                           policy=read_policy,
+                           max_lag=replica_max_lag)
+                for engine in self.engines)
         self._entries: dict[str, ViewEntry] = {}
         #: relation/view -> None (partitioned) or the pinned shard index
         self._placement: dict[str, int | None] = {}
@@ -569,38 +616,93 @@ class ShardedEngine:
     # -- storage access ------------------------------------------------
 
     def _read_shard(self, index: int, name: str) -> frozenset:
-        """One shard's contents of ``name``, copied under the shard
-        lock (worker-serialised for process shards) so an apply phase
-        cannot mutate the rows mid-copy."""
+        """One *primary* shard's contents of ``name``, copied under the
+        shard lock (worker-serialised for process shards) so an apply
+        phase cannot mutate the rows mid-copy.  Internal machinery
+        (migrations, diagnostics) reads here; replica routing happens
+        one level up, in :meth:`_read_routed`."""
         return self.shards[index].rows(name)
 
-    def rows(self, name: str) -> frozenset:
+    def _read_routed(self, index: int, name: str,
+                     min_lsn: int | None) -> frozenset:
+        """One shard's contents for an external read: through the
+        shard's :class:`ReplicaSet` when replicas are attached (the
+        primary only sees the write path), else the primary."""
+        if self.replica_sets:
+            return frozenset(
+                self.replica_sets[index].read(name, min_lsn=min_lsn))
+        return self._read_shard(index, name)
+
+    def _shard_min_lsns(self, min_lsn) -> list:
+        """Normalise a read bound: ``None``, one int for every shard,
+        or a per-shard sequence (what :meth:`commit_lsns` returned)."""
+        if min_lsn is None or isinstance(min_lsn, int):
+            return [min_lsn] * self.n_shards
+        bounds = list(min_lsn)
+        if len(bounds) != self.n_shards:
+            raise SchemaError(
+                f'min_lsn sequence covers {len(bounds)} shards, '
+                f'engine has {self.n_shards}')
+        return bounds
+
+    def rows(self, name: str, *, min_lsn=None) -> frozenset:
         """Scatter-gather union of ``name`` across its shards (the
         whole relation/view, exactly as the single engine reports it).
         Concurrent under ``parallelism > 1``: each shard's view cache
-        is read by its own worker."""
+        is read by its own worker.  With read replicas attached the
+        fan-out lands on them instead of the primaries; ``min_lsn``
+        (an int, or the per-shard tuple from :meth:`commit_lsns`) is
+        the read-your-writes bound."""
+        bounds = self._shard_min_lsns(min_lsn)
         place = self._placement_of(name)
         if place is not None:
-            return self._read_shard(place, name)
+            return self._read_routed(place, name, bounds[place])
         parts = self._pmap([
-            (lambda index=index: self._read_shard(index, name))
+            (lambda index=index: self._read_routed(index, name,
+                                                   bounds[index]))
             for index in range(self.n_shards)])
         gathered: set = set()
         for part in parts:
             gathered |= part
         return frozenset(gathered)
 
+    def commit_lsns(self) -> tuple[int, ...]:
+        """Per-shard committed LSNs (zeros without a WAL) — pass the
+        tuple back to :meth:`rows` as ``min_lsn`` to read your own
+        writes through the replicas."""
+        return tuple(engine.commit_lsn for engine in self.engines) \
+            or (0,) * self.n_shards
+
+    @property
+    def commit_lsn(self) -> tuple[int, ...]:
+        """Alias for :meth:`commit_lsns` (uniform surface with
+        :attr:`Engine.commit_lsn`; the sharded commit point is a
+        vector)."""
+        return self.commit_lsns()
+
     def shard_rows(self, name: str) -> tuple[frozenset, ...]:
         """Per-shard contents of ``name`` (diagnostics and tests)."""
         return tuple(self._read_shard(index, name)
                      for index in range(self.n_shards))
+
+    def _gather_primary(self, name: str) -> frozenset:
+        """Union of ``name`` over the *primary* shards — what internal
+        machinery (row migrations, statistics) must read regardless of
+        replica routing."""
+        place = self._placement_of(name)
+        if place is not None:
+            return self._read_shard(place, name)
+        gathered: set = set()
+        for index in range(self.n_shards):
+            gathered |= self._read_shard(index, name)
+        return frozenset(gathered)
 
     def count(self, name: str) -> int:
         """Cluster-wide cardinality, aggregated from the per-shard
         :meth:`Backend.count` (global relations live on one shard and
         the others report zero)."""
         if name in self._entries:
-            return len(self.rows(name))
+            return len(self._gather_primary(name))
         self._placement_of(name)
         return sum(client.count(name) for client in self.shards)
 
@@ -643,11 +745,16 @@ class ShardedEngine:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        for replica_set in self.replica_sets:
+            replica_set.close()
         if self._procpool is not None:
             self._procpool.shutdown()
         else:
             for client in self.shards:
                 client.close()
+        if self._wal_tmpdir is not None:
+            self._wal_tmpdir.cleanup()
+            self._wal_tmpdir = None
 
     def __enter__(self) -> 'ShardedEngine':
         return self
@@ -827,7 +934,7 @@ class ShardedEngine:
         gathered copy is the recovery source: if any shard's load
         fails mid-migration, the partitioned layout is restored from
         it rather than leaving rows duplicated or half-moved."""
-        gathered = set(self.rows(base))
+        gathered = set(self._gather_primary(base))
         try:
             for index, client in enumerate(self.shards):
                 client.load(base, gathered
@@ -844,7 +951,7 @@ class ShardedEngine:
     def _repartition(self, base: str, pos: int, attr: str) -> None:
         """Undo a demotion: restore the key declaration and spread the
         (now global-shard) rows back over the partitioned layout."""
-        gathered = set(self.rows(base))
+        gathered = set(self._gather_primary(base))
         self._placement[base] = None
         self._key_pos[base] = pos
         self._key_attr[base] = attr

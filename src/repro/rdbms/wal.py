@@ -1,0 +1,277 @@
+"""A durable write-ahead log of coalesced per-transaction deltas.
+
+The batched transaction pipeline already produces each transaction's
+net effect as a first-class value — the
+:class:`~repro.rdbms.engine.PreparedCommit` batch of
+``(relation, delta, is_cache)`` triples.  This module makes that value
+the unit of durability *and* of replication: the engine appends one
+``commit`` record per transaction (plus ``load``/``define_view``/
+``drop_view`` catalog records), and the same byte stream serves
+
+* **crash recovery** — replaying the log from the start rebuilds the
+  engine's committed state; :meth:`WriteAheadLog.checkpoint` compacts
+  the log into a snapshot prefix (``load`` + ``define_view`` records of
+  the current state) so replay stays O(|DB| + |tail|);
+* **read replicas** — :class:`~repro.rdbms.replica.ReplicaEngine`
+  tails the log and applies the recorded deltas straight through
+  ``Backend.apply_deltas``, never re-running ∂put/get plans, so
+  catch-up costs O(|Δ|) rather than re-evaluation.
+
+**Record format.**  The file starts with a magic line plus the 8-byte
+starting LSN (zero for a fresh log; a checkpoint writes the LSN the
+compaction happened at, so LSNs stay monotonic across compactions).
+Each record is a frame of ``[4-byte length][4-byte CRC-32][payload]``
+where the payload pickles ``(kind, data)``; a record's LSN is implicit
+— ``start_lsn + its position`` — which makes monotonicity structural.
+
+**Committed-prefix semantics.**  A transaction is committed exactly
+when its record is fully in the log.  On open, the tail is scanned and
+the first incomplete or checksum-failing frame — a torn write from a
+crash mid-append — marks the end of the committed prefix: everything
+after it is truncated, never half-applied.  Readers
+(:func:`read_records`) independently stop at the same point, so a
+file-tailing replica in another process can never observe a torn
+record either.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import threading
+import zlib
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, NamedTuple
+
+from repro.errors import SchemaError
+
+__all__ = ['WalRecord', 'WriteAheadLog', 'read_records', 'scan_tail',
+           'encode_record', 'RECORD_KINDS']
+
+MAGIC = b'REPROWAL1\n'
+_HEADER = struct.Struct('>Q')    # starting LSN
+_FRAME = struct.Struct('>II')    # payload length, CRC-32 of payload
+
+#: Every record kind the engine writes.  ``commit`` carries
+#: ``(batch, changed_bases, keep)`` — the PreparedCommit shape; the
+#: catalog kinds carry what re-running the call needs.
+RECORD_KINDS = ('load', 'define_view', 'drop_view', 'commit')
+
+
+class WalRecord(NamedTuple):
+    """One committed log record."""
+
+    lsn: int
+    kind: str
+    data: object
+
+
+class _Tail(NamedTuple):
+    """What :func:`scan_tail` learns about a log file."""
+
+    start_lsn: int
+    last_lsn: int
+    end_offset: int       # byte offset just past the committed prefix
+    torn: bool            # bytes beyond the prefix (a torn tail)
+
+
+def encode_record(kind: str, data: object) -> bytes:
+    """The on-disk frame for one record (exposed for fault-injection
+    tests that need to write *partial* frames)."""
+    if kind not in RECORD_KINDS:
+        raise SchemaError(f'unknown WAL record kind {kind!r}')
+    payload = pickle.dumps((kind, data),
+                           protocol=pickle.HIGHEST_PROTOCOL)
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_tail(path: str | Path) -> _Tail:
+    """Scan a log file's frames (without unpickling payloads) to find
+    the committed prefix: its last LSN and end offset."""
+    with open(path, 'rb') as handle:
+        header = handle.read(len(MAGIC) + _HEADER.size)
+        if len(header) < len(MAGIC) + _HEADER.size \
+                or not header.startswith(MAGIC):
+            raise SchemaError(f'{path} is not a repro WAL file')
+        (start_lsn,) = _HEADER.unpack(header[len(MAGIC):])
+        lsn = start_lsn
+        offset = len(header)
+        while True:
+            frame = handle.read(_FRAME.size)
+            if len(frame) < _FRAME.size:
+                torn = len(frame) > 0
+                break
+            length, crc = _FRAME.unpack(frame)
+            payload = handle.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                torn = True
+                break
+            lsn += 1
+            offset += _FRAME.size + length
+        return _Tail(start_lsn, lsn, offset, torn)
+
+
+def read_records(path: str | Path, *,
+                 after: int = 0) -> Iterator[WalRecord]:
+    """The committed records with LSN > ``after``, from a fresh read
+    handle — safe to call from another thread or process while the
+    writer appends, and across checkpoints (a compacted file's records
+    all carry fresh LSNs, so a reader that was mid-history simply
+    replays the snapshot prefix).  Stops silently at a torn tail: a
+    reader can never observe a half-written record."""
+    try:
+        handle = open(path, 'rb')
+    except FileNotFoundError:
+        return
+    with handle:
+        header = handle.read(len(MAGIC) + _HEADER.size)
+        if len(header) < len(MAGIC) + _HEADER.size \
+                or not header.startswith(MAGIC):
+            raise SchemaError(f'{path} is not a repro WAL file')
+        (lsn,) = _HEADER.unpack(header[len(MAGIC):])
+        while True:
+            frame = handle.read(_FRAME.size)
+            if len(frame) < _FRAME.size:
+                return
+            length, crc = _FRAME.unpack(frame)
+            payload = handle.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                return
+            lsn += 1
+            if lsn > after:
+                kind, data = pickle.loads(payload)
+                yield WalRecord(lsn, kind, data)
+
+
+class WriteAheadLog:
+    """Append-only durable log with monotonic LSNs.
+
+    ``sync=True`` (the default) fsyncs every append — one fsync per
+    *transaction*, which group commit naturally amortises across
+    clients since a served group is a single engine transaction and
+    therefore a single record.  ``sync=False`` trades durability of
+    the OS page cache for speed (tests, benchmarks, replicas of a
+    primary that is itself durable).
+
+    Opening an existing file recovers it: the tail is scanned, a torn
+    final record is truncated (see module docstring), and appends
+    continue at ``last_lsn + 1``.
+
+    In-process subscribers (:meth:`subscribe`) get every appended
+    record pushed synchronously; out-of-process readers tail the file
+    with :func:`read_records`.
+    """
+
+    def __init__(self, path: str | Path, *, sync: bool = True):
+        self.path = Path(path)
+        self.sync = sync
+        self._lock = threading.RLock()
+        self._subscribers: list[Callable[[WalRecord], None]] = []
+        self._closed = False
+        #: appends/bytes are cumulative for this handle;
+        #: ``last_record_bytes`` is the size of the latest record —
+        #: what the replication-cost benchmark samples.
+        self.stats = {'appends': 0, 'bytes': 0, 'last_record_bytes': 0,
+                      'truncated_tails': 0}
+        if self.path.exists() and self.path.stat().st_size > 0:
+            tail = scan_tail(self.path)
+            if tail.torn:
+                with open(self.path, 'r+b') as handle:
+                    handle.truncate(tail.end_offset)
+                self.stats['truncated_tails'] += 1
+            self._start_lsn = tail.start_lsn
+            self._last_lsn = tail.last_lsn
+            self._file = open(self.path, 'ab')
+        else:
+            self._start_lsn = 0
+            self._last_lsn = 0
+            self._file = open(self.path, 'wb')
+            self._file.write(MAGIC + _HEADER.pack(0))
+            self._flush()
+
+    def _flush(self) -> None:
+        self._file.flush()
+        if self.sync:
+            os.fsync(self._file.fileno())
+
+    @property
+    def last_lsn(self) -> int:
+        """The LSN of the newest committed record (0 for an empty
+        log) — the commit point a read session can demand with
+        ``min_lsn``."""
+        return self._last_lsn
+
+    def append(self, kind: str, data: object) -> int:
+        """Durably append one record; returns its LSN.  The append IS
+        the commit point: once this returns, recovery and every replica
+        will observe the record."""
+        encoded = encode_record(kind, data)
+        with self._lock:
+            if self._closed:
+                raise SchemaError(f'WAL {self.path} is closed')
+            self._file.write(encoded)
+            self._flush()
+            self._last_lsn += 1
+            lsn = self._last_lsn
+            self.stats['appends'] += 1
+            self.stats['bytes'] += len(encoded)
+            self.stats['last_record_bytes'] = len(encoded)
+        record = WalRecord(lsn, kind, data)
+        for callback in list(self._subscribers):
+            callback(record)
+        return lsn
+
+    def subscribe(self, callback: Callable[[WalRecord], None]) -> None:
+        """Push every subsequent append to ``callback`` (in-process
+        subscription; the callback runs on the appending thread)."""
+        self._subscribers.append(callback)
+
+    def records(self, *, after: int = 0) -> Iterator[WalRecord]:
+        """The committed records with LSN > ``after`` (a fresh read
+        pass over the file; see :func:`read_records`)."""
+        return read_records(self.path, after=after)
+
+    def checkpoint(self, records: Iterable[tuple[str, object]]) -> int:
+        """Atomically compact the log: replace it with ``records`` (the
+        caller's snapshot of current state, as ``(kind, data)`` pairs)
+        under a header whose starting LSN is the current ``last_lsn``
+        — so the snapshot records receive fresh, still-monotonic LSNs
+        and a replica at any position simply replays them.  Returns the
+        new ``last_lsn``."""
+        with self._lock:
+            if self._closed:
+                raise SchemaError(f'WAL {self.path} is closed')
+            temp = self.path.with_name(self.path.name + '.ckpt')
+            count = 0
+            with open(temp, 'wb') as handle:
+                handle.write(MAGIC + _HEADER.pack(self._last_lsn))
+                for kind, data in records:
+                    handle.write(encode_record(kind, data))
+                    count += 1
+                handle.flush()
+                if self.sync:
+                    os.fsync(handle.fileno())
+            self._file.close()
+            os.replace(temp, self.path)
+            self._start_lsn = self._last_lsn
+            self._last_lsn += count
+            self._file = open(self.path, 'ab')
+            self._flush()
+            return self._last_lsn
+
+    def close(self) -> None:
+        """Flush and close the append handle.  Idempotent; readers
+        (:func:`read_records`) keep working on the file."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> 'WriteAheadLog':
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,71 @@
+"""Subprocess body for the SIGKILL crash-recovery tests.
+
+Runs ``n`` single-row transactions against a WAL-backed engine, then
+dies at a precise point in the commit path depending on ``mode``:
+
+* ``clean``             — all ``n`` transactions commit, clean exit;
+* ``kill-before-append``— SIGKILL *before* the last transaction's WAL
+  append: the record never reaches the log, so recovery must show
+  ``n - 1`` rows (the transaction never committed);
+* ``kill-after-append`` — SIGKILL *after* the append but before the
+  backend applies the batch: the append IS the commit point, so
+  recovery must show all ``n`` rows;
+* ``kill-torn``         — writes *half* a frame (a torn tail, as a
+  crash mid-``write(2)`` would leave) and dies: recovery must truncate
+  it and show ``n - 1`` rows.
+
+Usage:  python _wal_crash_child.py WAL_PATH N MODE
+"""
+
+import os
+import signal
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / 'src'))
+
+from repro.rdbms.engine import Engine                       # noqa: E402
+from repro.rdbms.wal import encode_record                   # noqa: E402
+from repro.relational.schema import DatabaseSchema          # noqa: E402
+
+
+def main() -> int:
+    wal_path, n, mode = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+    schema = DatabaseSchema.build(r1={'a': 'int'})
+    engine = Engine(schema, wal=wal_path)
+
+    committed = n if mode == 'clean' else n - 1
+    for i in range(committed):
+        engine.insert('r1', (i,))
+
+    if mode == 'clean':
+        engine.close()
+        return 0
+
+    wal = engine.wal
+    if mode == 'kill-torn':
+        # A torn write: half of one frame reaches the disk, then the
+        # process dies.  The payload content is irrelevant — the frame
+        # is incomplete, so recovery must never unpickle it.
+        frame = encode_record('commit', ((), frozenset(), frozenset()))
+        wal._file.write(frame[:max(1, len(frame) // 2)])
+        wal._file.flush()
+        os.fsync(wal._file.fileno())
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    original_append = wal.append
+
+    def dying_append(kind, data):
+        if mode == 'kill-before-append':
+            os.kill(os.getpid(), signal.SIGKILL)
+        lsn = original_append(kind, data)
+        os.kill(os.getpid(), signal.SIGKILL)
+        return lsn                                  # pragma: no cover
+
+    wal.append = dying_append
+    engine.insert('r1', (n - 1,))                   # never returns
+    raise AssertionError(f'survived mode {mode!r}')  # pragma: no cover
+
+
+if __name__ == '__main__':
+    raise SystemExit(main())

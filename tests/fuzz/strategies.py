@@ -35,11 +35,14 @@ violate against the shrunk pool.
 from __future__ import annotations
 
 import random
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.benchsuite.catalog import entry_by_name
 from repro.rdbms.dml import Delete, Insert, Statement, Update
 from repro.rdbms.engine import Engine
+from repro.rdbms.replica import ReplicaEngine
 from repro.rdbms.sharded import ShardedEngine
 from repro.relational.generators import random_database, random_rows
 
@@ -303,18 +306,72 @@ def _strategy(view: str):
     return _STRATEGIES[view]
 
 
+class _ReplicatedEngine:
+    """A WAL-backed primary plus one delta-fed replica, presented to
+    the oracle as a single engine: writes run on the primary, every
+    read catches the replica up and serves from *it* — so the standing
+    per-transaction state comparison IS the bit-identity assertion for
+    delta shipping.  :meth:`recovered_state` additionally replays the
+    log into a fresh engine (crash recovery), which
+    ``run_differential`` checks against the reference at workload end.
+    """
+
+    def __init__(self, strategy):
+        self._strategy = strategy
+        self._tmp = tempfile.TemporaryDirectory(prefix='repro-fuzz-wal-')
+        self._path = Path(self._tmp.name) / 'primary.wal'
+        self.primary = Engine(strategy.sources, wal=self._path,
+                              wal_sync=False)
+        self.replica = ReplicaEngine(strategy.sources, self.primary.wal)
+
+    def load(self, name, rows):
+        self.primary.load(name, rows)
+
+    def define_view(self, strategy, **kwargs):
+        return self.primary.define_view(strategy, **kwargs)
+
+    def execute_many(self, batches):
+        return self.primary.execute_many(batches)
+
+    def rows(self, name):
+        self.replica.catch_up()
+        return self.replica.rows(name)
+
+    def database(self):
+        self.replica.catch_up()
+        return self.replica.database()
+
+    def recovered_state(self, view):
+        """Crash-replay the log into a fresh engine and report its
+        ``(database, view rows)`` — what a restart would serve."""
+        recovered = Engine(self._strategy.sources, wal=self._path,
+                           wal_sync=False)
+        try:
+            return (recovered.database(),
+                    frozenset(recovered.rows(view)))
+        finally:
+            recovered.close()
+
+    def close(self):
+        self.replica.close()
+        self.primary.close()
+        self._tmp.cleanup()
+
+
 def build_engines(workload: Workload, *,
                   extended: bool = False) -> dict[str, object]:
     """The differential configuration matrix, loaded with the
     workload's base data and the view materialised.
 
     The core matrix covers memory-vs-SQLite × batched-vs-stmt ×
-    sharded-vs-single × parallel-vs-serial × threads-vs-processes with
-    six entries (one per axis endpoint — ``sharded-parallel`` drives
-    the same mixed-backend shards through the thread pool,
-    ``sharded-procs`` through worker *processes*); ``extended``
-    completes the cross with the remaining costly combinations for the
-    deep (``REPRO_FUZZ=long``) runs.
+    sharded-vs-single × parallel-vs-serial × threads-vs-processes ×
+    replicated-vs-direct with seven entries (one per axis endpoint —
+    ``sharded-parallel`` drives the same mixed-backend shards through
+    the thread pool, ``sharded-procs`` through worker *processes*,
+    ``replica`` serves every read from a WAL-fed
+    :class:`_ReplicatedEngine` replica); ``extended`` completes the
+    cross with the remaining costly combinations for the deep
+    (``REPRO_FUZZ=long``) runs.
     """
     strategy = _strategy(workload.view)
     configs: dict[str, object] = {}
@@ -344,6 +401,7 @@ def build_engines(workload: Workload, *,
     if extended:
         configs['sharded-procs-stmt'] = procs(False)
     configs['memory-batched'] = single('memory', True)
+    configs['replica'] = _ReplicatedEngine(strategy)
     configs['memory-stmt'] = single('memory', False)
     configs['sqlite-batched'] = single('sqlite', True)
     configs['sharded-batched'] = sharded(True)

@@ -4,10 +4,14 @@ state, or raises the same error, on randomized workloads.
 Configurations compared (see ``strategies.build_engines``): memory vs
 SQLite storage, batched vs statement-at-a-time translation, sharded
 (3 mixed-backend shards) vs single engine, thread-pooled parallel vs
-serial sharded execution, and process-per-shard workers
-(``execution='processes'``) vs everything in-process.  After every
-transaction the committed base tables, the materialised view caches,
-and the raised-error behavior must agree across all of them.
+serial sharded execution, process-per-shard workers
+(``execution='processes'``) vs everything in-process, and a WAL-fed
+read replica (reads served from delta shipping, never from plan
+re-execution) vs direct execution.  After every transaction the
+committed base tables, the materialised view caches, and the
+raised-error behavior must agree across all of them; at workload end
+the replica's log is additionally replayed into a fresh engine (crash
+recovery) which must land on the same state.
 
 Profiles: CI runs the bounded smoke (``--hypothesis-profile=ci``);
 ``REPRO_FUZZ=long`` selects the deep profile locally (≥200 generated
@@ -67,6 +71,16 @@ def run_differential(workload: Workload, *, extended: bool = False,
                 assert state == reference_state, (
                     f'{name} diverged from {reference} on {workload!r} '
                     f'transaction #{number} (outcome {outcomes[name]})')
+        # Crash recovery: replaying the replica axis's WAL into a
+        # fresh engine (what a post-SIGKILL restart does) must land on
+        # the reference state too.
+        if 'replica' in engines:
+            final_state = (engines[reference].database(),
+                           frozenset(engines[reference].rows(view)))
+            assert engines['replica'].recovered_state(view) \
+                == final_state, (
+                f'WAL replay recovery diverged from {reference} '
+                f'on {workload!r}')
     finally:
         if not keep_engines:
             for engine in engines.values():
@@ -124,6 +138,12 @@ def test_seed_corpus_deterministic(view, seed):
         assert engines['sharded-procs'].placement(view) == 'partitioned'
         assert all(shard.alive
                    for shard in engines['sharded-procs'].shards)
+        # The replica axis really replicated: its reads were served at
+        # the primary's commit point, through delta application alone.
+        replicated = engines['replica']
+        assert replicated.replica.applied_lsn \
+            == replicated.primary.commit_lsn
+        assert replicated.primary.commit_lsn > 0
     finally:
         for engine in engines.values():
             engine.close()

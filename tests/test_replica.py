@@ -1,0 +1,315 @@
+"""Read-replica tests: WAL-tailing catch-up, the never-runs-plans
+property (deltas go straight to the backend, the ∂put/get plans ran
+only on the primary), read-your-writes under ``min_lsn``, routing
+policies, sharded replica fan-out, and the asyncio front-end's
+routed ``rows()`` with ``Receipt.lsn``.
+
+The randomized bit-identity proof (replica == reference across every
+execution mode, including post-SIGKILL replay) lives in
+``tests/fuzz/test_differential.py``; these are the deterministic
+anchors."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.rdbms.dml import Insert
+from repro.rdbms.engine import Engine
+from repro.rdbms.replica import ReplicaEngine, ReplicaSet
+from repro.rdbms.serve import ViewServer
+from repro.rdbms.sharded import ShardedEngine
+
+
+def _primary(luxury_strategy, path):
+    engine = Engine(luxury_strategy.sources, wal=path, wal_sync=False)
+    engine.load('items', [(1, 'watch', 5000), (2, 'ring', 4000),
+                          (3, 'cap', 10)])
+    engine.define_view(luxury_strategy, validate_first=False)
+    engine.rows('luxuryitems')
+    return engine
+
+
+class TestReplicaEngine:
+
+    def test_catch_up_reaches_identical_state(self, luxury_strategy,
+                                              tmp_path):
+        primary = _primary(luxury_strategy, tmp_path / 'p.wal')
+        replica = ReplicaEngine(luxury_strategy.sources, primary.wal)
+        try:
+            applied = replica.catch_up()
+            assert applied == primary.commit_lsn
+            assert replica.applied_lsn == primary.commit_lsn
+            primary.insert('luxuryitems', (4, 'yacht', 90_000))
+            assert replica.lag() == 1
+            assert replica.catch_up() == 1
+            assert replica.database() == primary.database()
+            assert frozenset(replica.rows('luxuryitems')) \
+                == frozenset(primary.rows('luxuryitems'))
+            assert replica.stats['commits_applied'] >= 1
+        finally:
+            replica.close()
+            primary.close()
+
+    def test_catch_up_never_runs_plans(self, luxury_strategy, tmp_path):
+        """Replication is O(|Δ|) *because* no plan runs: the replica's
+        backend evaluation surface is poisoned and catch-up must still
+        reach the primary's state."""
+        primary = _primary(luxury_strategy, tmp_path / 'p.wal')
+        replica = ReplicaEngine(luxury_strategy.sources, primary.wal)
+        try:
+            backend = replica.engine.backend
+
+            def poisoned(*args, **kwargs):      # pragma: no cover
+                raise AssertionError('replica ran a plan')
+
+            for method in ('evaluate_get', 'evaluate_incremental',
+                           'evaluate_incremental_batch',
+                           'evaluate_putback',
+                           'check_view_constraints'):
+                setattr(backend, method, poisoned)
+            primary.insert('luxuryitems', (4, 'yacht', 90_000))
+            with primary.transaction() as txn:
+                txn.insert('luxuryitems', (5, 'jet', 500_000))
+                txn.delete('luxuryitems', where={'iid': 2})
+            replica.catch_up()
+            assert replica.database() == primary.database()
+        finally:
+            replica.close()
+            primary.close()
+
+    def test_file_tailing_replica(self, luxury_strategy, tmp_path):
+        """A replica pointed at the log *path* (another process's view
+        of the world) replays the identical committed prefix."""
+        path = tmp_path / 'p.wal'
+        primary = _primary(luxury_strategy, path)
+        replica = ReplicaEngine(luxury_strategy.sources, path)
+        try:
+            primary.insert('luxuryitems', (4, 'yacht', 90_000))
+            assert replica.tail_lsn() == primary.commit_lsn
+            replica.catch_up()
+            assert replica.database() == primary.database()
+        finally:
+            replica.close()
+            primary.close()
+
+    def test_min_lsn_read_catches_up_first(self, luxury_strategy,
+                                           tmp_path):
+        primary = _primary(luxury_strategy, tmp_path / 'p.wal')
+        replica = ReplicaEngine(luxury_strategy.sources, primary.wal)
+        try:
+            replica.catch_up()
+            primary.insert('luxuryitems', (4, 'yacht', 90_000))
+            lsn = primary.commit_lsn
+            # Unbounded read serves the stale applied LSN...
+            assert (4, 'yacht', 90_000) not in replica.rows('items')
+            # ...the session's own-commit bound forces catch-up.
+            assert (4, 'yacht', 90_000) \
+                in replica.rows('items', min_lsn=lsn)
+        finally:
+            replica.close()
+            primary.close()
+
+
+class TestReplicaSet:
+
+    def _set(self, luxury_strategy, tmp_path, n=2, **kwargs):
+        primary = _primary(luxury_strategy, tmp_path / 'p.wal')
+        replicas = [ReplicaEngine(luxury_strategy.sources, primary.wal)
+                    for _ in range(n)]
+        return primary, ReplicaSet(primary, replicas, **kwargs)
+
+    def test_unknown_policy_rejected(self, luxury_strategy, tmp_path):
+        primary = _primary(luxury_strategy, tmp_path / 'p.wal')
+        try:
+            with pytest.raises(SchemaError, match='unknown read policy'):
+                ReplicaSet(primary, [], policy='nearest')
+        finally:
+            primary.close()
+
+    def test_round_robin_spreads_reads(self, luxury_strategy, tmp_path):
+        primary, router = self._set(luxury_strategy, tmp_path,
+                                    max_lag=1_000_000)
+        try:
+            router.catch_up()
+            seen = {id(router._pick()) for _ in range(4)}
+            assert len(seen) == 2               # both replicas rotated
+            router.read('luxuryitems')
+            assert router.stats['replica_reads'] == 1
+            assert router.stats['primary_reads'] == 0
+        finally:
+            router.close()
+            primary.close()
+
+    def test_freshest_picks_highest_lsn(self, luxury_strategy,
+                                        tmp_path):
+        primary, router = self._set(luxury_strategy, tmp_path,
+                                    policy='freshest',
+                                    max_lag=1_000_000)
+        try:
+            router.replicas[1].catch_up()       # only one catches up
+            assert router._pick() is router.replicas[1]
+        finally:
+            router.close()
+            primary.close()
+
+    def test_max_lag_bounds_staleness(self, luxury_strategy, tmp_path):
+        primary, router = self._set(luxury_strategy, tmp_path, n=1,
+                                    max_lag=0)
+        try:
+            primary.insert('luxuryitems', (4, 'yacht', 90_000))
+            # max_lag=0: an unbounded read may never serve stale rows.
+            assert (4, 'yacht', 90_000) in router.read('items')
+            assert router.stats['catch_ups'] >= 1
+        finally:
+            router.close()
+            primary.close()
+
+    def test_read_your_writes_via_commit_lsn(self, luxury_strategy,
+                                             tmp_path):
+        primary, router = self._set(luxury_strategy, tmp_path,
+                                    max_lag=1_000_000)
+        try:
+            router.catch_up()
+            primary.insert('luxuryitems', (4, 'yacht', 90_000))
+            token = router.commit_lsn()
+            # Every routed read at the session's token sees the write,
+            # whichever replica the rotation lands on.
+            for _ in range(4):
+                assert (4, 'yacht', 90_000) \
+                    in router.read('luxuryitems', min_lsn=token)
+        finally:
+            router.close()
+            primary.close()
+
+    def test_empty_set_falls_back_to_primary(self, luxury_strategy,
+                                             tmp_path):
+        primary = _primary(luxury_strategy, tmp_path / 'p.wal')
+        router = ReplicaSet(primary, [])
+        try:
+            assert (1, 'watch', 5000) in router.read('items')
+            assert router.stats['primary_reads'] == 1
+        finally:
+            router.close()
+            primary.close()
+
+
+class TestShardedReplicas:
+
+    def _sharded(self, luxury_strategy, **kwargs):
+        engine = ShardedEngine(luxury_strategy.sources, shards=2,
+                               shard_keys={'luxuryitems': 'iid',
+                                           'items': 'iid'},
+                               **kwargs)
+        engine.load('items', [(1, 'watch', 5000), (2, 'ring', 4000),
+                              (3, 'cap', 10)])
+        engine.define_view(luxury_strategy, validate_first=False)
+        return engine
+
+    def test_routed_scatter_gather_matches_primary(self,
+                                                   luxury_strategy):
+        engine = self._sharded(luxury_strategy, read_replicas=2,
+                               replica_max_lag=0)
+        try:
+            assert len(engine.replica_sets) == 2
+            engine.insert('luxuryitems', (4, 'yacht', 90_000))
+            routed = engine.rows('luxuryitems')
+            assert routed == engine._gather_primary('luxuryitems')
+            assert (4, 'yacht', 90_000) in routed
+        finally:
+            engine.close()
+
+    def test_commit_lsns_vector_read_your_writes(self, luxury_strategy):
+        engine = self._sharded(luxury_strategy, read_replicas=1,
+                               replica_max_lag=1_000_000)
+        try:
+            engine.insert('luxuryitems', (4, 'yacht', 90_000))
+            token = engine.commit_lsns()
+            assert len(token) == 2 and any(token)
+            assert (4, 'yacht', 90_000) \
+                in engine.rows('luxuryitems', min_lsn=token)
+        finally:
+            engine.close()
+
+    def test_min_lsn_sequence_length_checked(self, luxury_strategy):
+        engine = self._sharded(luxury_strategy, read_replicas=1)
+        try:
+            with pytest.raises(SchemaError, match='covers 3 shards'):
+                engine.rows('luxuryitems', min_lsn=(1, 2, 3))
+        finally:
+            engine.close()
+
+    def test_replicas_require_thread_execution(self, luxury_strategy):
+        with pytest.raises(SchemaError, match='thread execution'):
+            ShardedEngine(luxury_strategy.sources, shards=2,
+                          shard_keys={'luxuryitems': 'iid',
+                                      'items': 'iid'},
+                          execution='processes', read_replicas=1)
+
+    def test_negative_replicas_rejected(self, luxury_strategy):
+        with pytest.raises(SchemaError, match='read_replicas'):
+            ShardedEngine(luxury_strategy.sources, shards=2,
+                          shard_keys={'luxuryitems': 'iid',
+                                      'items': 'iid'},
+                          read_replicas=-1)
+
+
+class TestServedReads:
+
+    def test_receipt_lsn_reads_own_write_through_replicas(
+            self, luxury_strategy, tmp_path):
+        primary = _primary(luxury_strategy, tmp_path / 'p.wal')
+        replicas = [ReplicaEngine(luxury_strategy.sources, primary.wal)
+                    for _ in range(2)]
+        router = ReplicaSet(primary, replicas, max_lag=1_000_000)
+        router.catch_up()
+
+        async def main():
+            async with ViewServer(primary, replicas=router,
+                                  read_threads=2) as server:
+                receipt = await server.submit(
+                    [('luxuryitems', [Insert((4, 'yacht', 90_000))])])
+                assert receipt.lsn == primary.commit_lsn
+                for _ in range(4):
+                    rows = await server.rows('luxuryitems',
+                                             min_lsn=receipt.lsn)
+                    assert (4, 'yacht', 90_000) in rows
+                assert server.stats['reads'] == 4
+
+        try:
+            asyncio.run(main())
+        finally:
+            router.close()
+            primary.close()
+
+    def test_rows_without_replicas_reads_engine(self, luxury_strategy,
+                                                tmp_path):
+        primary = _primary(luxury_strategy, tmp_path / 'p.wal')
+
+        async def main():
+            async with ViewServer(primary) as server:
+                rows = await server.rows('luxuryitems')
+                assert (1, 'watch', 5000) in rows
+
+        try:
+            asyncio.run(main())
+        finally:
+            primary.close()
+
+    def test_rows_requires_running_server(self, luxury_strategy,
+                                          tmp_path):
+        primary = _primary(luxury_strategy, tmp_path / 'p.wal')
+        server = ViewServer(primary)
+        try:
+            with pytest.raises(SchemaError, match='not running'):
+                asyncio.run(server.rows('luxuryitems'))
+        finally:
+            primary.close()
+
+    def test_read_threads_validated(self, luxury_strategy, tmp_path):
+        primary = _primary(luxury_strategy, tmp_path / 'p.wal')
+        try:
+            with pytest.raises(SchemaError, match='read_threads'):
+                ViewServer(primary, read_threads=0)
+        finally:
+            primary.close()
