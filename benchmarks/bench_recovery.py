@@ -1,0 +1,305 @@
+"""Crash-recovery benchmark: worker-restart MTTR and WAL replay.
+
+Three claims, one JSON artifact (``BENCH_recovery.json``):
+
+1. **Worker-restart MTTR** — SIGKILL one process-mode shard worker of
+   a WAL-backed cluster, then time ``ProcessShard.restart()``: fork,
+   re-open ``shard-<i>.wal``, replay the committed prefix, answer the
+   first RPC.  The restarted shard's ``commit_lsn`` must equal its
+   pre-kill value every time — recovery loses zero committed
+   transactions (measured, not assumed).
+
+2. **WAL-replay throughput** — a cold ``Engine(wal=path)`` open
+   replays commit records through ``Backend.apply_deltas`` without
+   running any ∂put/get plan, so replay sustains at least the
+   primary's original commit rate (which paid derivation +
+   constraint checks per transaction).
+
+3. **Checkpoint compaction** — ``Engine.checkpoint()`` rewrites the
+   log as per-base snapshot records, so a post-checkpoint restart
+   replays O(|DB| rows) records instead of O(history): the replayed
+   record count drops and must never exceed the uncheckpointed count.
+
+Run:  python benchmarks/bench_recovery.py [--quick] [--check] [--json P]
+
+``--check`` is the CI smoke gate: zero lost transactions across every
+measured restart, replay ≥ 0.9× the original commit rate, and the
+checkpointed restart replays fewer records than the uncheckpointed
+one.
+"""
+
+import argparse
+import json
+import os
+import signal
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / 'src'))
+
+from repro.core.strategy import UpdateStrategy                 # noqa: E402
+from repro.rdbms.dml import Insert                             # noqa: E402
+from repro.rdbms.engine import Engine                          # noqa: E402
+from repro.rdbms.wal import read_records                       # noqa: E402
+from repro.rdbms.sharded import ShardedEngine                  # noqa: E402
+from repro.relational.schema import DatabaseSchema             # noqa: E402
+
+SHARD_KEYS = {'luxuryitems': 'iid', 'items': 'iid'}
+
+
+def _strategy() -> UpdateStrategy:
+    sources = DatabaseSchema.build(
+        items={'iid': 'int', 'iname': 'string', 'price': 'int'})
+    return UpdateStrategy.parse('luxuryitems', sources, """
+        ⊥ :- luxuryitems(I, N, P), not P > 1000.
+        +items(I, N, P) :- luxuryitems(I, N, P), not items(I, N, P).
+        expensive(I, N, P) :- items(I, N, P), P > 1000.
+        -items(I, N, P) :- expensive(I, N, P), not luxuryitems(I, N, P).
+    """, expected_get='luxuryitems(I, N, P) :- items(I, N, P), '
+                      'P > 1000.')
+
+
+def _base_rows(size: int) -> list[tuple]:
+    return [(i, f'item_{i}', 2000 + i % 500) for i in range(size)]
+
+
+# -- part 1: worker-restart MTTR --------------------------------------
+
+def run_worker_restart(size: int, *, txns: int, shards: int,
+                       repeats: int) -> dict:
+    """Kill shard 0's worker after ``txns`` committed transactions and
+    time the restart (fork + WAL replay + first RPC), ``repeats``
+    times over the same log."""
+    strategy = _strategy()
+    with tempfile.TemporaryDirectory(prefix='repro-bench-rec-') as d:
+        cluster = ShardedEngine(strategy.sources, shards=shards,
+                                shard_keys=SHARD_KEYS,
+                                execution='processes',
+                                wal_dir=Path(d) / 'cluster',
+                                wal_sync=False)
+        try:
+            cluster.load('items', _base_rows(size))
+            cluster.define_view(strategy, validate_first=False)
+            key = size + 10
+            for _ in range(txns):
+                cluster.execute_many(
+                    [('items', [Insert((key, f'w{key}', 5000))])])
+                key += 1
+            victim = cluster.shards[0]
+            expected_lsn = victim.commit_lsn
+            expected_rows = victim.rows('items')
+            mttrs, lost = [], 0
+            for _ in range(repeats):
+                os.kill(victim.process.pid, signal.SIGKILL)
+                victim.process.join(10)
+                t0 = time.perf_counter()
+                victim.restart()
+                recovered_lsn = victim.commit_lsn   # first RPC answered
+                mttrs.append(time.perf_counter() - t0)
+                if recovered_lsn != expected_lsn \
+                        or victim.rows('items') != expected_rows:
+                    lost += 1
+            # The cluster still commits after the last restart.
+            cluster.execute_many(
+                [('items', [Insert((key, f'w{key}', 5000))])])
+        finally:
+            cluster.close()
+    return {'base_size': size, 'txns': txns, 'shards': shards,
+            'repeats': repeats,
+            'records_replayed': expected_lsn,
+            'lost_transactions': lost,
+            'mttr_ms_p50': statistics.median(mttrs) * 1000,
+            'mttr_ms_max': max(mttrs) * 1000}
+
+
+# -- part 2: WAL-replay throughput vs commit rate ---------------------
+
+def run_replay(size: int, *, txns: int) -> dict:
+    strategy = _strategy()
+    with tempfile.TemporaryDirectory(prefix='repro-bench-rec-') as d:
+        path = Path(d) / 'primary.wal'
+        engine = Engine(strategy.sources, wal=path, wal_sync=False)
+        try:
+            engine.load('items', _base_rows(size))
+            engine.define_view(strategy, validate_first=False)
+            engine.rows('luxuryitems')
+        finally:
+            engine.close()
+        # Baseline: a cold open of the pre-transaction log (the bulk
+        # ``load`` + ``define_view`` records every restart pays, which
+        # would otherwise drown the per-commit replay rate).
+        baseline_seconds, _lsn = _cold_open_seconds(strategy, path)
+        engine = Engine(strategy.sources, wal=path, wal_sync=False)
+        try:
+            key = size + 10
+            t0 = time.perf_counter()
+            for _ in range(txns):
+                engine.insert('items', (key, f'r{key}', 5000))
+                key += 1
+            commit_seconds = time.perf_counter() - t0
+            final_lsn = engine.commit_lsn
+            reference = frozenset(engine.rows('items'))
+        finally:
+            engine.close()
+        full_seconds, recovered_lsn = _cold_open_seconds(
+            strategy, path)
+        assert recovered_lsn == final_lsn
+        check = Engine(strategy.sources, wal=path, wal_sync=False)
+        try:
+            assert frozenset(check.rows('items')) == reference
+        finally:
+            check.close()
+    replay_seconds = max(full_seconds - baseline_seconds, 1e-9)
+    return {'base_size': size, 'txns': txns,
+            'records_replayed': final_lsn,
+            'baseline_open_ms': baseline_seconds * 1000,
+            'full_open_ms': full_seconds * 1000,
+            'commit_txns_per_second': txns / commit_seconds,
+            'replay_records_per_second': txns / replay_seconds,
+            'replay_vs_commit': commit_seconds / replay_seconds}
+
+
+# -- part 3: checkpoint compaction ------------------------------------
+
+def _cold_open_seconds(strategy, path: Path) -> tuple[float, int]:
+    t0 = time.perf_counter()
+    engine = Engine(strategy.sources, wal=path, wal_sync=False)
+    try:
+        return time.perf_counter() - t0, engine.commit_lsn
+    finally:
+        engine.close()
+
+
+def _physical_records(path: Path) -> int:
+    """Records actually in the file — what a restart replays.  (Not
+    ``commit_lsn``: a checkpoint keeps LSNs monotonic across the
+    compaction, so the LSN keeps counting while the file shrinks.)"""
+    return sum(1 for _ in read_records(path))
+
+
+def run_checkpoint(size: int, *, txns: int) -> dict:
+    strategy = _strategy()
+    with tempfile.TemporaryDirectory(prefix='repro-bench-rec-') as d:
+        path = Path(d) / 'primary.wal'
+        engine = Engine(strategy.sources, wal=path, wal_sync=False)
+        try:
+            engine.load('items', _base_rows(size))
+            engine.define_view(strategy, validate_first=False)
+            key = size + 10
+            for _ in range(txns):
+                engine.insert('items', (key, f'c{key}', 5000))
+                key += 1
+            reference = frozenset(engine.rows('items'))
+        finally:
+            engine.close()
+        before_seconds, _lsn = _cold_open_seconds(strategy, path)
+        before_records = _physical_records(path)
+        compactor = Engine(strategy.sources, wal=path, wal_sync=False)
+        try:
+            compactor.checkpoint()
+        finally:
+            compactor.close()
+        after_seconds, _lsn = _cold_open_seconds(strategy, path)
+        after_records = _physical_records(path)
+        check = Engine(strategy.sources, wal=path, wal_sync=False)
+        try:
+            assert frozenset(check.rows('items')) == reference
+        finally:
+            check.close()
+    return {'base_size': size, 'txns': txns,
+            'records_before_checkpoint': before_records,
+            'records_after_checkpoint': after_records,
+            'restart_ms_before': before_seconds * 1000,
+            'restart_ms_after': after_seconds * 1000}
+
+
+def _main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument('--size', type=int, default=20_000,
+                        help='base items rows')
+    parser.add_argument('--txns', type=int, default=400,
+                        help='committed transactions before the fault')
+    parser.add_argument('--shards', type=int, default=3)
+    parser.add_argument('--repeats', type=int, default=5,
+                        help='kill/restart cycles for the MTTR median')
+    parser.add_argument('--quick', action='store_true',
+                        help='small sizes: a CI smoke run')
+    parser.add_argument('--check', action='store_true',
+                        help='fail on any lost transaction, replay '
+                             'below 0.9x the commit rate, or a '
+                             'checkpoint that does not shrink replay')
+    parser.add_argument('--json', type=Path,
+                        default=Path(__file__).resolve().parent /
+                        'BENCH_recovery.json')
+    args = parser.parse_args(argv)
+    size, txns, repeats = args.size, args.txns, args.repeats
+    if args.quick:
+        size, txns, repeats = 5_000, 120, 3
+
+    restart = run_worker_restart(size, txns=txns, shards=args.shards,
+                                 repeats=repeats)
+    print(f'worker restart: MTTR p50 {restart["mttr_ms_p50"]:.1f} ms '
+          f'(max {restart["mttr_ms_max"]:.1f} ms) over '
+          f'{restart["records_replayed"]} replayed records, '
+          f'{restart["lost_transactions"]} lost transactions')
+    replay = run_replay(size, txns=txns)
+    print(f'wal replay: {replay["replay_records_per_second"]:.0f} '
+          f'records/s = {replay["replay_vs_commit"]:.1f}x the '
+          f'original commit rate')
+    checkpoint = run_checkpoint(size, txns=txns)
+    print(f'checkpoint: restart replays '
+          f'{checkpoint["records_after_checkpoint"]} records instead '
+          f'of {checkpoint["records_before_checkpoint"]} '
+          f'({checkpoint["restart_ms_after"]:.1f} ms vs '
+          f'{checkpoint["restart_ms_before"]:.1f} ms)')
+
+    payload = {
+        'benchmark': 'recovery', 'size': size, 'txns': txns,
+        'cpu_count': os.cpu_count(),
+        'note': ('MTTR times ProcessShard.restart(): fork + WAL '
+                 'replay + first RPC, median over repeated SIGKILLs '
+                 'of the same shard; commit_lsn and rows must match '
+                 'the pre-kill shard exactly (zero lost '
+                 'transactions).  Replay applies logged deltas '
+                 'without re-running any derivation plan, so it '
+                 'sustains the original commit rate; checkpointing '
+                 'collapses history into per-base snapshot records '
+                 'so restart cost tracks |DB|, not |history|'),
+        'worker_restart': restart,
+        'wal_replay': replay,
+        'checkpoint': checkpoint,
+    }
+    args.json.write_text(json.dumps(payload, indent=2) + '\n',
+                         encoding='utf-8')
+    print(f'wrote {args.json}')
+
+    if args.check:
+        failed = False
+        if restart['lost_transactions']:
+            print(f'FAIL: {restart["lost_transactions"]} restart(s) '
+                  f'lost committed transactions', file=sys.stderr)
+            failed = True
+        if replay['replay_vs_commit'] < 0.9:
+            print(f'FAIL: WAL replay at '
+                  f'{replay["replay_vs_commit"]:.2f}x did not reach '
+                  f'0.9x the commit rate', file=sys.stderr)
+            failed = True
+        if checkpoint['records_after_checkpoint'] \
+                >= checkpoint['records_before_checkpoint']:
+            print('FAIL: checkpoint did not shrink the replayed '
+                  'record count', file=sys.stderr)
+            failed = True
+        if failed:
+            return 1
+        print('check passed: zero lost transactions, replay '
+              f'{replay["replay_vs_commit"]:.1f}x commit rate, '
+              f'checkpoint shrank replay to '
+              f'{checkpoint["records_after_checkpoint"]} records')
+    return 0
+
+
+if __name__ == '__main__':
+    raise SystemExit(_main())

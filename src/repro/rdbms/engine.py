@@ -144,6 +144,17 @@ class PreparedCommit:
     changed_bases: set
     keep: set            # touched views whose caches stay valid
 
+    def wal_record(self) -> tuple:
+        """The frozen ``commit`` record payload for this batch — what
+        the WAL appends, and what a process-shard coordinator keeps
+        from the prepare phase so it can re-commit the transaction on a
+        worker that died before its append (apply repair)."""
+        frozen = [(name, Delta(frozenset(delta.insertions),
+                               frozenset(delta.deletions)), is_cache)
+                  for name, delta, is_cache in self.batch]
+        return (frozen, frozenset(self.changed_bases),
+                frozenset(self.keep))
+
 
 class _StagedDelta:
     """The mutable per-relation accumulator behind ``_Working.deltas``.
@@ -418,6 +429,21 @@ class Engine:
     def _wal_append(self, kind: str, data) -> None:
         if self.wal is not None and not self._wal_replaying:
             self.wal.append(kind, data)
+
+    def commit_logged(self, data: tuple) -> int:
+        """Commit a transaction from its frozen ``commit`` record (the
+        :meth:`PreparedCommit.wal_record` shape): append it — the
+        commit point — then apply it through the logged-commit path.
+        This is the coordinator's **apply repair**: the worker that
+        prepared the batch died before its append, so the restarted
+        worker commits the record the coordinator kept.  Returns the
+        record's LSN."""
+        if self.wal is None:
+            raise SchemaError('commit_logged requires a write-ahead log')
+        batch, changed_bases, keep = data
+        lsn = self.wal.append('commit', data)
+        self._apply_logged_commit(batch, changed_bases, keep)
+        return lsn
 
     def checkpoint(self) -> int:
         """Compact the WAL to a snapshot of current committed state
@@ -936,14 +962,7 @@ class Engine:
         (committed-prefix semantics)."""
         if prepared.batch:
             if self.wal is not None and not self._wal_replaying:
-                frozen = [(name, Delta(frozenset(delta.insertions),
-                                       frozenset(delta.deletions)),
-                           is_cache)
-                          for name, delta, is_cache in prepared.batch]
-                self.wal.append('commit',
-                                (frozen,
-                                 frozenset(prepared.changed_bases),
-                                 frozenset(prepared.keep)))
+                self.wal.append('commit', prepared.wal_record())
             self.backend.apply_deltas(prepared.batch)
         self._invalidate_dependents(prepared.changed_bases,
                                     keep=prepared.keep)

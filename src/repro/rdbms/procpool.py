@@ -37,14 +37,33 @@ Worker lifecycle
 
 Backends are constructed **inside** the worker (the coordinator ships a
 backend *kind*, never an instance), so SQLite connections never cross
-the fork.  A dead worker (killed, crashed, broken pipe) surfaces as
+the fork.  A dead worker (killed, crashed, broken pipe) — or a *wedged*
+one, surfaced by the per-call RPC timeout — appears as
 :class:`~repro.errors.ShardUnavailableError`; the coordinator aborts
-the cluster transaction on every other shard and restarts the worker,
-replaying the recorded catalog setup (latest ``load`` per base table,
-``define_view`` in definition order) so the next transaction finds a
-serving shard.  Committed deltas since the last load are *not*
-replayed — durable recovery is the write-ahead-log roadmap item, not
-this one.
+the cluster transaction on every other shard and restarts the worker so
+the next transaction finds a serving shard.
+
+**Durability.**  With a WAL configured (``wal_path``, threaded down
+from ``ShardedEngine(wal_dir=...)``), each worker opens its own
+``shard-<i>.wal`` *inside the worker process*: the fsynced append in
+``Engine.apply_prepared`` is the shard's commit point, and a restarted
+worker replays the committed prefix through ``Engine.apply_wal_record``
+— no committed transaction is lost to a crash.  The prepare reply
+additionally carries the shard's pre-commit LSN and the frozen commit
+record, so a worker that dies *mid-apply* is repaired exactly
+(:meth:`ProcessShard._repair_apply`): after the restart's replay the
+coordinator checks whether the append — the commit point — made it; if
+not, it re-commits the record it kept, and the cluster transaction
+succeeds instead of losing a commit its sibling shards already
+applied.  Without a WAL, restart falls back to replaying the recorded
+catalog setup (latest ``load`` per base table, ``define_view`` in
+definition order) and committed deltas since the last load are lost —
+the pre-WAL contract.
+
+Deterministic fault injection (:mod:`repro.rdbms.faults`) hooks the
+RPC send path (``rpc.send``) and the worker dispatch loop
+(``worker.dispatch``); a plan installed before the pool forks is
+inherited by every worker.
 
 Fork hygiene: a forked worker inherits the coordinator's file
 descriptors for every *other* worker's pipe.  Each worker closes those
@@ -66,10 +85,13 @@ import multiprocessing
 import os
 import pickle
 import threading
+import time
 import weakref
-from typing import Mapping, Sequence
+from pathlib import Path
+from typing import Mapping, NamedTuple, Sequence
 
 from repro.errors import SchemaError, ShardUnavailableError
+from repro.rdbms import faults
 from repro.rdbms.backends import Backend, create_backend
 from repro.rdbms.engine import Engine
 
@@ -104,11 +126,17 @@ class WorkerRuntime:
     drivable in-process (a thread over a pipe) by the test suite."""
 
     def __init__(self, schema, backend_spec, *, batch_deltas: bool = True,
-                 index: int = 0, n_shards: int = 1):
+                 index: int = 0, n_shards: int = 1,
+                 wal_path=None, wal_sync: bool = True):
         self.index = index
+        # With ``wal_path`` the worker owns its shard's log: the engine
+        # appends each commit before storage (the commit point) and —
+        # when the log already has records, i.e. this is a restart —
+        # replays the committed prefix right here in the constructor.
         self.engine = Engine(schema,
                              backend=create_backend(backend_spec, schema),
-                             batch_deltas=batch_deltas)
+                             batch_deltas=batch_deltas,
+                             wal=wal_path, wal_sync=wal_sync)
         self._workings: dict[int, object] = {}
         self._prepared: dict[int, object] = {}
 
@@ -133,14 +161,44 @@ class WorkerRuntime:
         self.engine.flush_reads(working, target)
         return frozenset(working.rows(target))
 
-    def prepare_commit(self, txn: int) -> None:
-        self._prepared[txn] = self.engine.prepare_commit(
-            self._workings[txn])
+    def prepare_commit(self, txn: int) -> tuple:
+        """Prepare, and reply with what apply repair needs: the shard's
+        pre-commit LSN and the frozen commit record the apply phase
+        will append (``None`` without a WAL, or when the batch is empty
+        and nothing will be appended)."""
+        prepared = self.engine.prepare_commit(self._workings[txn])
+        self._prepared[txn] = prepared
+        if self.engine.wal is None or not prepared.batch:
+            return (self.engine.commit_lsn, None)
+        return (self.engine.commit_lsn, prepared.wal_record())
 
     def apply_prepared(self, txn: int) -> None:
         prepared = self._prepared.pop(txn)
         self._workings.pop(txn, None)
-        self.engine.apply_prepared(prepared)
+        try:
+            self.engine.apply_prepared(prepared)
+        except OSError:
+            # The WAL append — the commit point — failed (e.g. fsync
+            # error): this worker can no longer make commits durable,
+            # and its log may have a torn tail.  Die and recover from
+            # the log rather than limp along; the coordinator repairs
+            # the in-flight transaction from its prepare reply.
+            if WORKER_INDEX is not None:
+                os._exit(3)
+            raise
+
+    def commit_batch(self, data: tuple) -> int:
+        """Apply repair: commit a frozen record this worker prepared in
+        a previous incarnation but died before appending."""
+        try:
+            return self.engine.commit_logged(data)
+        except OSError:
+            if WORKER_INDEX is not None:
+                os._exit(3)
+            raise
+
+    def commit_lsn(self) -> int:
+        return self.engine.commit_lsn
 
     def abort(self, txn: int) -> None:
         """Drop a transaction's staged state (storage was never
@@ -185,6 +243,7 @@ class WorkerRuntime:
         """Execute one request (the RPC loop's inner step)."""
         if method.startswith('_') or not hasattr(self, method):
             raise SchemaError(f'unknown worker RPC method {method!r}')
+        faults.fire('worker.dispatch', method=method)
         return getattr(self, method)(*args)
 
 
@@ -224,18 +283,22 @@ def serve_connection(runtime: WorkerRuntime, conn) -> None:
 
 
 def _worker_main(conn, index: int, schema, backend_spec,
-                 batch_deltas: bool) -> None:
+                 batch_deltas: bool, wal_path=None,
+                 wal_sync: bool = True, generation: int = 0) -> None:
     """Process entry point: drop inherited sibling pipe ends, build the
-    engine *in this process*, serve until told to stop."""
+    engine *in this process* (replaying the shard's WAL when one is
+    configured and has records), serve until told to stop."""
     global WORKER_INDEX
     WORKER_INDEX = index
+    faults.set_identity(shard=index, generation=generation)
     for inherited in list(_COORDINATOR_CONNS):
         try:
             inherited.close()
         except OSError:  # pragma: no cover - already closed
             pass
     runtime = WorkerRuntime(schema, backend_spec,
-                            batch_deltas=batch_deltas, index=index)
+                            batch_deltas=batch_deltas, index=index,
+                            wal_path=wal_path, wal_sync=wal_sync)
     try:
         serve_connection(runtime, conn)
     finally:
@@ -256,11 +319,21 @@ class _RpcChannel:
     absorbing, in order, every reply before it.  Thread-safe: all I/O
     happens under one lock, and because the worker replies strictly in
     order, the thread holding the lock is always the one whose reply
-    arrives next (no cross-thread starvation)."""
+    arrives next (no cross-thread starvation).
 
-    def __init__(self, conn, shard: int):
+    ``timeout`` bounds each drain's wait for the *next reply frame*: a
+    worker that is wedged (alive but not replying — an infinite loop, a
+    deadlock) surfaces as :class:`ShardUnavailableError` instead of
+    blocking the coordinator forever.  ``liveness`` (the worker
+    process's ``is_alive``) turns a silent death into the same error
+    without waiting out the full timeout."""
+
+    def __init__(self, conn, shard: int, *,
+                 timeout: float | None = None, liveness=None):
         self.conn = conn
         self.shard = shard
+        self.timeout = timeout
+        self._liveness = liveness
         self._seq = 0
         self._lock = threading.RLock()
         self._replies: dict[int, tuple[bool, object]] = {}
@@ -281,10 +354,28 @@ class _RpcChannel:
             payload = _dumps((seq, method, args))
             self._seq = seq
             try:
+                faults.fire('rpc.send', method=method, shard=self.shard)
                 self.conn.send_bytes(payload)
             except (OSError, ValueError) as error:
                 raise self._broken(f'send failed: {error}') from error
             return seq
+
+    def _wait_readable(self) -> None:
+        """Bound the wait for the next reply frame (see class
+        docstring).  The poll loop costs nothing on the happy path —
+        ``poll`` returns the moment data arrives — and checks worker
+        liveness between slices so a silent death is surfaced early."""
+        if self.timeout is None:
+            return                      # recv_bytes blocks natively
+        deadline = time.monotonic() + self.timeout
+        while not self.conn.poll(min(0.05, max(self.timeout, 0.001))):
+            if self._liveness is not None and not self._liveness() \
+                    and not self.conn.poll(0):
+                raise self._broken('worker process died')
+            if time.monotonic() >= deadline:
+                raise self._broken(
+                    f'no reply within {self.timeout:g}s '
+                    f'(worker wedged or overloaded)')
 
     def drain(self, token: int):
         """The reply for ``token``: its value, or its raised error."""
@@ -293,6 +384,7 @@ class _RpcChannel:
                 if self.dead:
                     raise ShardUnavailableError(self.shard, self.dead)
                 try:
+                    self._wait_readable()
                     seq, ok, payload = pickle.loads(
                         self.conn.recv_bytes())
                 except (EOFError, OSError) as error:
@@ -309,6 +401,17 @@ class _RpcChannel:
         return self.drain(self.submit(method, *args))
 
 
+class _PreparedToken(NamedTuple):
+    """ProcessShard's prepare→apply handle: the worker-side slot id
+    plus what apply repair needs — the shard's pre-commit LSN and the
+    frozen commit record (``None`` without a WAL, or when the batch is
+    empty and nothing will be appended)."""
+
+    txn: int
+    lsn: int
+    record: tuple | None
+
+
 class ProcessShard:
     """Coordinator-side client for one worker process.
 
@@ -316,11 +419,19 @@ class ProcessShard:
     ``LocalShard`` in :mod:`repro.rdbms.sharded`): the transaction
     pipeline, scatter-gather reads, and catalog operations — plus the
     pipelined ``queue_*`` variants the router uses, whose tokens the
-    cluster transaction collects and drains at its barriers."""
+    cluster transaction collects and drains at its barriers.
+
+    ``wal_path`` gives the worker a durable log (opened *inside* the
+    worker); restart then recovers committed state by replay, and
+    :meth:`apply_prepared` repairs a worker that died mid-apply (see
+    the module docstring's Durability section).  ``rpc_timeout`` bounds
+    each call's wait so a wedged worker surfaces as
+    :class:`ShardUnavailableError`."""
 
     def __init__(self, index: int, schema, backend_spec, *,
                  batch_deltas: bool = True,
-                 mp_context=None):
+                 mp_context=None, wal_path=None, wal_sync: bool = True,
+                 rpc_timeout: float | None = None):
         if isinstance(backend_spec, Backend):
             raise SchemaError(
                 'process shards construct their backend inside the '
@@ -330,10 +441,16 @@ class ProcessShard:
         self._schema = schema
         self._spec = backend_spec
         self._batch_deltas = batch_deltas
+        self._wal_path = Path(wal_path) if wal_path is not None else None
+        self._wal_sync = wal_sync
+        self._rpc_timeout = rpc_timeout
         self._ctx = mp_context or _default_context()
         self._txn_counter = 0
-        # Recovery journal: the catalog calls a restarted worker
-        # replays (latest load per table; views in definition order).
+        #: restarts so far — the worker's fault-plan ``generation``
+        self.generation = 0
+        # Recovery journal for WAL-less shards: the catalog calls a
+        # restarted worker replays (latest load per table; views in
+        # definition order).  With a WAL the log itself is the journal.
         self._loads: dict[str, frozenset] = {}
         self._views: list[tuple] = []
         self.channel: _RpcChannel | None = None
@@ -347,12 +464,15 @@ class ProcessShard:
         process = self._ctx.Process(
             target=_worker_main,
             args=(child_conn, self.index, self._schema, self._spec,
-                  self._batch_deltas),
+                  self._batch_deltas, self._wal_path, self._wal_sync,
+                  self.generation),
             name=f'repro-shard-{self.index}', daemon=True)
         process.start()
         child_conn.close()                 # the worker owns that end
         _COORDINATOR_CONNS.add(parent_conn)
-        self.channel = _RpcChannel(parent_conn, self.index)
+        self.channel = _RpcChannel(parent_conn, self.index,
+                                   timeout=self._rpc_timeout,
+                                   liveness=process.is_alive)
         self.process = process
 
     @property
@@ -361,11 +481,18 @@ class ProcessShard:
                 and self.process is not None and self.process.is_alive())
 
     def restart(self) -> None:
-        """Replace a dead worker with a fresh one and replay the
-        recorded catalog setup.  Committed deltas since the last bulk
-        load are lost (durability is the WAL roadmap item)."""
+        """Replace a dead (or wedged — ``_reap`` terminates it) worker
+        with a fresh one.  With a WAL configured the new worker replays
+        the committed prefix of ``shard-<i>.wal`` itself during
+        construction — no committed transaction is lost.  Without one,
+        the recorded catalog setup is replayed instead and committed
+        deltas since the last bulk load are lost (the pre-WAL
+        contract)."""
         self._reap()
+        self.generation += 1
         self._spawn()
+        if self._wal_path is not None:
+            return                  # the log replay rebuilt everything
         for name, rows in self._loads.items():
             self.channel.call('load', name, rows)
         for view_args in self._views:
@@ -417,12 +544,48 @@ class ProcessShard:
     def txn_rows(self, txn: int, target: str) -> frozenset:
         return self.channel.call('txn_rows', txn, target)
 
-    def prepare_commit(self, txn: int) -> int:
-        self.channel.call('prepare_commit', txn)
-        return txn
+    def prepare_commit(self, txn: int) -> _PreparedToken:
+        lsn, record = self.channel.call('prepare_commit', txn)
+        return _PreparedToken(txn, lsn, record)
 
-    def apply_prepared(self, prepared: int) -> None:
-        self.channel.call('apply_prepared', prepared)
+    def apply_prepared(self, prepared: _PreparedToken) -> None:
+        try:
+            self.channel.call('apply_prepared', prepared.txn)
+        except ShardUnavailableError:
+            if not self._repair_apply(prepared):
+                raise
+
+    def _repair_apply(self, token: _PreparedToken) -> bool:
+        """A worker died (or its channel broke) *during* apply — after
+        sibling shards may already have applied.  With a WAL the
+        outcome is decidable: restart the worker (its constructor
+        replays the committed prefix) and compare LSNs against the
+        prepare reply.  The append — the commit point — either made it
+        (``lsn == token.lsn + 1``: done) or it did not (``lsn ==
+        token.lsn``: re-commit the frozen record the coordinator kept).
+        Either way the cluster transaction *succeeds*, keeping the
+        shards convergent.  Returns ``False`` — caller re-raises — when
+        repair is impossible (no WAL, an unexpected LSN, or the
+        restarted worker failing too)."""
+        if self._wal_path is None:
+            return False
+        try:
+            self.restart()
+            lsn = self.commit_lsn
+            if token.record is None:
+                return lsn == token.lsn    # nothing was to be appended
+            if lsn == token.lsn + 1:
+                return True                # commit point was reached
+            if lsn == token.lsn:
+                self.channel.call('commit_batch', token.record)
+                return True
+        except ShardUnavailableError:
+            return False
+        return False
+
+    @property
+    def commit_lsn(self) -> int:
+        return self.channel.call('commit_lsn')
 
     def abort(self, txn: int) -> None:
         if self.channel is not None and not self.channel.dead:
@@ -442,7 +605,8 @@ class ProcessShard:
     def load(self, name: str, rows) -> None:
         rows = frozenset(tuple(r) for r in rows)
         self.channel.call('load', name, rows)
-        self._loads[name] = rows
+        if self._wal_path is None:      # with a WAL the log records it
+            self._loads[name] = rows
 
     def count(self, name: str) -> int:
         return self.channel.call('count', name)
@@ -454,7 +618,8 @@ class ProcessShard:
                     use_incremental: bool = True, stats=None):
         args = (strategy, report, use_incremental, dict(stats or {}))
         entry = self.channel.call('define_view', *args)
-        self._views.append(args)
+        if self._wal_path is None:
+            self._views.append(args)
         return entry
 
     def drop_view(self, name: str) -> None:
@@ -491,11 +656,19 @@ class ProcessPool:
     pid-guarded ``weakref.finalize``, which Python also runs atexit)."""
 
     def __init__(self, schema, backend_specs: Sequence, *,
-                 batch_deltas: bool = True):
+                 batch_deltas: bool = True, wal_paths=None,
+                 wal_sync: bool = True, rpc_timeout: float | None = None):
         context = _default_context()
+        if wal_paths is not None and len(wal_paths) != len(backend_specs):
+            raise SchemaError(
+                f'wal_paths must name one log per shard: got '
+                f'{len(wal_paths)} for {len(backend_specs)} shards')
         self.shards = tuple(
             ProcessShard(index, schema, spec, batch_deltas=batch_deltas,
-                         mp_context=context)
+                         mp_context=context,
+                         wal_path=(None if wal_paths is None
+                                   else wal_paths[index]),
+                         wal_sync=wal_sync, rpc_timeout=rpc_timeout)
             for index, spec in enumerate(backend_specs))
         self._finalizer = weakref.finalize(
             self, _shutdown_shards, self.shards, os.getpid())

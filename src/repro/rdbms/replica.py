@@ -36,6 +36,7 @@ import threading
 from pathlib import Path
 
 from repro.errors import SchemaError
+from repro.rdbms import faults
 from repro.rdbms.engine import Engine
 from repro.rdbms.wal import WriteAheadLog, read_records, scan_tail
 from repro.relational.database import Database
@@ -94,6 +95,8 @@ class ReplicaEngine:
         or stop once ``upto`` is reached).  Returns the number of
         records applied.  O(|Δ|) per record: deltas go straight to the
         backend, no plan runs."""
+        if faults.fire('replica.catch_up') == 'stall':
+            return 0                   # injected stalled tail: no-op
         applied = 0
         with self._lock:
             for record in read_records(self._path,
@@ -144,11 +147,26 @@ class ReplicaSet:
     read-your-writes for a session that committed at LSN n.  Writes
     never route here — they stay on the primary, whose WAL feeds every
     replica.
+
+    ``primary`` is any object exposing ``rows(name)`` and a
+    ``commit_lsn`` attribute — an in-process
+    :class:`~repro.rdbms.engine.Engine`, or a process shard whose
+    worker owns the log the replicas tail.
+
+    **Degradation.**  A replica whose tail *raises* (truncated log
+    file, backend error, injected fault) is quarantined — dropped from
+    the rotation, counted in ``stats()['quarantined']`` — and the read
+    retries on the remaining replicas, falling back to the primary when
+    none are left.  A replica whose tail merely *stalls* (catch-up
+    applies nothing and the freshness bound is still unmet) keeps its
+    place in the rotation but the bounded read degrades to the primary
+    (``stats()['stalled_reads']``): staleness bounds are honoured, and
+    errors never propagate to the reader.
     """
 
     POLICIES = ('round-robin', 'freshest')
 
-    def __init__(self, primary: Engine, replicas, *,
+    def __init__(self, primary, replicas, *,
                  policy: str = 'round-robin', max_lag: int = 0):
         if policy not in self.POLICIES:
             raise SchemaError(f'unknown read policy {policy!r} '
@@ -159,49 +177,103 @@ class ReplicaSet:
         self.max_lag = max_lag
         self._lock = threading.Lock()
         self._cursor = 0
+        self._quarantined: list[ReplicaEngine] = []
         self.stats = {'replica_reads': 0, 'primary_reads': 0,
-                      'catch_ups': 0}
+                      'catch_ups': 0, 'quarantined': 0,
+                      'stalled_reads': 0}
 
     def commit_lsn(self) -> int:
         """The primary's newest committed LSN — the token a session
         passes back as ``min_lsn`` to read its own writes."""
         return self.primary.commit_lsn
 
-    def _pick(self) -> ReplicaEngine:
-        if self.policy == 'freshest':
-            return max(self.replicas, key=lambda r: r.applied_lsn)
+    def _pick(self) -> 'ReplicaEngine | None':
         with self._lock:
+            if not self.replicas:
+                return None
+            if self.policy == 'freshest':
+                return max(self.replicas, key=lambda r: r.applied_lsn)
             replica = self.replicas[self._cursor % len(self.replicas)]
             self._cursor += 1
         return replica
 
     def read(self, name: str, *, min_lsn: int | None = None):
-        """Route one read.  Falls back to the primary when the set has
-        no replicas."""
-        if not self.replicas:
-            self.stats['primary_reads'] += 1
-            return self.primary.rows(name)
-        replica = self._pick()
-        behind = min_lsn is not None and replica.applied_lsn < min_lsn
-        stale = min_lsn is None and self.max_lag >= 0 \
-            and replica.lag() > self.max_lag
-        if behind or stale:
-            replica.catch_up(upto=min_lsn)
-            self.stats['catch_ups'] += 1
-        self.stats['replica_reads'] += 1
-        return replica.rows(name)
+        """Route one read.  Serves from the primary when the set has no
+        (healthy) replicas or the routed replica cannot meet the
+        freshness bound; quarantines a replica that raises and retries
+        (see class docstring)."""
+        while True:
+            replica = self._pick()
+            if replica is None:
+                break                       # no healthy replica left
+            try:
+                behind = (min_lsn is not None
+                          and replica.applied_lsn < min_lsn)
+                stale = min_lsn is None and self.max_lag >= 0 \
+                    and replica.lag() > self.max_lag
+                if behind or stale:
+                    replica.catch_up(upto=min_lsn)
+                    self.stats['catch_ups'] += 1
+                    still_behind = (min_lsn is not None
+                                    and replica.applied_lsn < min_lsn)
+                    still_stale = (min_lsn is None
+                                   and replica.lag() > self.max_lag)
+                    if still_behind or still_stale:
+                        # Stalled tail: the bound is unmet and another
+                        # pass would apply nothing new.  Degrade this
+                        # read to the primary; the replica stays in
+                        # rotation (it may recover on its own).
+                        self.stats['stalled_reads'] += 1
+                        break
+                rows = replica.rows(name)
+            except Exception:
+                self.quarantine(replica)
+                continue
+            self.stats['replica_reads'] += 1
+            return rows
+        self.stats['primary_reads'] += 1
+        return self.primary.rows(name)
+
+    def quarantine(self, replica: ReplicaEngine) -> None:
+        """Remove ``replica`` from the read rotation (idempotent).
+        Called automatically when a replica's tail raises; callable
+        directly by an operator."""
+        with self._lock:
+            if replica in self.replicas:
+                self.replicas.remove(replica)
+                self._quarantined.append(replica)
+                self.stats['quarantined'] += 1
+
+    @property
+    def quarantined(self) -> tuple:
+        """The replicas currently out of rotation."""
+        return tuple(self._quarantined)
+
+    def reinstate(self, replica: 'ReplicaEngine | None' = None) -> int:
+        """Return quarantined replicas (one, or all) to the rotation —
+        the operator's lever once the underlying fault is fixed.
+        Returns how many came back."""
+        with self._lock:
+            back = (list(self._quarantined) if replica is None
+                    else [replica] if replica in self._quarantined
+                    else [])
+            for one in back:
+                self._quarantined.remove(one)
+                self.replicas.append(one)
+        return len(back)
 
     def catch_up(self) -> int:
-        """Bring every replica fully up to date (records applied)."""
+        """Bring every in-rotation replica fully up to date (records
+        applied)."""
         return sum(replica.catch_up() for replica in self.replicas)
 
     def max_applied_lsn(self) -> int:
         return max((r.applied_lsn for r in self.replicas), default=0)
 
     def close(self) -> None:
-        """Close the replicas (the primary's owner closes the
-        primary)."""
-        for replica in self.replicas:
+        """Close the replicas, quarantined ones included (the
+        primary's owner closes the primary)."""
+        for replica in self.replicas + self._quarantined:
             replica.close()
 
     def __enter__(self) -> 'ReplicaSet':

@@ -54,7 +54,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.errors import SchemaError
+from repro.errors import SchemaError, ShardUnavailableError
 from repro.rdbms.dml import Statement
 
 __all__ = ['Receipt', 'ViewServer']
@@ -123,10 +123,11 @@ class ViewServer:
         self._closed = True
         #: counters: submissions seen / committed / failed, engine runs,
         #: runs carrying >1 txn, largest group, individually retried,
-        #: reads served
+        #: reads served, failures caused by an unavailable shard (the
+        #: ops signal that the cluster — not the workload — is sick)
         self.stats = {'submitted': 0, 'committed': 0, 'failed': 0,
                       'groups': 0, 'grouped': 0, 'max_group': 0,
-                      'retried': 0, 'reads': 0}
+                      'retried': 0, 'reads': 0, 'shard_failures': 0}
 
     # -- lifecycle ----------------------------------------------------
 
@@ -276,6 +277,8 @@ class ViewServer:
             return
         if error is not None:
             self.stats['failed'] += 1
+            if isinstance(error, ShardUnavailableError):
+                self.stats['shard_failures'] += 1
             future.set_exception(error)
         else:
             self.stats['committed'] += 1

@@ -88,16 +88,33 @@ thread pool (each blocks in ``recv``, releasing the GIL, so N workers
 genuinely compute in parallel).  A worker death surfaces as
 :class:`~repro.errors.ShardUnavailableError`: the cluster transaction
 aborts on every surviving shard (staging never touches storage, so
-abandoning it *is* rollback) and the pool restarts the worker with its
-catalog replayed.  Thread mode routes through the same
-:class:`LocalShard` client, so both modes run one code path and the
-differential fuzz oracle holds them bit-identical.
+abandoning it *is* rollback) and the pool restarts the worker.  Thread
+mode routes through the same :class:`LocalShard` client, so both modes
+run one code path and the differential fuzz oracle holds them
+bit-identical.
+
+**Fault tolerance.**  With ``wal_dir`` set, *both* executions are
+durable: thread mode logs in the shard engines, process mode threads
+``wal_dir/shard-<i>.wal`` into each worker — the worker's fsynced
+append is its commit point, a restarted worker replays the committed
+prefix, and a worker killed *mid-apply* is repaired from its prepare
+reply (:meth:`~repro.rdbms.procpool.ProcessShard._repair_apply`), so a
+SIGKILL anywhere in the 2PC loses no committed transaction.
+``commit_lsns()`` and read-replica routing work uniformly across both
+modes (process-mode replicas tail the shard logs by file path).
+``rpc_timeout`` turns a *wedged* worker into
+:class:`~repro.errors.ShardUnavailableError` instead of a hung
+coordinator, and ``transient_retries`` re-runs a cluster transaction
+that aborted cleanly on a worker failure (never one whose apply phase
+partially committed).  Fault injection for all of this lives in
+:mod:`repro.rdbms.faults`.
 """
 
 from __future__ import annotations
 
 import tempfile
 import threading
+import time
 import zlib
 from abc import ABC, abstractmethod
 from bisect import bisect_right
@@ -372,6 +389,20 @@ class ShardedEngine:
         ``'threads'`` (inner engines on the coordinator's heap, default)
         or ``'processes'`` (one worker process per shard, §"Process
         execution"); results are bit-identical either way.
+    rpc_timeout:
+        Process execution only: seconds each RPC waits for its reply
+        before the shard surfaces as
+        :class:`~repro.errors.ShardUnavailableError` — a *wedged*
+        worker (alive but stuck) no longer blocks the coordinator
+        forever.  ``None`` waits indefinitely (the pre-timeout
+        behaviour).
+    transient_retries:
+        Retry a cluster transaction up to this many times after a
+        worker failure that aborted it *cleanly* (prepare-phase death,
+        dropped RPC — the abort rolled every shard back and the dead
+        worker was restarted).  An apply-phase failure that may have
+        partially committed is never retried.  ``retry_backoff`` is the
+        initial sleep between attempts, doubling each retry.
     """
 
     def __init__(self, schema: DatabaseSchema, *,
@@ -387,16 +418,16 @@ class ShardedEngine:
                  wal_sync: bool = True,
                  read_replicas: int = 0,
                  read_policy: str = 'round-robin',
-                 replica_max_lag: int = 0):
+                 replica_max_lag: int = 0,
+                 rpc_timeout: float | None = 120.0,
+                 transient_retries: int = 0,
+                 retry_backoff: float = 0.05):
         if execution not in ('threads', 'processes'):
             raise SchemaError(f"execution must be 'threads' or "
                               f"'processes', got {execution!r}")
-        if execution == 'processes' and (wal_dir is not None
-                                         or read_replicas):
-            raise SchemaError(
-                'wal_dir/read_replicas require thread execution: the '
-                'inner engines (and their logs) live in worker '
-                'processes under process execution')
+        if transient_retries < 0:
+            raise SchemaError(f'transient_retries must be >= 0, '
+                              f'got {transient_retries}')
         if read_replicas < 0:
             raise SchemaError(f'read_replicas must be >= 0, '
                               f'got {read_replicas}')
@@ -432,35 +463,41 @@ class ShardedEngine:
         self.parallelism = min(parallelism, shards)
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+        self._transient_retries = transient_retries
+        self._retry_backoff = retry_backoff
+        # Durability + read replicas (both executions): each shard logs
+        # to ``wal_dir/shard-<i>.wal`` — opened by the shard engine in
+        # thread mode, *inside the worker* in process mode; replicas
+        # tail their shard's log (in-process or by file path).
+        # ``read_replicas`` without an explicit wal_dir uses an owned
+        # temporary directory — the replication substrate without the
+        # durability contract.
+        self._wal_tmpdir = None
+        wal_paths: list = [None] * shards
+        if wal_dir is None and read_replicas:
+            self._wal_tmpdir = tempfile.TemporaryDirectory(
+                prefix='repro-wal-')
+            wal_dir = self._wal_tmpdir.name
+        if wal_dir is not None:
+            base = Path(wal_dir)
+            base.mkdir(parents=True, exist_ok=True)
+            wal_paths = [base / f'shard-{i}.wal'
+                         for i in range(shards)]
+        self._wal_paths = tuple(wal_paths)
         if execution == 'processes':
             self._procpool: ProcessPool | None = ProcessPool(
                 schema, _process_backend_specs(backends, shards),
-                batch_deltas=batch_deltas)
+                batch_deltas=batch_deltas,
+                wal_paths=(wal_paths if wal_dir is not None else None),
+                wal_sync=wal_sync, rpc_timeout=rpc_timeout)
             self.shards = self._procpool.shards
             #: the inner engines live in the workers under process
             #: execution; thread-mode introspection goes via .engines
             self.engines: tuple[Engine, ...] = ()
-            self._wal_tmpdir = None
         else:
             self._procpool = None
             shard_backends = create_shard_backends(backends, schema,
                                                    shards)
-            # Durability + read replicas (thread execution only): each
-            # shard engine logs to ``wal_dir/shard-<i>.wal``; replicas
-            # tail their shard's log.  ``read_replicas`` without an
-            # explicit wal_dir uses an owned temporary directory — the
-            # replication substrate without the durability contract.
-            self._wal_tmpdir = None
-            wal_paths = [None] * shards
-            if wal_dir is None and read_replicas:
-                self._wal_tmpdir = tempfile.TemporaryDirectory(
-                    prefix='repro-wal-')
-                wal_dir = self._wal_tmpdir.name
-            if wal_dir is not None:
-                base = Path(wal_dir)
-                base.mkdir(parents=True, exist_ok=True)
-                wal_paths = [base / f'shard-{i}.wal'
-                             for i in range(shards)]
             self.engines = tuple(Engine(schema, backend=b,
                                         batch_deltas=batch_deltas,
                                         wal=path, wal_sync=wal_sync)
@@ -479,16 +516,23 @@ class ShardedEngine:
                                 for index, engine
                                 in enumerate(self.engines))
         #: one ReplicaSet per shard (empty tuple when read_replicas=0):
-        #: reads fan across them, writes stay on the shard engines.
+        #: reads fan across them, writes stay on the shard primaries.
         self.replica_sets: tuple[ReplicaSet, ...] = ()
         if read_replicas:
+            # Thread mode shares the primary's WriteAheadLog instance
+            # (exact lag); process mode tails the worker's log by file
+            # path — same committed prefix, torn tails excluded by
+            # checksum — with the ProcessShard client as the primary.
+            primaries = self.engines or self.shards
+            feeds = [engine.wal for engine in self.engines] \
+                or list(self._wal_paths)
             self.replica_sets = tuple(
-                ReplicaSet(engine,
-                           [ReplicaEngine(schema, engine.wal)
+                ReplicaSet(primary,
+                           [ReplicaEngine(schema, feed)
                             for _ in range(read_replicas)],
                            policy=read_policy,
                            max_lag=replica_max_lag)
-                for engine in self.engines)
+                for primary, feed in zip(primaries, feeds))
         self._entries: dict[str, ViewEntry] = {}
         #: relation/view -> None (partitioned) or the pinned shard index
         self._placement: dict[str, int | None] = {}
@@ -669,9 +713,14 @@ class ShardedEngine:
     def commit_lsns(self) -> tuple[int, ...]:
         """Per-shard committed LSNs (zeros without a WAL) — pass the
         tuple back to :meth:`rows` as ``min_lsn`` to read your own
-        writes through the replicas."""
-        return tuple(engine.commit_lsn for engine in self.engines) \
-            or (0,) * self.n_shards
+        writes through the replicas.  Uniform across executions: thread
+        mode reads the shard engines, process mode asks each worker
+        over RPC."""
+        if self.engines:
+            return tuple(engine.commit_lsn for engine in self.engines)
+        if self._procpool is not None and self._wal_paths[0] is not None:
+            return tuple(shard.commit_lsn for shard in self.shards)
+        return (0,) * self.n_shards
 
     @property
     def commit_lsn(self) -> tuple[int, ...]:
@@ -1027,9 +1076,32 @@ class ShardedEngine:
         prepare phase — drains every outcome in submission order, so
         the first error surfaced is still the serial one.  Any failure
         (including a worker death) aborts the transaction on every
-        shard and restarts dead workers before re-raising."""
+        shard and restarts dead workers before re-raising.
+
+        ``transient_retries`` re-runs the transaction after a
+        :class:`ShardUnavailableError` that aborted it *cleanly* —
+        nothing was committed anywhere, and the restarted worker (with
+        a WAL) recovered its full committed state, so a fresh attempt
+        is exactly a new transaction.  A failure in the apply phase is
+        never retried: sibling shards may already have applied (and
+        with a WAL the repair path has already made every repairable
+        case *succeed*), so what reaches the caller from apply is a
+        genuine partial-commit report."""
         if self.batch_deltas:
             batches = coalesce_buckets(batches)
+        attempts = 0
+        while True:
+            try:
+                return self._execute_cluster(batches)
+            except ShardUnavailableError as error:
+                if getattr(error, 'applied', False) \
+                        or attempts >= self._transient_retries:
+                    raise
+                attempts += 1
+                time.sleep(self._retry_backoff * (2 ** (attempts - 1)))
+
+    def _execute_cluster(self, batches) -> None:
+        """One attempt of the routed 2PC (see :meth:`execute_many`)."""
         txn = _ClusterTxn()
         order: list = []
         try:
@@ -1049,12 +1121,16 @@ class ShardedEngine:
                 (lambda index=index, commit=commit:
                  self.shards[index].apply_prepared(commit))
                 for (index, _), commit in zip(order, prepared)])
-        except BaseException:
+        except BaseException as error:
             # Apply carries the single engine's storage trust (see
             # above): no compensation, but a worker that died here is
-            # restarted so the cluster keeps serving.
+            # restarted so the cluster keeps serving.  Mark the error
+            # as apply-phase so the transient-retry wrapper never
+            # re-runs a transaction that may have partially committed.
             if self._procpool is not None:
                 self._procpool.restart_dead()
+            if isinstance(error, ShardUnavailableError):
+                error.applied = True
             raise
 
     def _barrier(self, txn: _ClusterTxn) -> None:

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import signal
 import struct
 import threading
 import zlib
@@ -45,6 +46,7 @@ from pathlib import Path
 from typing import Callable, Iterable, Iterator, NamedTuple
 
 from repro.errors import SchemaError
+from repro.rdbms import faults
 
 __all__ = ['WalRecord', 'WriteAheadLog', 'read_records', 'scan_tail',
            'encode_record', 'RECORD_KINDS']
@@ -57,6 +59,18 @@ _FRAME = struct.Struct('>II')    # payload length, CRC-32 of payload
 #: ``(batch, changed_bases, keep)`` — the PreparedCommit shape; the
 #: catalog kinds carry what re-running the call needs.
 RECORD_KINDS = ('load', 'define_view', 'drop_view', 'commit')
+
+
+def _fsync_dir(path: Path) -> None:
+    """Fsync a directory so a just-renamed file survives power loss
+    (the rename itself is atomic either way; this makes it durable)."""
+    fd = os.open(path, os.O_RDONLY | getattr(os, 'O_DIRECTORY', 0))
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
 
 
 class WalRecord(NamedTuple):
@@ -169,11 +183,18 @@ class WriteAheadLog:
         self._lock = threading.RLock()
         self._subscribers: list[Callable[[WalRecord], None]] = []
         self._closed = False
+        self._failed = False
         #: appends/bytes are cumulative for this handle;
         #: ``last_record_bytes`` is the size of the latest record —
         #: what the replication-cost benchmark samples.
         self.stats = {'appends': 0, 'bytes': 0, 'last_record_bytes': 0,
-                      'truncated_tails': 0}
+                      'truncated_tails': 0, 'append_failures': 0}
+        # A crash between writing the checkpoint temp file and the
+        # atomic rename leaves the temp behind; it was never the live
+        # log, so drop it (the next checkpoint would overwrite it
+        # anyway — this is pure hygiene).
+        self.path.with_name(self.path.name + '.ckpt').unlink(
+            missing_ok=True)
         if self.path.exists() and self.path.stat().st_size > 0:
             tail = scan_tail(self.path)
             if tail.torn:
@@ -192,6 +213,7 @@ class WriteAheadLog:
 
     def _flush(self) -> None:
         self._file.flush()
+        faults.fire('wal.fsync')
         if self.sync:
             os.fsync(self._file.fileno())
 
@@ -205,13 +227,31 @@ class WriteAheadLog:
     def append(self, kind: str, data: object) -> int:
         """Durably append one record; returns its LSN.  The append IS
         the commit point: once this returns, recovery and every replica
-        will observe the record."""
+        will observe the record.
+
+        A write or fsync failure **poisons** the log: the frame may be
+        partially on disk (recovery will truncate it as a torn tail),
+        so no further append can be allowed to write after it — every
+        subsequent append raises until the log is reopened.  A worker
+        process that hits this dies and recovers from the log rather
+        than serve commits it cannot make durable."""
         encoded = encode_record(kind, data)
         with self._lock:
             if self._closed:
                 raise SchemaError(f'WAL {self.path} is closed')
-            self._file.write(encoded)
-            self._flush()
+            if self._failed:
+                raise SchemaError(
+                    f'WAL {self.path} failed a previous append (the '
+                    f'tail may be torn); reopen to recover')
+            if faults.fire('wal.append', kind=kind) == 'tear':
+                self._tear_and_die(encoded)
+            try:
+                self._file.write(encoded)
+                self._flush()
+            except OSError:
+                self._failed = True
+                self.stats['append_failures'] += 1
+                raise
             self._last_lsn += 1
             lsn = self._last_lsn
             self.stats['appends'] += 1
@@ -221,6 +261,18 @@ class WriteAheadLog:
         for callback in list(self._subscribers):
             callback(record)
         return lsn
+
+    def _tear_and_die(self, encoded: bytes) -> None:  # pragma: no cover
+        """The ``tear`` fault action: persist *half* the frame, then
+        SIGKILL — the mid-append crash whose torn tail recovery must
+        truncate (only meaningful in a sacrificial subprocess)."""
+        self._file.write(encoded[:max(1, len(encoded) // 2)])
+        self._file.flush()
+        try:
+            os.fsync(self._file.fileno())
+        except OSError:
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
 
     def subscribe(self, callback: Callable[[WalRecord], None]) -> None:
         """Push every subsequent append to ``callback`` (in-process
@@ -238,7 +290,13 @@ class WriteAheadLog:
         under a header whose starting LSN is the current ``last_lsn``
         — so the snapshot records receive fresh, still-monotonic LSNs
         and a replica at any position simply replays them.  Returns the
-        new ``last_lsn``."""
+        new ``last_lsn``.
+
+        Crash-safe: the snapshot is fully written and fsynced to a temp
+        file first, swapped in with an atomic rename, and the directory
+        entry is fsynced after the swap — a crash at any point leaves
+        either the old log (intact, possibly plus a stale temp file) or
+        the new one, never a half-written log."""
         with self._lock:
             if self._closed:
                 raise SchemaError(f'WAL {self.path} is closed')
@@ -247,6 +305,7 @@ class WriteAheadLog:
             with open(temp, 'wb') as handle:
                 handle.write(MAGIC + _HEADER.pack(self._last_lsn))
                 for kind, data in records:
+                    faults.fire('wal.checkpoint', index=count)
                     handle.write(encode_record(kind, data))
                     count += 1
                 handle.flush()
@@ -254,6 +313,8 @@ class WriteAheadLog:
                     os.fsync(handle.fileno())
             self._file.close()
             os.replace(temp, self.path)
+            if self.sync:
+                _fsync_dir(self.path.parent)
             self._start_lsn = self._last_lsn
             self._last_lsn += count
             self._file = open(self.path, 'ab')

@@ -12,7 +12,11 @@ dies at a precise point in the commit path depending on ``mode``:
   recovery must show all ``n`` rows;
 * ``kill-torn``         — writes *half* a frame (a torn tail, as a
   crash mid-``write(2)`` would leave) and dies: recovery must truncate
-  it and show ``n - 1`` rows.
+  it and show ``n - 1`` rows;
+* ``kill-checkpoint``   — all ``n`` transactions commit, then SIGKILL
+  *during* :meth:`Engine.checkpoint`'s temp-file write (via the
+  ``wal.checkpoint`` fault site): the atomic rename never ran, so the
+  original log must be intact and recovery must show all ``n`` rows.
 
 Usage:  python _wal_crash_child.py WAL_PATH N MODE
 """
@@ -24,6 +28,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / 'src'))
 
+from repro.rdbms import faults                              # noqa: E402
 from repro.rdbms.engine import Engine                       # noqa: E402
 from repro.rdbms.wal import encode_record                   # noqa: E402
 from repro.relational.schema import DatabaseSchema          # noqa: E402
@@ -34,13 +39,20 @@ def main() -> int:
     schema = DatabaseSchema.build(r1={'a': 'int'})
     engine = Engine(schema, wal=wal_path)
 
-    committed = n if mode == 'clean' else n - 1
+    committed = n if mode in ('clean', 'kill-checkpoint') else n - 1
     for i in range(committed):
         engine.insert('r1', (i,))
 
     if mode == 'clean':
         engine.close()
         return 0
+
+    if mode == 'kill-checkpoint':
+        plan = faults.FaultPlan()
+        plan.kill_checkpoint(record=1)
+        faults.install(plan)
+        engine.checkpoint()                         # never returns
+        raise AssertionError('survived checkpoint kill')
 
     wal = engine.wal
     if mode == 'kill-torn':

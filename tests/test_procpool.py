@@ -24,7 +24,7 @@ import pytest
 from repro.errors import (ConstraintViolation, ContradictionError,
                           DatalogSyntaxError, ReproError, SchemaError,
                           ShardUnavailableError, ValidationError)
-from repro.rdbms import procpool
+from repro.rdbms import faults, procpool
 from repro.rdbms.backends import MemoryBackend
 from repro.rdbms.dml import Delete, Insert, Update
 from repro.rdbms.engine import Engine
@@ -499,6 +499,85 @@ class TestProcessExecution:
     def test_worker_index_is_none_in_coordinator(self):
         assert procpool.WORKER_INDEX is None
 
+    def test_rpc_timeout_surfaces_wedged_worker(self, union_strategy):
+        """The liveness satellite: a worker that *hangs* (alive, not
+        replying) must abort the cluster transaction with
+        ``ShardUnavailableError`` instead of blocking the coordinator
+        forever — and the pool terminates and replaces it."""
+        plan = faults.FaultPlan()
+        plan.hang_worker(shard=1, method='prepare_commit', seconds=600)
+        with plan.installed():
+            sharded = ShardedEngine(union_strategy.sources, shards=3,
+                                    shard_keys=UNION_KEYS,
+                                    execution='processes',
+                                    rpc_timeout=0.5)
+        try:
+            sharded.load('r1', [(0,), (1,), (2,)])
+            sharded.define_view(union_strategy, validate_first=False)
+            txn = [('v', [Insert((3,)), Insert((4,)), Insert((5,))])]
+            with pytest.raises(ShardUnavailableError,
+                               match='wedged|no reply'):
+                sharded.execute_many(txn)
+            # The wedged worker was reaped and replaced; the cluster
+            # rolled back and keeps serving.
+            assert all(shard.alive for shard in sharded.shards)
+            sharded.execute_many(txn)
+            assert frozenset(sharded.rows('v')) >= {(3,), (4,), (5,)}
+        finally:
+            sharded.close()
+
+    def test_transient_retry_masks_prepare_death(self, union_strategy,
+                                                 monkeypatch):
+        """A worker killed mid-prepare aborts the transaction cleanly;
+        with ``transient_retries`` the coordinator restarts it and
+        re-runs — the client never sees the failure."""
+        original = Engine.prepare_commit
+
+        def dying(self, working):
+            if procpool.WORKER_INDEX == 1:
+                os._exit(1)
+            return original(self, working)
+
+        monkeypatch.setattr(Engine, 'prepare_commit', dying)
+        sharded = ShardedEngine(union_strategy.sources, shards=3,
+                                shard_keys=UNION_KEYS,
+                                execution='processes',
+                                transient_retries=2,
+                                retry_backoff=0.01)
+        monkeypatch.undo()
+        try:
+            sharded.load('r1', [(0,), (1,), (2,)])
+            sharded.define_view(union_strategy, validate_first=False)
+            sharded.execute_many(
+                [('v', [Insert((3,)), Insert((4,)), Insert((5,))])])
+            assert frozenset(sharded.rows('v')) == \
+                frozenset({(0,), (1,), (2,), (3,), (4,), (5,)})
+        finally:
+            sharded.close()
+
+    def test_dropped_rpc_is_retried_transparently(self, union_strategy):
+        """A dropped RPC frame (coordinator-side send failure) breaks
+        the channel exactly like a real ``OSError``; the retry layer
+        restarts the worker and the transaction commits."""
+        sharded = ShardedEngine(union_strategy.sources, shards=3,
+                                shard_keys=UNION_KEYS,
+                                execution='processes',
+                                transient_retries=1,
+                                retry_backoff=0.01)
+        plan = faults.FaultPlan()
+        plan.drop_rpc(shard=2, method='prepare_commit')
+        try:
+            sharded.load('r1', [(0,), (1,), (2,)])
+            sharded.define_view(union_strategy, validate_first=False)
+            with plan.installed():   # rpc.send fires coordinator-side
+                sharded.execute_many(
+                    [('v', [Insert((3,)), Insert((4,)), Insert((5,))])])
+            assert plan.fired('rpc.send') == 1
+            assert frozenset(sharded.rows('v')) == \
+                frozenset({(0,), (1,), (2,), (3,), (4,), (5,)})
+        finally:
+            sharded.close()
+
     def test_no_orphans_at_interpreter_exit(self, tmp_path):
         """A script that builds a pool and exits WITHOUT closing must
         still reap its workers (the atexit side of the finalizer) —
@@ -518,3 +597,171 @@ class TestProcessExecution:
                                 timeout=60)
         assert result.returncode == 0, result.stderr
         assert result.stdout.strip() == '2'
+
+
+# ---------------------------------------------------------------------------
+# Crash tolerance: in-worker WALs, deterministic kills, apply repair
+# ---------------------------------------------------------------------------
+
+
+class TestWalBackedWorkers:
+    """The tentpole: each worker owns ``shard-<i>.wal``, the fsynced
+    append is its commit point, restart replays the committed prefix,
+    and a worker killed mid-apply is repaired from its prepare reply —
+    SIGKILL anywhere loses zero committed transactions."""
+
+    TXNS = (
+        [('v', [Insert((7,)), Insert((8,))])],          # shards 1, 2
+        [('v', [Delete({'a': 1})])],                    # shard 1
+        [('v', [Insert((9,))]), ('r1', [Insert((12,))])],
+        [('v', [Update({'a': 13}, {'a': 8})])],         # key-moving
+    )
+
+    def _wal_cluster(self, union_strategy, wal_dir,
+                     execution='processes', **kwargs):
+        engine = ShardedEngine(union_strategy.sources, shards=3,
+                               shard_keys=UNION_KEYS,
+                               execution=execution,
+                               wal_dir=wal_dir, wal_sync=False,
+                               **kwargs)
+        engine.load('r1', [(0,), (1,), (2,)])
+        engine.load('r2', [(4,), (5,)])
+        engine.define_view(union_strategy, validate_first=False)
+        return engine
+
+    def test_commit_lsns_uniform_across_executions(self, union_strategy,
+                                                   tmp_path):
+        """``commit_lsns()`` works identically for thread and process
+        execution: same routing → same per-shard LSN vector."""
+        threads = self._wal_cluster(union_strategy, tmp_path / 't',
+                                    execution='threads')
+        procs = self._wal_cluster(union_strategy, tmp_path / 'p')
+        try:
+            for txn in self.TXNS:
+                threads.execute_many(txn)
+                procs.execute_many(txn)
+            assert procs.commit_lsns() == threads.commit_lsns()
+            assert any(procs.commit_lsns())
+            assert procs.commit_lsn == procs.commit_lsns()  # alias
+        finally:
+            threads.close()
+            procs.close()
+
+    def test_external_sigkill_loses_no_committed_transaction(
+            self, union_strategy, tmp_path):
+        """Kill a worker from outside between transactions: the next
+        touching transaction aborts (and auto-restarts the worker from
+        its log), after which state and LSNs match the thread-mode
+        oracle exactly — committed deltas survived, unlike the
+        catalog-replay fallback."""
+        oracle = self._wal_cluster(union_strategy, tmp_path / 'o',
+                                   execution='threads')
+        victim = self._wal_cluster(union_strategy, tmp_path / 'v')
+        try:
+            first = self.TXNS[0]
+            oracle.execute_many(first)
+            victim.execute_many(first)
+            os.kill(victim.shards[1].process.pid, signal.SIGKILL)
+            victim.shards[1].process.join(5)
+            nxt = self.TXNS[1]
+            oracle.execute_many(nxt)
+            with pytest.raises(ShardUnavailableError):
+                victim.execute_many(nxt)         # abort + restart
+            victim.execute_many(nxt)             # recovered worker
+            assert victim.shards[1].generation == 1
+            assert victim.commit_lsns() == oracle.commit_lsns()
+            assert victim.database() == oracle.database()
+            assert frozenset(victim.rows('v')) \
+                == frozenset(oracle.rows('v'))
+        finally:
+            oracle.close()
+            victim.close()
+
+    def test_wal_shards_skip_the_catalog_journal(self, union_strategy,
+                                                 tmp_path):
+        victim = self._wal_cluster(union_strategy, tmp_path / 'v')
+        try:
+            for shard in victim.shards:
+                assert shard._loads == {}       # the log IS the journal
+                assert shard._views == []
+        finally:
+            victim.close()
+
+    def test_kill_mid_apply_is_repaired_bit_identical(
+            self, union_strategy, tmp_path):
+        """The acceptance criterion: SIGKILL a worker *inside* the
+        apply phase (before its commit-point append) mid-workload.  The
+        coordinator repairs the shard from its prepare reply — the
+        transaction SUCCEEDS — and the full workload's committed state
+        and LSN vector are bit-identical to the fault-free oracle."""
+        oracle = self._wal_cluster(union_strategy, tmp_path / 'o',
+                                   execution='threads')
+        plan = faults.FaultPlan()
+        # Shard 1's second apply dispatch: mid-workload, after it has
+        # already committed once.  The kill fires BEFORE the append —
+        # the hardest case: siblings applied, this shard did not.
+        plan.kill_worker(shard=1, method='apply_prepared', hit=2)
+        with plan.installed():
+            victim = self._wal_cluster(union_strategy, tmp_path / 'v')
+        try:
+            for txn in self.TXNS:
+                oracle.execute_many(txn)
+                victim.execute_many(txn)        # no exception: repaired
+            assert victim.shards[1].generation == 1   # kill DID happen
+            assert victim.commit_lsns() == oracle.commit_lsns()
+            assert victim.database() == oracle.database()
+            assert frozenset(victim.rows('v')) \
+                == frozenset(oracle.rows('v'))
+            assert victim.shard_rows('v') == oracle.shard_rows('v')
+        finally:
+            oracle.close()
+            victim.close()
+
+    def test_torn_frame_mid_apply_is_repaired(self, union_strategy,
+                                              tmp_path):
+        """A crash mid-``write(2)``: half the commit frame reaches the
+        log, the worker dies.  Recovery truncates the torn tail (the
+        append never committed) and the repair path re-commits — same
+        oracle-identical outcome."""
+        oracle = self._wal_cluster(union_strategy, tmp_path / 'o',
+                                   execution='threads')
+        plan = faults.FaultPlan()
+        # Shard 1's WAL appends: load(r1) is 1, load(r2) is 2,
+        # define_view is 3, first commit is 4 — tear the 5th append,
+        # i.e. the second commit, mid-workload.
+        plan.tear_frame(shard=1, hit=5)
+        with plan.installed():
+            victim = self._wal_cluster(union_strategy, tmp_path / 'v')
+        try:
+            for txn in self.TXNS:
+                oracle.execute_many(txn)
+                victim.execute_many(txn)
+            assert victim.shards[1].generation == 1
+            assert victim.commit_lsns() == oracle.commit_lsns()
+            assert victim.database() == oracle.database()
+        finally:
+            oracle.close()
+            victim.close()
+
+    def test_fsync_error_kills_worker_and_repair_recovers(
+            self, union_strategy, tmp_path):
+        """A failed fsync poisons the worker's log; the worker dies
+        (``os._exit(3)``) rather than serve non-durable commits, and
+        the repair path restarts it and re-commits."""
+        oracle = self._wal_cluster(union_strategy, tmp_path / 'o',
+                                   execution='threads')
+        plan = faults.FaultPlan()
+        # Shard 1's 5th fsync = its second commit (see above).
+        plan.fail_fsync(shard=1, hit=5)
+        with plan.installed():
+            victim = self._wal_cluster(union_strategy, tmp_path / 'v')
+        try:
+            for txn in self.TXNS:
+                oracle.execute_many(txn)
+                victim.execute_many(txn)
+            assert victim.shards[1].generation == 1
+            assert victim.commit_lsns() == oracle.commit_lsns()
+            assert victim.database() == oracle.database()
+        finally:
+            oracle.close()
+            victim.close()

@@ -14,6 +14,7 @@ import asyncio
 import pytest
 
 from repro.errors import SchemaError
+from repro.rdbms import faults
 from repro.rdbms.dml import Insert
 from repro.rdbms.engine import Engine
 from repro.rdbms.replica import ReplicaEngine, ReplicaSet
@@ -193,6 +194,77 @@ class TestReplicaSet:
             router.close()
             primary.close()
 
+    def test_broken_replica_quarantined_read_retries_sibling(
+            self, luxury_strategy, tmp_path):
+        """A replica whose tail raises is dropped from the rotation and
+        the same read retries on the surviving replica — the reader
+        never sees the error."""
+        primary, router = self._set(luxury_strategy, tmp_path, n=2)
+        plan = faults.FaultPlan()
+        plan.fail_replica()                      # first catch-up raises
+        try:
+            primary.insert('luxuryitems', (4, 'yacht', 90_000))
+            with plan.installed():
+                rows = router.read('items')      # max_lag=0 → catch-up
+            assert (4, 'yacht', 90_000) in rows
+            assert plan.fired('replica.catch_up') == 1
+            assert router.stats['quarantined'] == 1
+            assert router.stats['replica_reads'] == 1
+            assert router.stats['primary_reads'] == 0
+            assert len(router.quarantined) == 1
+            assert len(router.replicas) == 1     # out of the rotation
+        finally:
+            router.close()
+            primary.close()
+
+    def test_last_replica_quarantined_degrades_to_primary(
+            self, luxury_strategy, tmp_path):
+        """With every replica quarantined the set serves from the
+        primary; ``reinstate()`` is the operator's way back."""
+        primary, router = self._set(luxury_strategy, tmp_path, n=1)
+        plan = faults.FaultPlan()
+        plan.fail_replica()
+        try:
+            primary.insert('luxuryitems', (4, 'yacht', 90_000))
+            with plan.installed():
+                assert (4, 'yacht', 90_000) in router.read('items')
+            assert router.stats == {
+                'replica_reads': 0, 'primary_reads': 1,
+                'catch_ups': 0, 'quarantined': 1, 'stalled_reads': 0}
+            assert router.replicas == []
+            # Fault fixed: bring it back, reads route to it again.
+            assert router.reinstate() == 1
+            assert router.quarantined == ()
+            assert (4, 'yacht', 90_000) in router.read('items')
+            assert router.stats['replica_reads'] == 1
+        finally:
+            router.close()
+            primary.close()
+
+    def test_stalled_tail_degrades_read_without_quarantine(
+            self, luxury_strategy, tmp_path):
+        """A catch-up pass that applies nothing (stalled tail) keeps
+        the replica in rotation but the bounded read serves from the
+        primary — staleness bounds hold, nothing stale is returned."""
+        primary, router = self._set(luxury_strategy, tmp_path, n=1)
+        plan = faults.FaultPlan()
+        plan.stall_replica()
+        try:
+            primary.insert('luxuryitems', (4, 'yacht', 90_000))
+            with plan.installed():
+                assert (4, 'yacht', 90_000) in router.read('items')
+            assert router.stats['stalled_reads'] == 1
+            assert router.stats['primary_reads'] == 1
+            assert router.stats['quarantined'] == 0
+            assert len(router.replicas) == 1     # still in rotation
+            # The stall was transient: the next read is served by the
+            # (now caught-up) replica.
+            assert (4, 'yacht', 90_000) in router.read('items')
+            assert router.stats['replica_reads'] == 1
+        finally:
+            router.close()
+            primary.close()
+
 
 class TestShardedReplicas:
 
@@ -239,12 +311,30 @@ class TestShardedReplicas:
         finally:
             engine.close()
 
-    def test_replicas_require_thread_execution(self, luxury_strategy):
-        with pytest.raises(SchemaError, match='thread execution'):
-            ShardedEngine(luxury_strategy.sources, shards=2,
-                          shard_keys={'luxuryitems': 'iid',
-                                      'items': 'iid'},
-                          execution='processes', read_replicas=1)
+    def test_process_execution_replicas_tail_worker_logs(
+            self, luxury_strategy, tmp_path):
+        """Process-mode replicas tail the worker-owned shard logs by
+        file path and serve the same routed reads as thread mode."""
+        engine = ShardedEngine(luxury_strategy.sources, shards=2,
+                               shard_keys={'luxuryitems': 'iid',
+                                           'items': 'iid'},
+                               execution='processes',
+                               wal_dir=tmp_path, wal_sync=False,
+                               read_replicas=1, replica_max_lag=0)
+        try:
+            engine.load('items', [(1, 'watch', 5000), (2, 'ring', 4000),
+                                  (3, 'cap', 10)])
+            engine.define_view(luxury_strategy, validate_first=False)
+            engine.insert('luxuryitems', (4, 'yacht', 90_000))
+            token = engine.commit_lsns()
+            assert len(token) == 2 and any(token)
+            routed = engine.rows('luxuryitems', min_lsn=token)
+            assert routed == engine._gather_primary('luxuryitems')
+            assert (4, 'yacht', 90_000) in routed
+            assert sum(rs.stats['replica_reads']
+                       for rs in engine.replica_sets) > 0
+        finally:
+            engine.close()
 
     def test_negative_replicas_rejected(self, luxury_strategy):
         with pytest.raises(SchemaError, match='read_replicas'):

@@ -255,7 +255,7 @@ class TestAbortIsolation:
         stats = asyncio.run(main())
         assert stats == {'submitted': 1, 'committed': 0, 'failed': 1,
                          'groups': 1, 'grouped': 0, 'max_group': 1,
-                         'retried': 0, 'reads': 0}
+                         'retried': 0, 'reads': 0, 'shard_failures': 0}
         served.close()
 
 

@@ -18,6 +18,7 @@ from pathlib import Path
 import pytest
 
 from repro.errors import SchemaError
+from repro.rdbms import faults
 from repro.rdbms.engine import Engine
 from repro.rdbms.replica import ReplicaEngine
 from repro.rdbms.wal import (WriteAheadLog, encode_record, read_records,
@@ -109,6 +110,29 @@ class TestWalFile:
         wal.close()                             # idempotent
         with pytest.raises(SchemaError, match='closed'):
             wal.append('drop_view', 'a')
+
+    def test_fsync_failure_poisons_the_log(self, tmp_path):
+        """An append whose flush/fsync fails may have left a torn tail
+        on disk, so the handle refuses every further append until
+        reopened — crash-consistency over limping along."""
+        path = tmp_path / 'w.wal'
+        wal = WriteAheadLog(path, sync=False)
+        wal.append('drop_view', 'a')
+        plan = faults.FaultPlan()
+        plan.fail_fsync()
+        with plan.installed():
+            with pytest.raises(OSError):
+                wal.append('drop_view', 'b')
+        assert plan.fired('wal.fsync') == 1     # not vacuous
+        assert wal.stats['append_failures'] == 1
+        with pytest.raises(SchemaError, match='reopen to recover'):
+            wal.append('drop_view', 'c')
+        wal.close()
+        # Reopening recovers the committed prefix ('b' hit the OS —
+        # only the fsync was injected to fail) and appends continue.
+        with WriteAheadLog(path, sync=False) as recovered:
+            assert recovered.last_lsn == 2
+            assert recovered.append('drop_view', 'd') == 3
 
 
 class TestEngineRecovery:
@@ -286,3 +310,17 @@ class TestCrashRecovery:
         # Recovery truncated the torn frame physically.
         with WriteAheadLog(path, sync=False) as wal:
             assert wal.stats['truncated_tails'] == 0  # already clean
+
+    def test_kill_during_checkpoint_preserves_log(self, tmp_path):
+        """The checkpoint satellite: SIGKILL while the snapshot temp
+        file is being written.  The atomic rename never ran, so the
+        original log is untouched — recovery shows every committed
+        transaction, and the stale temp is swept on reopen."""
+        path, proc = self._crash(tmp_path, 'kill-checkpoint')
+        assert proc.returncode == -signal.SIGKILL
+        temp = path.with_name(path.name + '.ckpt')
+        assert temp.exists()                    # died mid-temp-write
+        assert not scan_tail(path).torn         # old log fully intact
+        assert self._recovered_rows(path) \
+            == {(i,) for i in range(self.N)}
+        assert not temp.exists()                # reopen swept it
