@@ -6,7 +6,8 @@ Algorithm 2 delta derivation, constraint check, ∂put evaluation,
 commit):
 
 * ``get``    — first materialisation of the view cache;
-* ``update`` — steady-state single-tuple view INSERT (median).
+* ``update`` — steady-state single-tuple view INSERT (median, plus
+  P50/P95/P99 from the shared harness's rotation-fair rounds).
 
 Results are printed as a table and written to ``BENCH_backends.json``
 next to this script so the perf trajectory is tracked across PRs.
@@ -51,7 +52,8 @@ def _main(argv=None) -> int:
                      'base_size': p.base_size,
                      'materialize_seconds': p.materialize_seconds,
                      'update_seconds': p.update_seconds,
-                     'sql_fallbacks': p.sql_fallbacks}
+                     'sql_fallbacks': p.sql_fallbacks,
+                     'update_latency': p.update_latency}
                     for p in points],
     }
     args.json.write_text(json.dumps(payload, indent=2) + '\n',

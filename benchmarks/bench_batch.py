@@ -12,6 +12,12 @@ warmed to steady state and then timed on an N-statement transaction
   statement-at-a-time baseline, one plan evaluation (and, on SQLite,
   one TEMP staging round) per bucket.
 
+All engines run through :mod:`repro.benchsuite.harness` — every
+``(view, backend, mode)`` combination is one case in a single seeded
+``run_cases`` call, so modes interleave through rotation-fair rounds
+instead of one mode soaking up the machine's warm caches.  Each
+point carries the per-transaction P50/P95/P99 alongside the medians.
+
 Results are printed as a table and written to ``BENCH_batch.json``
 next to this script so the perf trajectory is tracked across PRs.
 
@@ -32,6 +38,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / 'src'))
 
 from repro.benchsuite.catalog import entry_by_name                # noqa: E402
+from repro.benchsuite.harness import BenchCase, run_cases         # noqa: E402
 from repro.benchsuite.workload import (FIG6_PROTOCOL,             # noqa: E402
                                        build_engine,
                                        update_statement)
@@ -39,55 +46,67 @@ from repro.rdbms.dml import Insert                                # noqa: E402
 
 BACKENDS = ('memory', 'sqlite')
 
+MODES = (('stmt', False), ('batched', True))
 
-def _transaction_seconds(engine, entry, statements: int,
-                         repeats: int, counter: list[int]) -> float:
-    """Median wall time of one N-statement transaction (N fresh
-    single-tuple view INSERT buckets), after one unmeasured warmup."""
-    view = entry.name
 
-    def batches():
+def _make_case(view: str, backend: str, mode: str, batch: bool,
+               size: int, statements: int,
+               counter: list[int]) -> BenchCase:
+    entry = entry_by_name(view)
+
+    def setup():
+        engine = build_engine(entry, size, incremental=True,
+                              strategy=entry.strategy(),
+                              backend=backend)
+        engine.batch_deltas = batch
+        engine.rows(view)                       # materialise cache
+        return {'engine': engine}
+
+    def op(ctx, round_index):
         rows = []
         for _ in range(statements):
             counter[0] += 1
-            rows.append(update_statement(entry, engine, counter[0]))
-        return [(view, [Insert(row)]) for row in rows]
-
-    engine.execute_many(batches())                  # warm up
-    times = []
-    for _ in range(repeats):
-        work = batches()
+            rows.append(update_statement(entry, ctx['engine'],
+                                         counter[0]))
+        work = [(view, [Insert(row)]) for row in rows]
         started = time.perf_counter()
-        engine.execute_many(work)
-        times.append(time.perf_counter() - started)
-    return statistics.median(times)
+        ctx['engine'].execute_many(work)
+        return time.perf_counter() - started
+
+    def teardown(ctx):
+        ctx['engine'].close()
+
+    return BenchCase(name=f'{view}[{backend}]:{mode}', setup=setup,
+                     op=op, teardown=teardown, warmup=1,
+                     meta={'view': view, 'backend': backend,
+                           'mode': mode})
 
 
 def run_batch(views, size: int, statements: int, repeats: int,
               backends=BACKENDS, progress=None) -> list[dict]:
+    counter = [10_000_000]                      # unique row ids
+    cases = [_make_case(view, backend, mode, batch, size, statements,
+                        counter)
+             for view in views
+             for backend in backends
+             for mode, batch in MODES]
+    results = {r.name: r
+               for r in run_cases(cases, rounds=repeats, seed=7)}
     points = []
-    counter = [10_000_000]                          # unique row ids
     for view in views:
-        entry = entry_by_name(view)
-        strategy = entry.strategy()
         for backend in backends:
-            timings = {}
-            for mode, batch in (('stmt', False), ('batched', True)):
-                engine = build_engine(entry, size, incremental=True,
-                                      strategy=strategy, backend=backend)
-                try:
-                    engine.batch_deltas = batch
-                    engine.rows(view)               # materialise cache
-                    timings[mode] = _transaction_seconds(
-                        engine, entry, statements, repeats, counter)
-                finally:
-                    engine.close()
+            stmt = results[f'{view}[{backend}]:stmt']
+            batched = results[f'{view}[{backend}]:batched']
+            stmt_s = statistics.median(stmt.samples)
+            batched_s = statistics.median(batched.samples)
             point = {
                 'view': view, 'backend': backend, 'base_size': size,
                 'statements': statements,
-                'stmt_seconds': timings['stmt'],
-                'batched_seconds': timings['batched'],
-                'speedup': timings['stmt'] / timings['batched'],
+                'stmt_seconds': stmt_s,
+                'batched_seconds': batched_s,
+                'speedup': stmt_s / batched_s,
+                'stmt_latency': stmt.latency,
+                'batched_latency': batched.latency,
             }
             points.append(point)
             if progress is not None:

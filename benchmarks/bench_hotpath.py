@@ -19,6 +19,12 @@ representative rule shapes:
 * ``constraint`` — a ⊥-witness query under ``first_witness`` early
   exit.
 
+Both tiers of every shape run as cases of one seeded
+:func:`repro.benchsuite.harness.run_cases` call (``ev._SEALING`` is
+toggled inside each timed op — the flag gates execution, not just
+sealing, so one process interleaves both tiers rotation-fairly), and
+each point carries per-evaluation P50/P95/P99 next to the medians.
+
 Run:  python benchmarks/bench_hotpath.py [--rounds N] [--check]
 
 ``--check`` exits nonzero unless the sealed tier is >= 1.3x the
@@ -35,6 +41,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / 'src'))
 
+from repro.benchsuite.harness import BenchCase, run_cases    # noqa: E402
 from repro.datalog import evaluator as ev                    # noqa: E402
 from repro.datalog.parser import parse_program               # noqa: E402
 from repro.datalog.plan import compile_program               # noqa: E402
@@ -79,34 +86,60 @@ def _run_once(plan, edb, goals, first_witness):
         plan.evaluate(edb, goals=goals)
 
 
-def _time_tier(plan, edb, goals, first_witness, rounds, inner) -> float:
-    times = []
-    for _ in range(rounds):
-        started = time.perf_counter()
-        for _ in range(inner):
-            _run_once(plan, edb, goals, first_witness)
-        times.append(time.perf_counter() - started)
-    return statistics.median(times) / inner
+def _make_case(name, program, edb, goals, first_witness, *,
+               sealing: bool, inner: int) -> BenchCase:
+    tier = 'sealed' if sealing else 'generic'
+
+    def setup():
+        # A private plan per case: the sealed case's rules are warmed
+        # into their generated functions, the generic case's rules
+        # never seal.
+        plan = compile_program(program, cache=False)
+        was = ev._SEALING
+        ev._SEALING = sealing
+        try:
+            for _ in range(3):                  # warm (+ seal)
+                _run_once(plan, edb, goals, first_witness)
+        finally:
+            ev._SEALING = was
+        return {'plan': plan}
+
+    def op(ctx, round_index):
+        plan = ctx['plan']
+        was = ev._SEALING
+        ev._SEALING = sealing
+        try:
+            latencies = []
+            for _ in range(inner):
+                t0 = time.perf_counter()
+                _run_once(plan, edb, goals, first_witness)
+                latencies.append(time.perf_counter() - t0)
+            return latencies
+        finally:
+            ev._SEALING = was
+
+    return BenchCase(name=f'{name}:{tier}', setup=setup, op=op,
+                     warmup=1, meta={'shape': name, 'tier': tier})
 
 
 def run_bench(scale: int, rounds: int, inner: int) -> list[dict]:
+    shapes = _shapes(scale)
+    cases = [_make_case(*shape, sealing=sealing, inner=inner)
+             for shape in shapes for sealing in (True, False)]
+    results = {r.name: r for r in run_cases(cases, rounds=rounds,
+                                            seed=7)}
     points = []
-    for name, program, edb, goals, first_witness in _shapes(scale):
-        plan = compile_program(program, cache=False)
-        for _ in range(3):                      # warm + seal
-            _run_once(plan, edb, goals, first_witness)
-        sealed = _time_tier(plan, edb, goals, first_witness, rounds,
-                            inner)
-        ev._SEALING = False
-        try:
-            generic = _time_tier(plan, edb, goals, first_witness,
-                                 rounds, inner)
-        finally:
-            ev._SEALING = True
+    for name, *_ in shapes:
+        sealed = results[f'{name}:sealed']
+        generic = results[f'{name}:generic']
+        sealed_s = statistics.median(sealed.samples)
+        generic_s = statistics.median(generic.samples)
         points.append({'shape': name,
-                       'generic_us': generic * 1e6,
-                       'sealed_us': sealed * 1e6,
-                       'speedup': generic / sealed})
+                       'generic_us': generic_s * 1e6,
+                       'sealed_us': sealed_s * 1e6,
+                       'speedup': generic_s / sealed_s,
+                       'generic_latency': generic.latency,
+                       'sealed_latency': sealed.latency})
     return points
 
 

@@ -108,7 +108,9 @@ except ImportError:                                   # pragma: no cover
 
 
 def _main(argv=None) -> None:                         # pragma: no cover
-    import time
+    import statistics
+
+    from repro.benchsuite.harness import BenchCase, run_cases
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument('--rounds', type=int, default=200)
@@ -123,24 +125,35 @@ def _main(argv=None) -> None:                         # pragma: no cover
           f'base size {SIZE:,}')
     print(f'{"view":<18} {"reuse µs":>10} {"recompile µs":>13} '
           f'{"speedup":>8}')
+    # All four (view, mode) combinations interleave through one
+    # seeded rotation-fair harness run; each round is one repeated-put
+    # step, so the wall samples are per-step latencies.
+    cases = [BenchCase(name=f'{view}:{mode}',
+                       setup=lambda view=view, reuse=reuse:
+                           _steady_state(view, reuse),
+                       op=lambda step, r: step(),
+                       warmup=1,
+                       meta={'view': view, 'mode': mode})
+             for view in VIEWS
+             for mode, reuse in (('reuse', True), ('recompile', False))]
+    by_name = {r.name: r for r in run_cases(cases, rounds=rounds,
+                                            seed=7)}
     results = []
     for view in VIEWS:
-        timings = {}
-        for mode, reuse in (('reuse', True), ('recompile', False)):
-            step = _steady_state(view, reuse)
-            step()                                    # warm indexes
-            start = time.perf_counter()
-            for _ in range(rounds):
-                step()
-            timings[mode] = (time.perf_counter() - start) / rounds
-        speedup = timings['recompile'] / timings['reuse']
-        print(f'{view:<18} {timings["reuse"] * 1e6:>10.1f} '
-              f'{timings["recompile"] * 1e6:>13.1f} {speedup:>7.1f}x')
+        reuse = by_name[f'{view}:reuse']
+        recompile = by_name[f'{view}:recompile']
+        reuse_s = statistics.median(reuse.samples)
+        recompile_s = statistics.median(recompile.samples)
+        speedup = recompile_s / reuse_s
+        print(f'{view:<18} {reuse_s * 1e6:>10.1f} '
+              f'{recompile_s * 1e6:>13.1f} {speedup:>7.1f}x')
         results.append({'view': view, 'base_size': SIZE,
                         'rounds': rounds,
-                        'reuse_seconds': timings['reuse'],
-                        'recompile_seconds': timings['recompile'],
-                        'speedup': speedup})
+                        'reuse_seconds': reuse_s,
+                        'recompile_seconds': recompile_s,
+                        'speedup': speedup,
+                        'reuse_latency': reuse.latency,
+                        'recompile_latency': recompile.latency})
     payload = {'benchmark': 'plan_cache', 'size': SIZE, 'rounds': rounds,
                'results': results}
     args.json.write_text(json.dumps(payload, indent=2) + '\n',

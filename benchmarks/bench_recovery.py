@@ -20,6 +20,12 @@ Three claims, one JSON artifact (``BENCH_recovery.json``):
    replays O(|DB| rows) records instead of O(history): the replayed
    record count drops and must never exceed the uncheckpointed count.
 
+Every timed phase runs through :mod:`repro.benchsuite.harness`: the
+kill/restart cycle is one case (each round is one SIGKILL + restart),
+and the cold opens of parts 2 and 3 are rotation-fair cases replaying
+*copies* of the frozen log files, so all medians come with
+P50/P95/P99 distributions.
+
 Run:  python benchmarks/bench_recovery.py [--quick] [--check] [--json P]
 
 ``--check`` is the CI smoke gate: zero lost transactions across every
@@ -31,6 +37,7 @@ one.
 import argparse
 import json
 import os
+import shutil
 import signal
 import statistics
 import sys
@@ -40,6 +47,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / 'src'))
 
+from repro.benchsuite.harness import BenchCase, run_cases      # noqa: E402
 from repro.core.strategy import UpdateStrategy                 # noqa: E402
 from repro.rdbms.dml import Insert                             # noqa: E402
 from repro.rdbms.engine import Engine                          # noqa: E402
@@ -71,16 +79,17 @@ def _base_rows(size: int) -> list[tuple]:
 def run_worker_restart(size: int, *, txns: int, shards: int,
                        repeats: int) -> dict:
     """Kill shard 0's worker after ``txns`` committed transactions and
-    time the restart (fork + WAL replay + first RPC), ``repeats``
-    times over the same log."""
+    time the restart (fork + WAL replay + first RPC): one harness
+    round per kill/restart cycle over the same log."""
     strategy = _strategy()
+    outcome: dict = {}
     with tempfile.TemporaryDirectory(prefix='repro-bench-rec-') as d:
-        cluster = ShardedEngine(strategy.sources, shards=shards,
-                                shard_keys=SHARD_KEYS,
-                                execution='processes',
-                                wal_dir=Path(d) / 'cluster',
-                                wal_sync=False)
-        try:
+        def setup():
+            cluster = ShardedEngine(strategy.sources, shards=shards,
+                                    shard_keys=SHARD_KEYS,
+                                    execution='processes',
+                                    wal_dir=Path(d) / 'cluster',
+                                    wal_sync=False)
             cluster.load('items', _base_rows(size))
             cluster.define_view(strategy, validate_first=False)
             key = size + 10
@@ -89,38 +98,85 @@ def run_worker_restart(size: int, *, txns: int, shards: int,
                     [('items', [Insert((key, f'w{key}', 5000))])])
                 key += 1
             victim = cluster.shards[0]
-            expected_lsn = victim.commit_lsn
-            expected_rows = victim.rows('items')
-            mttrs, lost = [], 0
-            for _ in range(repeats):
-                os.kill(victim.process.pid, signal.SIGKILL)
-                victim.process.join(10)
-                t0 = time.perf_counter()
-                victim.restart()
-                recovered_lsn = victim.commit_lsn   # first RPC answered
-                mttrs.append(time.perf_counter() - t0)
-                if recovered_lsn != expected_lsn \
-                        or victim.rows('items') != expected_rows:
-                    lost += 1
-            # The cluster still commits after the last restart.
-            cluster.execute_many(
-                [('items', [Insert((key, f'w{key}', 5000))])])
-        finally:
-            cluster.close()
+            return {'cluster': cluster, 'victim': victim,
+                    'next_key': key, 'lost': 0,
+                    'expected_lsn': victim.commit_lsn,
+                    'expected_rows': victim.rows('items')}
+
+        def op(ctx, round_index):
+            victim = ctx['victim']
+            os.kill(victim.process.pid, signal.SIGKILL)
+            victim.process.join(10)
+            t0 = time.perf_counter()
+            victim.restart()
+            recovered_lsn = victim.commit_lsn   # first RPC answered
+            elapsed = time.perf_counter() - t0
+            if recovered_lsn != ctx['expected_lsn'] \
+                    or victim.rows('items') != ctx['expected_rows']:
+                ctx['lost'] += 1
+            return elapsed
+
+        def teardown(ctx):
+            try:
+                # The cluster still commits after the last restart.
+                key = ctx['next_key']
+                ctx['cluster'].execute_many(
+                    [('items', [Insert((key, f'w{key}', 5000))])])
+                outcome['lost'] = ctx['lost']
+                outcome['expected_lsn'] = ctx['expected_lsn']
+            finally:
+                ctx['cluster'].close()
+
+        result = run_cases(
+            [BenchCase(name='worker-restart', setup=setup, op=op,
+                       teardown=teardown, warmup=1)],
+            rounds=repeats, seed=7)[0]
+    mttrs = result.samples
     return {'base_size': size, 'txns': txns, 'shards': shards,
             'repeats': repeats,
-            'records_replayed': expected_lsn,
-            'lost_transactions': lost,
+            'records_replayed': outcome['expected_lsn'],
+            'lost_transactions': outcome['lost'],
             'mttr_ms_p50': statistics.median(mttrs) * 1000,
-            'mttr_ms_max': max(mttrs) * 1000}
+            'mttr_ms_max': max(mttrs) * 1000,
+            'mttr_latency': result.latency}
 
 
-# -- part 2: WAL-replay throughput vs commit rate ---------------------
+# -- parts 2 & 3: cold-open cases over frozen log copies --------------
 
-def run_replay(size: int, *, txns: int) -> dict:
+def _cold_open_case(name: str, strategy, frozen: Path,
+                    scratch: Path) -> BenchCase:
+    """One harness case: each round copies the frozen log and times a
+    cold ``Engine(wal=copy)`` open (replay through apply_deltas).  The
+    copy is outside the timed window; replaying a copy keeps the
+    frozen log byte-identical across rounds (an open may truncate a
+    torn tail in place)."""
+    def op(_ctx, round_index):
+        copy = scratch / f'{name}-{round_index}.wal'
+        shutil.copyfile(frozen, copy)
+        t0 = time.perf_counter()
+        engine = Engine(strategy.sources, wal=copy, wal_sync=False)
+        try:
+            elapsed = time.perf_counter() - t0
+        finally:
+            engine.close()
+        copy.unlink()
+        return elapsed
+
+    return BenchCase(name=name, setup=lambda: {}, op=op, warmup=1)
+
+
+def _physical_records(path: Path) -> int:
+    """Records actually in the file — what a restart replays.  (Not
+    ``commit_lsn``: a checkpoint keeps LSNs monotonic across the
+    compaction, so the LSN keeps counting while the file shrinks.)"""
+    return sum(1 for _ in read_records(path))
+
+
+def run_replay(size: int, *, txns: int, repeats: int = 5) -> dict:
     strategy = _strategy()
     with tempfile.TemporaryDirectory(prefix='repro-bench-rec-') as d:
-        path = Path(d) / 'primary.wal'
+        d = Path(d)
+        path = d / 'primary.wal'
         engine = Engine(strategy.sources, wal=path, wal_sync=False)
         try:
             engine.load('items', _base_rows(size))
@@ -128,10 +184,11 @@ def run_replay(size: int, *, txns: int) -> dict:
             engine.rows('luxuryitems')
         finally:
             engine.close()
-        # Baseline: a cold open of the pre-transaction log (the bulk
-        # ``load`` + ``define_view`` records every restart pays, which
-        # would otherwise drown the per-commit replay rate).
-        baseline_seconds, _lsn = _cold_open_seconds(strategy, path)
+        # Freeze the pre-transaction log (the bulk ``load`` +
+        # ``define_view`` records every restart pays, which would
+        # otherwise drown the per-commit replay rate).
+        baseline_log = d / 'baseline.wal'
+        shutil.copyfile(path, baseline_log)
         engine = Engine(strategy.sources, wal=path, wal_sync=False)
         try:
             key = size + 10
@@ -144,46 +201,38 @@ def run_replay(size: int, *, txns: int) -> dict:
             reference = frozenset(engine.rows('items'))
         finally:
             engine.close()
-        full_seconds, recovered_lsn = _cold_open_seconds(
-            strategy, path)
-        assert recovered_lsn == final_lsn
+        results = {r.name: r for r in run_cases(
+            [_cold_open_case('baseline-open', strategy, baseline_log,
+                             d),
+             _cold_open_case('full-open', strategy, path, d)],
+            rounds=repeats, seed=7)}
         check = Engine(strategy.sources, wal=path, wal_sync=False)
         try:
+            recovered_lsn = check.commit_lsn
+            assert recovered_lsn == final_lsn
             assert frozenset(check.rows('items')) == reference
         finally:
             check.close()
+    baseline_seconds = statistics.median(
+        results['baseline-open'].samples)
+    full_seconds = statistics.median(results['full-open'].samples)
     replay_seconds = max(full_seconds - baseline_seconds, 1e-9)
     return {'base_size': size, 'txns': txns,
             'records_replayed': final_lsn,
             'baseline_open_ms': baseline_seconds * 1000,
             'full_open_ms': full_seconds * 1000,
+            'baseline_open_latency': results['baseline-open'].latency,
+            'full_open_latency': results['full-open'].latency,
             'commit_txns_per_second': txns / commit_seconds,
             'replay_records_per_second': txns / replay_seconds,
             'replay_vs_commit': commit_seconds / replay_seconds}
 
 
-# -- part 3: checkpoint compaction ------------------------------------
-
-def _cold_open_seconds(strategy, path: Path) -> tuple[float, int]:
-    t0 = time.perf_counter()
-    engine = Engine(strategy.sources, wal=path, wal_sync=False)
-    try:
-        return time.perf_counter() - t0, engine.commit_lsn
-    finally:
-        engine.close()
-
-
-def _physical_records(path: Path) -> int:
-    """Records actually in the file — what a restart replays.  (Not
-    ``commit_lsn``: a checkpoint keeps LSNs monotonic across the
-    compaction, so the LSN keeps counting while the file shrinks.)"""
-    return sum(1 for _ in read_records(path))
-
-
-def run_checkpoint(size: int, *, txns: int) -> dict:
+def run_checkpoint(size: int, *, txns: int, repeats: int = 5) -> dict:
     strategy = _strategy()
     with tempfile.TemporaryDirectory(prefix='repro-bench-rec-') as d:
-        path = Path(d) / 'primary.wal'
+        d = Path(d)
+        path = d / 'primary.wal'
         engine = Engine(strategy.sources, wal=path, wal_sync=False)
         try:
             engine.load('items', _base_rows(size))
@@ -195,25 +244,37 @@ def run_checkpoint(size: int, *, txns: int) -> dict:
             reference = frozenset(engine.rows('items'))
         finally:
             engine.close()
-        before_seconds, _lsn = _cold_open_seconds(strategy, path)
+        before_log = d / 'before.wal'
+        shutil.copyfile(path, before_log)
         before_records = _physical_records(path)
         compactor = Engine(strategy.sources, wal=path, wal_sync=False)
         try:
             compactor.checkpoint()
         finally:
             compactor.close()
-        after_seconds, _lsn = _cold_open_seconds(strategy, path)
         after_records = _physical_records(path)
+        results = {r.name: r for r in run_cases(
+            [_cold_open_case('pre-checkpoint-open', strategy,
+                             before_log, d),
+             _cold_open_case('post-checkpoint-open', strategy, path,
+                             d)],
+            rounds=repeats, seed=7)}
         check = Engine(strategy.sources, wal=path, wal_sync=False)
         try:
             assert frozenset(check.rows('items')) == reference
         finally:
             check.close()
+    before = results['pre-checkpoint-open']
+    after = results['post-checkpoint-open']
     return {'base_size': size, 'txns': txns,
             'records_before_checkpoint': before_records,
             'records_after_checkpoint': after_records,
-            'restart_ms_before': before_seconds * 1000,
-            'restart_ms_after': after_seconds * 1000}
+            'restart_ms_before': statistics.median(before.samples)
+            * 1000,
+            'restart_ms_after': statistics.median(after.samples)
+            * 1000,
+            'restart_before_latency': before.latency,
+            'restart_after_latency': after.latency}
 
 
 def _main(argv=None) -> int:
@@ -245,11 +306,11 @@ def _main(argv=None) -> int:
           f'(max {restart["mttr_ms_max"]:.1f} ms) over '
           f'{restart["records_replayed"]} replayed records, '
           f'{restart["lost_transactions"]} lost transactions')
-    replay = run_replay(size, txns=txns)
+    replay = run_replay(size, txns=txns, repeats=repeats)
     print(f'wal replay: {replay["replay_records_per_second"]:.0f} '
           f'records/s = {replay["replay_vs_commit"]:.1f}x the '
           f'original commit rate')
-    checkpoint = run_checkpoint(size, txns=txns)
+    checkpoint = run_checkpoint(size, txns=txns, repeats=repeats)
     print(f'checkpoint: restart replays '
           f'{checkpoint["records_after_checkpoint"]} records instead '
           f'of {checkpoint["records_before_checkpoint"]} '
@@ -260,14 +321,16 @@ def _main(argv=None) -> int:
         'benchmark': 'recovery', 'size': size, 'txns': txns,
         'cpu_count': os.cpu_count(),
         'note': ('MTTR times ProcessShard.restart(): fork + WAL '
-                 'replay + first RPC, median over repeated SIGKILLs '
+                 'replay + first RPC, one harness round per SIGKILL '
                  'of the same shard; commit_lsn and rows must match '
                  'the pre-kill shard exactly (zero lost '
                  'transactions).  Replay applies logged deltas '
                  'without re-running any derivation plan, so it '
                  'sustains the original commit rate; checkpointing '
                  'collapses history into per-base snapshot records '
-                 'so restart cost tracks |DB|, not |history|'),
+                 'so restart cost tracks |DB|, not |history|.  Cold '
+                 'opens replay fresh copies of frozen logs, '
+                 'rotation-fair, medians with P50/P95/P99'),
         'worker_restart': restart,
         'wal_replay': replay,
         'checkpoint': checkpoint,

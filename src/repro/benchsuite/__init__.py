@@ -1,6 +1,8 @@
 """The paper's evaluation suite: the 32-view Table 1 catalog, workload
 generators, and the harnesses regenerating Table 1 and Figure 6."""
 
+from repro.benchsuite.bench_all import (build_summary, check_summary,
+                                        run_bench_all, run_overhead)
 from repro.benchsuite.catalog import (ALL_ENTRIES, FIGURE6_VIEWS,
                                       entry_by_id, entry_by_name)
 from repro.benchsuite.entry import BenchmarkEntry, PaperRow
@@ -13,4 +15,6 @@ __all__ = ['ALL_ENTRIES', 'FIGURE6_VIEWS', 'entry_by_id', 'entry_by_name',
            'BenchmarkEntry', 'PaperRow', 'Fig6Point', 'Table1Row',
            'format_fig6', 'format_table1', 'run_fig6', 'run_table1',
            'build_engine', 'update_statement',
-           'BenchCase', 'CaseResult', 'run_cases']
+           'BenchCase', 'CaseResult', 'run_cases',
+           'run_bench_all', 'run_overhead', 'build_summary',
+           'check_summary']

@@ -1,0 +1,22 @@
+"""``python -m repro.benchsuite`` — the suite's command line.
+
+``bench_all`` runs the cross-configuration summary benchmark
+(:mod:`repro.benchsuite.bench_all`); every other subcommand
+(``table1``, ``fig6``, ``backends``) is the paper-artifact runner
+(:mod:`repro.benchsuite.runner`), unchanged.
+"""
+
+import sys
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == 'bench_all':
+        from repro.benchsuite.bench_all import main as bench_all_main
+        return bench_all_main(argv[1:])
+    from repro.benchsuite.runner import main as runner_main
+    return runner_main(argv)
+
+
+if __name__ == '__main__':
+    raise SystemExit(main())

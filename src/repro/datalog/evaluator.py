@@ -598,9 +598,18 @@ def _compile_factory(em: _Emitter, name: str, signature: str,
     return namespace['_make'](_compare, *em.consts)
 
 
+def _count_seal() -> None:
+    """Tick the process-wide ``plan.seals`` counter.  Imported lazily:
+    sealing is a once-per-rule event, and a module-level import of
+    rdbms.metrics from here would cycle through the rdbms package."""
+    from repro.rdbms.metrics import GLOBAL
+    GLOBAL.counter('plan.seals')
+
+
 def _seal_run(rule_plan: RulePlan):
     """Generate the bottom-up executor for one rule plan:
     ``fn(ctx, out, limit)`` adding head rows to ``out``."""
+    _count_seal()
     em = _Emitter()
     head = ('(' + ', '.join(em.operand(pair) for pair in rule_plan.head)
             + (',)' if len(rule_plan.head) == 1 else ')'))
@@ -615,6 +624,7 @@ def _seal_run(rule_plan: RulePlan):
 def _seal_probe(rule_plan: RulePlan):
     """Generate the top-down prober for one rule plan:
     ``fn(ctx, row) -> bool``."""
+    _count_seal()
     em = _Emitter()
     for pos, value in rule_plan.match_consts:
         em.emit(f'if row[{pos}] != {em.const(value)}:')

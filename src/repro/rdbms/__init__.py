@@ -1,10 +1,18 @@
 """In-memory RDBMS with programmable updatable views — the execution
 substrate standing in for PostgreSQL (§6.1; substitution documented in
-DESIGN.md)."""
+DESIGN.md).
+
+Observability: every engine owns a
+:class:`~repro.rdbms.metrics.MetricsRegistry`; ``Engine`` exposes
+``metrics_snapshot()``, ``ShardedEngine``/``ViewServer`` expose a
+merged ``metrics()`` (worker processes ship their counters back over
+the existing RPC channel)."""
 
 from repro.rdbms.dml import (Delete, Insert, Statement, Update,
                              derive_view_delta)
 from repro.rdbms.engine import Engine, Transaction, ViewEntry
+from repro.rdbms.metrics import (MetricsRegistry, merge_snapshots,
+                                 summarize_snapshot)
 from repro.rdbms.replica import ReplicaEngine, ReplicaSet
 from repro.rdbms.serve import Receipt, ViewServer
 from repro.rdbms.sharded import (HashPartitioner, Partitioner,
@@ -15,4 +23,5 @@ __all__ = ['Delete', 'Insert', 'Statement', 'Update', 'derive_view_delta',
            'Engine', 'Transaction', 'ViewEntry', 'ShardedEngine',
            'Partitioner', 'HashPartitioner', 'RangePartitioner',
            'Receipt', 'ViewServer', 'WriteAheadLog', 'WalRecord',
-           'ReplicaEngine', 'ReplicaSet']
+           'ReplicaEngine', 'ReplicaSet', 'MetricsRegistry',
+           'merge_snapshots', 'summarize_snapshot']

@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterable, Mapping, Sequence
 
 from repro.core.incremental import incrementalize_plan
@@ -67,6 +68,7 @@ from repro.errors import (ContradictionError, SchemaError, ValidationError,
 from repro.rdbms.backends import Backend, create_backend
 from repro.rdbms.dml import (Delete, Insert, Statement, Update,
                              derive_view_delta)
+from repro.rdbms.metrics import MetricsRegistry
 from repro.rdbms.wal import WriteAheadLog
 from repro.relational.database import Database
 from repro.relational.delta import Delta, DeltaSet
@@ -355,8 +357,29 @@ class Engine:
         #: aggregated counts, so one shard's local sizes never drive a
         #: join order or a spurious re-plan.
         self.stats_provider = self._relation_stats
+        #: Hot-path instrumentation (see rdbms/metrics.py): transaction
+        #: phase timings, plan compiles/replans, WAL append latency.
+        #: ``engine.metrics.enabled = False`` turns every hook into a
+        #: single attribute check — the overhead is gated in CI by
+        #: ``bench_all``'s instrumented-vs-disabled comparison.
+        self.metrics = MetricsRegistry()
+        if self.wal is not None:
+            self.wal.metrics = self.metrics
         if self.wal is not None and self.wal.last_lsn:
             self._recover()
+
+    def metrics_snapshot(self) -> dict:
+        """This engine's metrics as a picklable dict, with the WAL's
+        cumulative stats folded in as ``wal.*`` counters."""
+        snap = self.metrics.snapshot()
+        if self.wal is not None:
+            counters = snap['counters']
+            for key, value in self.wal.stats.items():
+                if key == 'last_record_bytes':
+                    snap['gauges']['wal.last_record_bytes'] = value
+                else:
+                    counters[f'wal.{key}'] = value
+        return snap
 
     # -- durability (write-ahead log) --------------------------------------
 
@@ -583,6 +606,8 @@ class Engine:
             raise ValidationError(
                 f'no certified view definition available for {name!r}')
 
+        metrics = self.metrics
+        compile_started = perf_counter() if metrics.enabled else 0.0
         source_names = tuple(sorted(
             set(strategy.sources.names()) & (set(self.schema.names()) |
                                              set(self._views))))
@@ -636,6 +661,10 @@ class Engine:
         record = (strategy, report, entry.use_incremental, dict(stats))
         self._wal_defines[name] = record
         self._wal_append('define_view', record)
+        if metrics.enabled:
+            metrics.counter('plan.compiles')
+            metrics.observe('plan.compile_seconds',
+                            perf_counter() - compile_started)
         return entry
 
     def drop_view(self, name: str) -> None:
@@ -718,6 +747,7 @@ class Engine:
             entry.stats_seed = dict(stats)
             entry.replans += 1
             entry.drift_probes = 0
+            self.metrics.counter('plan.replans')
             self._register_index_hints(entry)
 
     def _register_index_hints(self, entry: ViewEntry) -> None:
@@ -789,6 +819,18 @@ class Engine:
                          statements: Sequence[Statement]) -> None:
         """Run one statement bucket against ``working`` (derive and
         stage deltas; no storage is touched until commit)."""
+        metrics = self.metrics
+        if not metrics.enabled:
+            return self._apply_statements(working, target, statements)
+        started = perf_counter()
+        try:
+            return self._apply_statements(working, target, statements)
+        finally:
+            metrics.observe('txn.apply_seconds',
+                            perf_counter() - started)
+
+    def _apply_statements(self, working: _Working, target: str,
+                          statements: Sequence[Statement]) -> None:
         if target not in self._views and target not in self.schema:
             raise SchemaError(f'unknown relation {target!r}')
         if not statements:
@@ -874,6 +916,8 @@ class Engine:
         sources = {s: working.relation_for_eval(s)
                    for s in entry.source_names}
 
+        metrics = self.metrics
+        flush_started = perf_counter() if metrics.enabled else 0.0
         if entry.use_incremental:
             new_rows = None
             if entry.strategy.constraints() \
@@ -888,6 +932,10 @@ class Engine:
             deltas = self.backend.evaluate_putback(
                 entry, sources, working.rows(name),
                 check_constraints=True)
+        if metrics.enabled:
+            metrics.counter('txn.plan_runs')
+            metrics.observe('txn.flush_seconds',
+                            perf_counter() - flush_started)
 
         for relation in sorted(deltas.relations()):
             rel_delta = deltas[relation].effective_on(
@@ -918,6 +966,17 @@ class Engine:
         returned :class:`PreparedCommit` is then applied with
         :meth:`apply_prepared`; abandoning it aborts the transaction
         with no cleanup needed."""
+        metrics = self.metrics
+        if not metrics.enabled:
+            return self._prepare_commit(working)
+        started = perf_counter()
+        try:
+            return self._prepare_commit(working)
+        finally:
+            metrics.observe('txn.prepare_seconds',
+                            perf_counter() - started)
+
+    def _prepare_commit(self, working: _Working) -> 'PreparedCommit':
         self._flush_pending(working)
         # Validate every inserted base row before touching storage, so a
         # schema error cannot leave a half-applied transaction behind.
@@ -960,12 +1019,18 @@ class Engine:
         appended first — the append is the commit point; a crash after
         it replays the transaction, a crash before it aborts cleanly
         (committed-prefix semantics)."""
+        metrics = self.metrics
+        started = perf_counter() if metrics.enabled else 0.0
         if prepared.batch:
             if self.wal is not None and not self._wal_replaying:
                 self.wal.append('commit', prepared.wal_record())
             self.backend.apply_deltas(prepared.batch)
         self._invalidate_dependents(prepared.changed_bases,
                                     keep=prepared.keep)
+        if metrics.enabled:
+            metrics.counter('txn.commits')
+            metrics.observe('txn.commit_seconds',
+                            perf_counter() - started)
 
     def _commit(self, working: _Working) -> None:
         self.apply_prepared(self.prepare_commit(working))

@@ -236,6 +236,15 @@ class WorkerRuntime:
     def ping(self) -> str:
         return 'pong'
 
+    def metrics(self) -> dict:
+        """The worker engine's metrics snapshot (plus this process's
+        GLOBAL series, e.g. evaluator plan seals) — how worker
+        counters travel back to the coordinator's merged
+        ``ShardedEngine.metrics()`` over the ordinary RPC channel."""
+        from repro.rdbms.metrics import GLOBAL, merge_snapshots
+        return merge_snapshots([self.engine.metrics_snapshot(),
+                                GLOBAL.snapshot()])
+
     def close(self) -> None:
         self.engine.close()
 
@@ -448,6 +457,11 @@ class ProcessShard:
         self._txn_counter = 0
         #: restarts so far — the worker's fault-plan ``generation``
         self.generation = 0
+        #: RPC round-trips completed on channels already torn down; a
+        #: restart replaces the channel (whose sequence counter starts
+        #: over), so the cumulative count lives here — see
+        #: :attr:`rpc_requests`.
+        self._rpc_retired = 0
         # Recovery journal for WAL-less shards: the catalog calls a
         # restarted worker replays (latest load per table; views in
         # definition order).  With a WAL the log itself is the journal.
@@ -498,8 +512,26 @@ class ProcessShard:
         for view_args in self._views:
             self.channel.call('define_view', *view_args)
 
+    @property
+    def rpc_requests(self) -> int:
+        """Total RPC requests ever sent to this shard (across worker
+        generations)."""
+        current = self.channel._seq if self.channel is not None else 0
+        return self._rpc_retired + current
+
+    def metrics(self) -> 'dict | None':
+        """The worker's metrics snapshot (``None`` when the worker is
+        unreachable — a dead shard contributes nothing to the merge)."""
+        if self.channel is None or self.channel.dead:
+            return None
+        try:
+            return self.channel.call('metrics')
+        except ShardUnavailableError:
+            return None
+
     def _reap(self) -> None:
         if self.channel is not None:
+            self._rpc_retired += self.channel._seq
             try:
                 self.channel.conn.close()
             except OSError:  # pragma: no cover - already closed

@@ -33,6 +33,7 @@ by checksum.
 from __future__ import annotations
 
 import threading
+import time
 from pathlib import Path
 
 from repro.errors import SchemaError
@@ -69,7 +70,7 @@ class ReplicaEngine:
         self._lock = threading.RLock()
         self.applied_lsn = 0
         self.stats = {'catch_ups': 0, 'records_applied': 0,
-                      'commits_applied': 0}
+                      'commits_applied': 0, 'catch_up_seconds': 0.0}
 
     @property
     def engine(self) -> Engine:
@@ -98,6 +99,7 @@ class ReplicaEngine:
         if faults.fire('replica.catch_up') == 'stall':
             return 0                   # injected stalled tail: no-op
         applied = 0
+        started = time.perf_counter()
         with self._lock:
             for record in read_records(self._path,
                                        after=self.applied_lsn):
@@ -111,6 +113,8 @@ class ReplicaEngine:
             if applied:
                 self.stats['records_applied'] += applied
                 self.stats['catch_ups'] += 1
+                self.stats['catch_up_seconds'] += \
+                    time.perf_counter() - started
         return applied
 
     def rows(self, name: str, *, min_lsn: int | None = None):
@@ -155,13 +159,16 @@ class ReplicaSet:
 
     **Degradation.**  A replica whose tail *raises* (truncated log
     file, backend error, injected fault) is quarantined — dropped from
-    the rotation, counted in ``stats()['quarantined']`` — and the read
-    retries on the remaining replicas, falling back to the primary when
-    none are left.  A replica whose tail merely *stalls* (catch-up
-    applies nothing and the freshness bound is still unmet) keeps its
-    place in the rotation but the bounded read degrades to the primary
-    (``stats()['stalled_reads']``): staleness bounds are honoured, and
-    errors never propagate to the reader.
+    the rotation (the monotonic ``stats['quarantines']`` counter ticks,
+    and the live ``stats['quarantined']``/``stats['in_rotation']``
+    gauges move) — and the read retries on the remaining replicas,
+    falling back to the primary when none are left.  A replica whose
+    tail merely *stalls* (catch-up applies nothing and the freshness
+    bound is still unmet) keeps its place in the rotation but the
+    bounded read degrades to the primary (``stats['stalled_reads']``):
+    staleness bounds are honoured, and errors never propagate to the
+    reader.  ``reinstate()`` restores quarantined replicas and the
+    gauges with them.
     """
 
     POLICIES = ('round-robin', 'freshest')
@@ -178,9 +185,17 @@ class ReplicaSet:
         self._lock = threading.Lock()
         self._cursor = 0
         self._quarantined: list[ReplicaEngine] = []
+        #: ``quarantines`` is a *monotonic counter* (total quarantine
+        #: events, never decremented); ``in_rotation``/``quarantined``
+        #: are *live gauges* that move in both directions as replicas
+        #: leave and re-enter the rotation — ``reinstate()`` restores
+        #: them.  (``quarantined`` was previously counter-shaped: it
+        #: never came back down on reinstate.)
         self.stats = {'replica_reads': 0, 'primary_reads': 0,
-                      'catch_ups': 0, 'quarantined': 0,
-                      'stalled_reads': 0}
+                      'catch_ups': 0, 'quarantines': 0,
+                      'stalled_reads': 0,
+                      'in_rotation': len(self.replicas),
+                      'quarantined': 0}
 
     def commit_lsn(self) -> int:
         """The primary's newest committed LSN — the token a session
@@ -242,7 +257,9 @@ class ReplicaSet:
             if replica in self.replicas:
                 self.replicas.remove(replica)
                 self._quarantined.append(replica)
-                self.stats['quarantined'] += 1
+                self.stats['quarantines'] += 1
+                self.stats['in_rotation'] = len(self.replicas)
+                self.stats['quarantined'] = len(self._quarantined)
 
     @property
     def quarantined(self) -> tuple:
@@ -260,7 +277,35 @@ class ReplicaSet:
             for one in back:
                 self._quarantined.remove(one)
                 self.replicas.append(one)
+            self.stats['in_rotation'] = len(self.replicas)
+            self.stats['quarantined'] = len(self._quarantined)
         return len(back)
+
+    def metrics_snapshot(self) -> dict:
+        """This router's stats in registry-snapshot shape (see
+        rdbms/metrics.py) so a coordinator can fold it into a merged
+        ``metrics()`` view: monotonic series become ``replica.*``
+        counters, the rotation/lag state becomes gauges.  ``lag`` is
+        the worst in-rotation lag at call time (a file-tail scan per
+        replica — operator path, not hot path)."""
+        with self._lock:
+            stats = dict(self.stats)
+            rotation = list(self.replicas)
+        counters = {f'replica.{key}': value
+                    for key, value in stats.items()
+                    if key not in ('in_rotation', 'quarantined')}
+        records = sum(r.stats['records_applied'] for r in rotation)
+        seconds = sum(r.stats['catch_up_seconds'] for r in rotation)
+        counters['replica.records_applied'] = records
+        counters['replica.catch_up_seconds'] = seconds
+        gauges = {
+            'replica.in_rotation': float(stats['in_rotation']),
+            'replica.quarantined': float(stats['quarantined']),
+            'replica.lag': float(max((r.lag() for r in rotation),
+                                     default=0)),
+        }
+        return {'counters': counters, 'gauges': gauges,
+                'histograms': {}}
 
     def catch_up(self) -> int:
         """Bring every in-rotation replica fully up to date (records

@@ -52,10 +52,12 @@ from __future__ import annotations
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Sequence
 
 from repro.errors import SchemaError, ShardUnavailableError
 from repro.rdbms.dml import Statement
+from repro.rdbms.metrics import MetricsRegistry, merge_snapshots
 
 __all__ = ['Receipt', 'ViewServer']
 
@@ -128,6 +130,34 @@ class ViewServer:
         self.stats = {'submitted': 0, 'committed': 0, 'failed': 0,
                       'groups': 0, 'grouped': 0, 'max_group': 0,
                       'retried': 0, 'reads': 0, 'shard_failures': 0}
+        #: histograms the plain counters can't carry: the group-size
+        #: distribution (``serve.group_size``) and each grouped engine
+        #: run's latency (``serve.group_seconds``) — merged with the
+        #: engine's own snapshot by :meth:`metrics`.
+        self._metrics = MetricsRegistry()
+
+    def metrics(self) -> dict:
+        """One merged snapshot: this server's counters (the ``stats``
+        dict as ``serve.*``), its group-size/latency histograms, and
+        the underlying engine's metrics — ``ShardedEngine.metrics()``
+        when serving a cluster (worker counters included), the plain
+        engine's snapshot otherwise."""
+        served = {'counters': {f'serve.{key}': value
+                               for key, value in self.stats.items()
+                               if key != 'max_group'},
+                  'gauges': {'serve.max_group':
+                             float(self.stats['max_group'])},
+                  'histograms': {}}
+        snapshots = [self._metrics.snapshot(), served]
+        engine_metrics = getattr(self.engine, 'metrics', None)
+        if callable(engine_metrics):
+            snapshots.append(engine_metrics())
+        elif hasattr(self.engine, 'metrics_snapshot'):
+            snapshots.append(self.engine.metrics_snapshot())
+        if self.replicas is not None and \
+                hasattr(self.replicas, 'metrics_snapshot'):
+            snapshots.append(self.replicas.metrics_snapshot())
+        return merge_snapshots(snapshots)
 
     # -- lifecycle ----------------------------------------------------
 
@@ -240,9 +270,17 @@ class ViewServer:
                                       len(group))
         if len(group) > 1:
             self.stats['grouped'] += len(group)
+        metrics = self._metrics
+        timed = metrics.enabled
+        if timed:
+            metrics.observe('serve.group_size', float(len(group)))
+            started = perf_counter()
         try:
             await loop.run_in_executor(self._executor,
                                        self.engine.execute_many, merged)
+            if timed:
+                metrics.observe('serve.group_seconds',
+                                perf_counter() - started)
         except Exception as error:
             if len(group) == 1:
                 self._resolve(group[0][1], error=error)

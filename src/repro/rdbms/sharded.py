@@ -133,6 +133,7 @@ from repro.rdbms.dml import (Delete, Insert, Statement, Update,
                              _apply_assignments, compile_where)
 from repro.rdbms.engine import (Engine, Transaction, ViewEntry,
                                 coalesce_buckets)
+from repro.rdbms.metrics import GLOBAL, MetricsRegistry, merge_snapshots
 from repro.rdbms.procpool import ProcessPool
 from repro.rdbms.replica import ReplicaEngine, ReplicaSet
 from repro.relational.database import Database
@@ -421,13 +422,21 @@ class ShardedEngine:
                  replica_max_lag: int = 0,
                  rpc_timeout: float | None = 120.0,
                  transient_retries: int = 0,
-                 retry_backoff: float = 0.05):
+                 retry_backoff: float = 0.05,
+                 retry_backoff_cap: float = 2.0,
+                 retry_max_wait: float = 15.0):
         if execution not in ('threads', 'processes'):
             raise SchemaError(f"execution must be 'threads' or "
                               f"'processes', got {execution!r}")
         if transient_retries < 0:
             raise SchemaError(f'transient_retries must be >= 0, '
                               f'got {transient_retries}')
+        if retry_backoff_cap <= 0:
+            raise SchemaError(f'retry_backoff_cap must be > 0, '
+                              f'got {retry_backoff_cap}')
+        if retry_max_wait <= 0:
+            raise SchemaError(f'retry_max_wait must be > 0, '
+                              f'got {retry_max_wait}')
         if read_replicas < 0:
             raise SchemaError(f'read_replicas must be >= 0, '
                               f'got {read_replicas}')
@@ -465,6 +474,17 @@ class ShardedEngine:
         self._pool_lock = threading.Lock()
         self._transient_retries = transient_retries
         self._retry_backoff = retry_backoff
+        # The exponential backoff is bounded twice (the uncapped
+        # doubling could sleep for minutes at large transient_retries):
+        # no single sleep exceeds ``retry_backoff_cap`` and the summed
+        # sleeps never exceed ``retry_max_wait`` — the budget runs out
+        # before the attempt count does, the retry loop gives up.
+        self._retry_backoff_cap = retry_backoff_cap
+        self._retry_max_wait = retry_max_wait
+        #: coordinator-side instrumentation: cluster phase timings
+        #: (route/prepare/apply), transaction counts, retry traffic.
+        #: :meth:`metrics` merges this with every shard's own snapshot.
+        self._metrics = MetricsRegistry()
         # Durability + read replicas (both executions): each shard logs
         # to ``wal_dir/shard-<i>.wal`` — opened by the shard engine in
         # thread mode, *inside the worker* in process mode; replicas
@@ -1020,6 +1040,37 @@ class ShardedEngine:
                                   for client in holders)
         return stats
 
+    # -- observability --------------------------------------------------
+
+    def metrics(self) -> dict:
+        """One merged metrics snapshot for the whole cluster: the
+        coordinator's own series (cluster phase timings, retry
+        traffic), every shard engine's snapshot (txn phases, WAL
+        append latency — worker processes ship theirs back over the
+        RPC channel; a dead worker contributes nothing), this
+        process's GLOBAL series (plan seals), the procpool's RPC/
+        restart counts, and each shard's replica-set routing stats.
+        See rdbms/metrics.py for the snapshot shape."""
+        snapshots: list = [self._metrics.snapshot(), GLOBAL.snapshot()]
+        if self._procpool is not None:
+            rpc = {'counters': {
+                'rpc.requests': sum(shard.rpc_requests
+                                    for shard in self.shards),
+                'procpool.restarts': sum(shard.generation
+                                         for shard in self.shards),
+            }, 'gauges': {
+                'procpool.alive': float(sum(shard.alive
+                                            for shard in self.shards)),
+            }, 'histograms': {}}
+            snapshots.append(rpc)
+            snapshots.extend(shard.metrics() for shard in self.shards)
+        else:
+            snapshots.extend(engine.metrics_snapshot()
+                             for engine in self.engines)
+        snapshots.extend(replica_set.metrics_snapshot()
+                         for replica_set in self.replica_sets)
+        return merge_snapshots(snapshots)
+
     # -- DML -----------------------------------------------------------
 
     def insert(self, target: str, values: tuple) -> None:
@@ -1089,38 +1140,69 @@ class ShardedEngine:
         genuine partial-commit report."""
         if self.batch_deltas:
             batches = coalesce_buckets(batches)
+        metrics = self._metrics
         attempts = 0
+        waited = 0.0
         while True:
             try:
                 return self._execute_cluster(batches)
             except ShardUnavailableError as error:
                 if getattr(error, 'applied', False) \
                         or attempts >= self._transient_retries:
+                    if attempts:
+                        metrics.counter('retry.giveups')
+                    raise
+                # Exponential backoff, bounded per attempt and in
+                # total: an uncapped 2**n sleep at large
+                # transient_retries would park the coordinator for
+                # minutes on a shard that is simply gone.
+                delay = min(self._retry_backoff * (2 ** attempts),
+                            self._retry_backoff_cap)
+                if waited + delay > self._retry_max_wait:
+                    metrics.counter('retry.giveups')
                     raise
                 attempts += 1
-                time.sleep(self._retry_backoff * (2 ** (attempts - 1)))
+                waited += delay
+                metrics.counter('retry.attempts')
+                time.sleep(delay)
 
     def _execute_cluster(self, batches) -> None:
         """One attempt of the routed 2PC (see :meth:`execute_many`)."""
+        metrics = self._metrics
+        timed = metrics.enabled
+        started = time.perf_counter() if timed else 0.0
         txn = _ClusterTxn()
         order: list = []
         try:
             for target, statements in batches:
                 self._route_bucket(txn, target, statements)
             self._barrier(txn)
+            if timed:
+                routed = time.perf_counter()
+                metrics.observe('cluster.route_seconds',
+                                routed - started)
             order = list(txn.handles.items())
             prepared = self._pmap([
                 (lambda index=index, handle=handle:
                  self.shards[index].prepare_commit(handle))
                 for index, handle in order])
+            if timed:
+                metrics.observe('cluster.prepare_seconds',
+                                time.perf_counter() - routed)
         except BaseException:
+            metrics.counter('cluster.aborts')
             self._abort(txn)
             raise
+        apply_started = time.perf_counter() if timed else 0.0
         try:
             self._pmap([
                 (lambda index=index, commit=commit:
                  self.shards[index].apply_prepared(commit))
                 for (index, _), commit in zip(order, prepared)])
+            if timed:
+                metrics.counter('cluster.txns')
+                metrics.observe('cluster.apply_seconds',
+                                time.perf_counter() - apply_started)
         except BaseException as error:
             # Apply carries the single engine's storage trust (see
             # above): no compensation, but a worker that died here is

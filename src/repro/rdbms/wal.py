@@ -41,6 +41,7 @@ import pickle
 import signal
 import struct
 import threading
+import time
 import zlib
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, NamedTuple
@@ -189,6 +190,10 @@ class WriteAheadLog:
         #: what the replication-cost benchmark samples.
         self.stats = {'appends': 0, 'bytes': 0, 'last_record_bytes': 0,
                       'truncated_tails': 0, 'append_failures': 0}
+        #: Optional MetricsRegistry (set by the owning engine).  When
+        #: attached and enabled, every append observes its write+fsync
+        #: latency as the ``wal.append_seconds`` histogram.
+        self.metrics = None
         # A crash between writing the checkpoint temp file and the
         # atomic rename leaves the temp behind; it was never the live
         # log, so drop it (the next checkpoint would overwrite it
@@ -245,6 +250,9 @@ class WriteAheadLog:
                     f'tail may be torn); reopen to recover')
             if faults.fire('wal.append', kind=kind) == 'tear':
                 self._tear_and_die(encoded)
+            metrics = self.metrics
+            timed = metrics is not None and metrics.enabled
+            started = time.perf_counter() if timed else 0.0
             try:
                 self._file.write(encoded)
                 self._flush()
@@ -252,6 +260,9 @@ class WriteAheadLog:
                 self._failed = True
                 self.stats['append_failures'] += 1
                 raise
+            if timed:
+                metrics.observe('wal.append_seconds',
+                                time.perf_counter() - started)
             self._last_lsn += 1
             lsn = self._last_lsn
             self.stats['appends'] += 1

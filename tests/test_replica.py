@@ -208,7 +208,9 @@ class TestReplicaSet:
                 rows = router.read('items')      # max_lag=0 → catch-up
             assert (4, 'yacht', 90_000) in rows
             assert plan.fired('replica.catch_up') == 1
-            assert router.stats['quarantined'] == 1
+            assert router.stats['quarantines'] == 1   # monotonic
+            assert router.stats['quarantined'] == 1   # live gauge
+            assert router.stats['in_rotation'] == 1
             assert router.stats['replica_reads'] == 1
             assert router.stats['primary_reads'] == 0
             assert len(router.quarantined) == 1
@@ -230,11 +232,16 @@ class TestReplicaSet:
                 assert (4, 'yacht', 90_000) in router.read('items')
             assert router.stats == {
                 'replica_reads': 0, 'primary_reads': 1,
-                'catch_ups': 0, 'quarantined': 1, 'stalled_reads': 0}
+                'catch_ups': 0, 'quarantines': 1, 'stalled_reads': 0,
+                'in_rotation': 0, 'quarantined': 1}
             assert router.replicas == []
             # Fault fixed: bring it back, reads route to it again.
+            # The live gauges move back; the monotonic counter stays.
             assert router.reinstate() == 1
             assert router.quarantined == ()
+            assert router.stats['quarantined'] == 0
+            assert router.stats['in_rotation'] == 1
+            assert router.stats['quarantines'] == 1
             assert (4, 'yacht', 90_000) in router.read('items')
             assert router.stats['replica_reads'] == 1
         finally:
@@ -255,6 +262,7 @@ class TestReplicaSet:
                 assert (4, 'yacht', 90_000) in router.read('items')
             assert router.stats['stalled_reads'] == 1
             assert router.stats['primary_reads'] == 1
+            assert router.stats['quarantines'] == 0
             assert router.stats['quarantined'] == 0
             assert len(router.replicas) == 1     # still in rotation
             # The stall was transient: the next read is served by the
