@@ -1,0 +1,329 @@
+"""Peer-network benchmark: Dejima-style multi-peer data sharing.
+
+Three claims, one JSON artifact (``BENCH_peer.json``):
+
+1. **Propagation latency** — the time from committing a base write on
+   one peer to the row being visible in the subscribed peer's shared
+   view (delta shipping + the receiver's own putback), P50/P99, for a
+   2-peer pair and a 3-peer full mesh (fan-out pays per link but the
+   sender commits locally either way).
+
+2. **Catch-up throughput after an outage** — a stalled link is
+   quarantined while the sender keeps committing; after ``heal()`` the
+   backlog drains from the sender's durable outbox (anti-entropy).
+   Gate: the receiver applies backlog deltas at a rate comparable to
+   the sender's original commit rate (both sides run the same putback
+   machinery, so the ratio is hardware-independent).
+
+3. **Link cost tracks |Δ|, not |DB|** — outbox bytes appended per
+   transaction stay flat as the shared view grows 4×, because a link
+   carries the coalesced view delta, never state.
+
+Run:  python benchmarks/bench_peer.py [--quick] [--check] [--json P]
+
+``--check`` is the CI smoke gate: every part converges bit-identically,
+catch-up ≥ 0.3× the sender's commit rate, link bytes/txn flat within
+1.5× across the size sweep.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / 'src'))
+
+from repro.benchsuite.harness import BenchCase, run_cases      # noqa: E402
+from repro.core.strategy import UpdateStrategy                 # noqa: E402
+from repro.rdbms import faults                                 # noqa: E402
+from repro.rdbms.engine import Engine                          # noqa: E402
+from repro.rdbms.peernet import PeerNetwork, converged         # noqa: E402
+from repro.relational.schema import DatabaseSchema             # noqa: E402
+
+VIEW = 'luxuryitems'
+
+
+def _strategy() -> UpdateStrategy:
+    sources = DatabaseSchema.build(
+        items={'iid': 'int', 'iname': 'string', 'price': 'int'})
+    return UpdateStrategy.parse(VIEW, sources, """
+        ⊥ :- luxuryitems(I, N, P), not P > 1000.
+        +items(I, N, P) :- luxuryitems(I, N, P), not items(I, N, P).
+        expensive(I, N, P) :- items(I, N, P), P > 1000.
+        -items(I, N, P) :- expensive(I, N, P), not luxuryitems(I, N, P).
+    """, expected_get='luxuryitems(I, N, P) :- items(I, N, P), '
+                      'P > 1000.')
+
+
+def _base_rows(size: int) -> list[tuple]:
+    return [(i, f'item_{i}', 2000 + i % 500) for i in range(size)]
+
+
+def _factory(strategy, rows):
+    """A peer engine factory; only the writer loads the base data —
+    the peer's construction-time reconciliation publishes it as the
+    initial shared-view delta."""
+    def build(directory: Path) -> Engine:
+        engine = Engine(strategy.sources,
+                        wal=directory / 'engine.wal', wal_sync=False)
+        if rows:
+            engine.load('items', rows)
+        engine.define_view(strategy, validate_first=False,
+                           exist_ok=True)
+        return engine
+    return build
+
+
+def _build_network(strategy, size: int, base: Path, peers: int,
+                   tag: str) -> PeerNetwork:
+    net = PeerNetwork(retry_backoff=0.001)
+    rows = _base_rows(size)
+    names = [f'{tag}{n}' for n in range(peers)]
+    for index, name in enumerate(names):
+        net.add_peer(name, _factory(strategy, rows if index == 0
+                                    else None),
+                     base / name, shares=(VIEW,))
+    net.share(VIEW, names)
+    net.settle()                 # ship the initial view state once
+    return net
+
+
+# -- part 1: propagation latency --------------------------------------
+
+def _propagation_cases(strategy, size: int, base: Path, *,
+                       writes: int) -> list[BenchCase]:
+    def make_case(peers: int) -> BenchCase:
+        name = f'{peers}-peer'
+
+        def setup():
+            net = _build_network(strategy, size, base / name, peers,
+                                 f'p{peers}_')
+            return {'net': net, 'next_key': size + 10}
+
+        def op(ctx, round_index):
+            net = ctx['net']
+            writer = net.peers[f'p{peers}_0']
+            latencies = []
+            for _ in range(writes):
+                key = ctx['next_key']
+                ctx['next_key'] += 1
+                t0 = time.perf_counter()
+                writer.engine.insert('items', (key, f'w{key}', 5000))
+                net.settle()     # commit -> shipped -> applied
+                latencies.append(time.perf_counter() - t0)
+            assert converged(net.peers.values(), VIEW)
+            return latencies
+
+        def teardown(ctx):
+            ctx['net'].close()
+
+        return BenchCase(name=name, setup=setup, op=op,
+                         teardown=teardown, warmup=1,
+                         meta={'peers': peers})
+    return [make_case(n) for n in (2, 3)]
+
+
+def run_propagation(size: int, *, rounds: int, writes: int,
+                    progress=None) -> list[dict]:
+    strategy = _strategy()
+    with tempfile.TemporaryDirectory(prefix='repro-bench-peer-') as d:
+        results = run_cases(
+            _propagation_cases(strategy, size, Path(d), writes=writes),
+            rounds=rounds, seed=7, progress=progress)
+    points = []
+    for result in results:
+        seconds = sum(result.samples)
+        points.append({
+            'config': result.name, 'peers': result.meta['peers'],
+            'base_size': size, 'rounds': len(result.wall),
+            'writes_per_round': writes,
+            'propagated_per_second': len(result.samples) / seconds,
+            'propagation_latency': result.latency,
+        })
+    return points
+
+
+# -- part 2: catch-up throughput after an outage ----------------------
+
+def run_catch_up(size: int, *, backlog: int) -> dict:
+    strategy = _strategy()
+    with tempfile.TemporaryDirectory(prefix='repro-bench-peer-') as d:
+        net = _build_network(strategy, size, Path(d), 2, 'c')
+        try:
+            writer = net.peers['c0']
+            link = net.links[0]        # the only c0->c1 link
+            plan = faults.FaultPlan()
+            plan.stall_link(link='c0->c1', once=False)
+            with plan.installed():
+                key = size + 10
+                t0 = time.perf_counter()
+                for n in range(backlog):
+                    writer.engine.insert('items',
+                                         (key + n, f'o{key + n}', 5000))
+                commit_seconds = time.perf_counter() - t0
+                # Delivery attempts now fail until the link is
+                # quarantined (the outage detected).
+                deadline = time.monotonic() + 30
+                while not link.quarantined:
+                    net.pump()
+                    time.sleep(0.002)
+                    if time.monotonic() > deadline:
+                        raise RuntimeError('link never quarantined')
+            net.heal()
+            t0 = time.perf_counter()
+            drained = net.settle()
+            catch_up_seconds = time.perf_counter() - t0
+            assert drained and converged(net.peers.values(), VIEW)
+            return {
+                'base_size': size, 'backlog_txns': backlog,
+                'quarantines': link.stats['quarantines'],
+                'commit_txns_per_second': backlog / commit_seconds,
+                'catch_up_deltas_per_second':
+                    backlog / catch_up_seconds,
+                'catch_up_vs_commit': commit_seconds / catch_up_seconds,
+            }
+        finally:
+            net.close()
+
+
+# -- part 3: link bytes per txn vs |DB| -------------------------------
+
+def run_link_cost(sizes, *, txns: int, delta_rows: int = 4) -> list[dict]:
+    strategy = _strategy()
+    points = []
+    for size in sizes:
+        with tempfile.TemporaryDirectory(
+                prefix='repro-bench-peer-') as d:
+            net = _build_network(strategy, size, Path(d), 2, 's')
+            try:
+                writer = net.peers['s0']
+                outbox = writer._outbox[VIEW]
+                before = outbox.stats['bytes']
+                key = size + 10
+                for _ in range(txns):
+                    rows = [(key + j, f'd{key + j}', 5000)
+                            for j in range(delta_rows)]
+                    key += delta_rows
+                    with writer.engine.transaction() as txn:
+                        for row in rows:
+                            txn.insert('items', row)
+                net.settle()
+                assert converged(net.peers.values(), VIEW)
+                appended = outbox.stats['bytes'] - before
+                points.append({
+                    'base_size': size, 'txns': txns,
+                    'delta_rows_per_txn': delta_rows,
+                    'link_bytes_per_txn': appended / txns,
+                })
+            finally:
+                net.close()
+    return points
+
+
+def format_propagation(points) -> str:
+    lines = [f'{"config":<8} {"peers":>6} {"prop/s":>8} {"p50 ms":>8} '
+             f'{"p95 ms":>8} {"p99 ms":>8}']
+    lines.append('-' * len(lines[0]))
+    for p in points:
+        latency = p['propagation_latency']
+        lines.append(
+            f'{p["config"]:<8} {p["peers"]:>6} '
+            f'{p["propagated_per_second"]:>8.0f} '
+            f'{latency["p50_ms"]:>8.3f} {latency["p95_ms"]:>8.3f} '
+            f'{latency["p99_ms"]:>8.3f}')
+    return '\n'.join(lines)
+
+
+def format_cost(points) -> str:
+    lines = [f'{"base size":>10} {"txns":>6} {"link bytes/txn":>15}']
+    lines.append('-' * len(lines[0]))
+    for p in points:
+        lines.append(f'{p["base_size"]:>10} {p["txns"]:>6} '
+                     f'{p["link_bytes_per_txn"]:>15.0f}')
+    return '\n'.join(lines)
+
+
+def _main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument('--size', type=int, default=20_000,
+                        help='base items rows at the writing peer')
+    parser.add_argument('--rounds', type=int, default=6,
+                        help='timed harness rounds per configuration')
+    parser.add_argument('--writes', type=int, default=8,
+                        help='propagated writes per round')
+    parser.add_argument('--backlog', type=int, default=200,
+                        help='transactions committed during the outage')
+    parser.add_argument('--quick', action='store_true',
+                        help='small sizes: a CI smoke run')
+    parser.add_argument('--check', action='store_true',
+                        help='fail when catch-up falls below 0.3x the '
+                             'commit rate or link bytes/txn are not '
+                             'flat across the size sweep')
+    parser.add_argument('--json', type=Path,
+                        default=Path(__file__).resolve().parent /
+                        'BENCH_peer.json')
+    args = parser.parse_args(argv)
+    size, rounds, backlog = args.size, args.rounds, args.backlog
+    cost_sizes = [size // 2, size, size * 2]
+    if args.quick:
+        size, rounds, backlog = 5_000, 4, 120
+        cost_sizes = [2_500, 5_000, 10_000]
+
+    propagation = run_propagation(
+        size, rounds=rounds, writes=args.writes,
+        progress=lambda msg: print(f'  propagation: {msg}',
+                                   file=sys.stderr))
+    print(format_propagation(propagation))
+    catch_up = run_catch_up(size, backlog=backlog)
+    print(f'catch-up: drained {catch_up["backlog_txns"]} backlog '
+          f'deltas at {catch_up["catch_up_vs_commit"]:.1f}x the '
+          f'commit rate after {catch_up["quarantines"]} quarantine')
+    cost_points = run_link_cost(cost_sizes, txns=60)
+    print(format_cost(cost_points))
+
+    per_txn = [p['link_bytes_per_txn'] for p in cost_points]
+    flatness = max(per_txn) / min(per_txn)
+    payload = {
+        'benchmark': 'peer', 'size': size, 'rounds': rounds,
+        'cpu_count': os.cpu_count(),
+        'note': ('propagation = commit on one peer -> delta shipped '
+                 '-> applied through the receiver\'s own putback; '
+                 'catch_up_vs_commit compares the post-outage drain '
+                 'rate to the sender\'s commit rate (same putback '
+                 'machinery both sides, hardware-independent); '
+                 'link_bytes_per_txn flat across a 4x sweep shows a '
+                 'link carries O(|delta|), not O(|DB|)'),
+        'propagation': propagation,
+        'catch_up': catch_up,
+        'link_cost': cost_points,
+        'link_cost_flatness_max_over_min': flatness,
+    }
+    args.json.write_text(json.dumps(payload, indent=2) + '\n',
+                         encoding='utf-8')
+    print(f'wrote {args.json}')
+
+    if args.check:
+        failed = False
+        if catch_up['catch_up_vs_commit'] < 0.3:
+            print(f'FAIL: catch-up ran at '
+                  f'{catch_up["catch_up_vs_commit"]:.2f}x the commit '
+                  f'rate (needed >= 0.3x)', file=sys.stderr)
+            failed = True
+        if flatness > 1.5:
+            print(f'FAIL: link bytes/txn varied {flatness:.2f}x '
+                  f'across the base-size sweep (should be flat; '
+                  f'needed <= 1.5x)', file=sys.stderr)
+            failed = True
+        if failed:
+            return 1
+        print(f'check passed: catch-up = '
+              f'{catch_up["catch_up_vs_commit"]:.1f}x commit rate, '
+              f'link cost flatness = {flatness:.2f}x')
+    return 0
+
+
+if __name__ == '__main__':
+    raise SystemExit(_main())

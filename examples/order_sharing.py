@@ -1,0 +1,161 @@
+"""Cross-organisation order sharing (the paper's Dejima-style
+data-sharing scenario, Section 7).
+
+Three organisations — a retailer, a supplier, and a carrier — share a
+single logical view ``orders(oid, item, status)`` without sharing a
+database.  Each keeps its *own* base schema and programs its *own*
+update strategy for the shared view; the peer network only ships view
+deltas.  When a delta arrives, the receiver runs it through its own
+putback, so the same logical order lands
+
+* at the retailer as a ``purchases`` row tagged ``channel='partner'``,
+* at the supplier as a ``production`` row with ``plant='unassigned'``,
+* at the carrier as a plain ``shipments`` row.
+
+Receiver sovereignty is the point: nobody dictates anyone else's base
+tables — only the shared view's contents.  The demo then knocks a link
+out to show retry → quarantine → anti-entropy catch-up, and
+crash-restarts a peer to show recovery from its durable logs.
+
+Run:  python examples/order_sharing.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import DatabaseSchema, Engine, UpdateStrategy, validate
+from repro.rdbms import PeerNetwork, converged, faults
+
+VIEW = 'orders'
+
+# -- the retailer: private ``channel`` column records order origin ----
+RETAILER = DatabaseSchema.build(
+    purchases={'oid': 'string', 'item': 'string', 'status': 'string',
+               'channel': 'string'})
+RETAILER_PUTDELTA = """
+    listed(O, I, S) :- purchases(O, I, S, _).
+    +purchases(O, I, S, C) :- orders(O, I, S), not listed(O, I, S),
+        C = 'partner'.
+    -purchases(O, I, S, C) :- purchases(O, I, S, C),
+        not orders(O, I, S).
+"""
+RETAILER_GET = 'orders(O, I, S) :- purchases(O, I, S, _).'
+
+# -- the supplier: partner orders start at an unassigned plant --------
+SUPPLIER = DatabaseSchema.build(
+    production={'oid': 'string', 'item': 'string', 'status': 'string',
+                'plant': 'string'})
+SUPPLIER_PUTDELTA = """
+    queued(O, I, S) :- production(O, I, S, _).
+    +production(O, I, S, P) :- orders(O, I, S), not queued(O, I, S),
+        P = 'unassigned'.
+    -production(O, I, S, P) :- production(O, I, S, P),
+        not orders(O, I, S).
+"""
+SUPPLIER_GET = 'orders(O, I, S) :- production(O, I, S, _).'
+
+# -- the carrier: base table mirrors the view shape -------------------
+CARRIER = DatabaseSchema.build(
+    shipments={'oid': 'string', 'item': 'string', 'status': 'string'})
+CARRIER_PUTDELTA = """
+    +shipments(O, I, S) :- orders(O, I, S), not shipments(O, I, S).
+    -shipments(O, I, S) :- shipments(O, I, S), not orders(O, I, S).
+"""
+CARRIER_GET = 'orders(O, I, S) :- shipments(O, I, S).'
+
+
+def org_factory(sources, putdelta, expected_get):
+    """A peer engine factory: WAL in the peer's directory, the org's
+    own strategy adopted on restart via ``exist_ok``."""
+    strategy = UpdateStrategy.parse(VIEW, sources, putdelta,
+                                    expected_get=expected_get)
+
+    def build(directory: Path) -> Engine:
+        engine = Engine(sources, wal=directory / 'engine.wal',
+                        wal_sync=False)
+        engine.define_view(strategy, validate_first=False,
+                           exist_ok=True)
+        return engine
+
+    build.strategy = strategy
+    return build
+
+
+def main() -> None:
+    retailer = org_factory(RETAILER, RETAILER_PUTDELTA, RETAILER_GET)
+    supplier = org_factory(SUPPLIER, SUPPLIER_PUTDELTA, SUPPLIER_GET)
+    carrier = org_factory(CARRIER, CARRIER_PUTDELTA, CARRIER_GET)
+
+    print('== validating the retailer strategy (Algorithm 1) ==')
+    report = validate(retailer.strategy)
+    print(report)
+    assert report.valid
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(tmp)
+        net = PeerNetwork(retry_backoff=0.001, quarantine_after=3)
+        try:
+            net.add_peer('retailer', retailer, base / 'retailer',
+                         shares=(VIEW,))
+            net.add_peer('supplier', supplier, base / 'supplier',
+                         shares=(VIEW,))
+            net.add_peer('carrier', carrier, base / 'carrier',
+                         shares=(VIEW,))
+            net.share(VIEW, ('retailer', 'supplier', 'carrier'))
+
+            print('\n== the retailer takes an order ==')
+            net.peers['retailer'].engine.insert(
+                VIEW, ('o-1001', 'espresso machine', 'placed'))
+            net.settle()
+            print('supplier production:',
+                  sorted(net.peers['supplier'].engine.rows(
+                      'production')))
+            print('carrier shipments  :',
+                  sorted(net.peers['carrier'].engine.rows('shipments')))
+
+            print('\n== the supplier ships it (status change = '
+                  'delete + insert, one commit) ==')
+            with net.peers['supplier'].engine.transaction() as txn:
+                txn.delete(VIEW, where={'oid': 'o-1001'})
+                txn.insert(VIEW, ('o-1001', 'espresso machine',
+                                  'shipped'))
+            net.settle()
+            print('retailer purchases :',
+                  sorted(net.peers['retailer'].engine.rows(
+                      'purchases')))
+
+            print('\n== the carrier drops off the network ==')
+            plan = faults.FaultPlan()
+            plan.stall_link(link='retailer->carrier', once=False)
+            plan.stall_link(link='supplier->carrier', once=False)
+            with plan.installed():
+                net.peers['retailer'].engine.insert(
+                    VIEW, ('o-1002', 'grinder', 'placed'))
+                net.settle(max_rounds=50)
+            print('quarantined links  :', net.stats()['quarantined'])
+            print('carrier shipments  :',
+                  sorted(net.peers['carrier'].engine.rows('shipments')))
+
+            print('\n== the outage ends: anti-entropy catch-up ==')
+            released = net.heal()
+            net.settle()
+            print(f'links released     : {released}')
+            print('carrier shipments  :',
+                  sorted(net.peers['carrier'].engine.rows('shipments')))
+
+            print('\n== the supplier crashes and restarts from its '
+                  'logs ==')
+            restarted = net.restart_peer('supplier')
+            net.settle()
+            print('supplier production:',
+                  sorted(restarted.engine.rows('production')))
+
+            assert converged(net.peers.values(), VIEW)
+            print('\nall three organisations converged on',
+                  sorted(net.peers['carrier'].rows(VIEW)))
+        finally:
+            net.close()
+
+
+if __name__ == '__main__':
+    main()

@@ -1,7 +1,7 @@
 """``bench_all``: every engine configuration, one comparable summary.
 
 Runs the same key-local OLTP mix (write transactions of ``stmts``
-inserts, each followed by view reads) across the six engine
+inserts, each followed by view reads) across the seven engine
 configurations this repo ships —
 
 * ``memory``   — single :class:`~repro.rdbms.engine.Engine`, memory
@@ -12,7 +12,12 @@ configurations this repo ships —
 * ``parallel`` — two thread shards, thread-pooled fan-out;
 * ``procs``    — two worker *processes* (pipelined pickle RPC);
 * ``replica``  — single WAL-backed engine with delta-fed read
-  replicas serving the reads
+  replicas serving the reads;
+* ``peers``    — a two-peer :class:`~repro.rdbms.peernet.PeerNetwork`
+  (Dejima-style data sharing): writes commit on one peer, each read
+  settles the network and serves from the *subscribed* peer, so the
+  measured latency includes delta shipping plus the receiver's own
+  putback
 
 — through the shared :mod:`repro.benchsuite.harness` (seeded iterated
 rounds, execution-order rotation, warmup), and emits ONE summary JSON:
@@ -47,6 +52,7 @@ from repro.core.strategy import UpdateStrategy
 from repro.rdbms.dml import Insert
 from repro.rdbms.engine import Engine
 from repro.rdbms.metrics import merge_snapshots, summarize_snapshot
+from repro.rdbms.peernet import PeerNetwork
 from repro.rdbms.replica import ReplicaEngine, ReplicaSet
 from repro.rdbms.sharded import ShardedEngine
 from repro.relational.schema import DatabaseSchema
@@ -56,7 +62,7 @@ __all__ = ['CONFIGS', 'OVERHEAD_CEILING', 'run_bench_all',
 
 #: Every configuration the summary must cover, in baseline-first order.
 CONFIGS = ('memory', 'sqlite', 'sharded', 'parallel', 'procs',
-           'replica')
+           'replica', 'peers')
 
 #: The gated bound on instrumented/uninstrumented hot-path time (the
 #: per-transaction hooks are a handful of ``perf_counter`` calls and
@@ -128,6 +134,38 @@ def _build(config: str, strategy: UpdateStrategy, size: int,
         return {'engine': engine, 'router': router,
                 'read': lambda: router.read('luxuryitems'),
                 'close': close}
+    if config == 'peers':
+        def factory(load_rows):
+            def build(directory):
+                engine = Engine(schema,
+                                wal=Path(directory) / 'engine.wal',
+                                wal_sync=False)
+                if load_rows:
+                    engine.load('items', load_rows)
+                engine.define_view(strategy, validate_first=False,
+                                   exist_ok=True)
+                return engine
+            return build
+
+        net = PeerNetwork(retry_backoff=0.001)
+        base = Path(wal_dir)
+        writer = net.add_peer('writer', factory(rows),
+                              base / 'peer-writer',
+                              shares=('luxuryitems',))
+        reader = net.add_peer('reader', factory(None),
+                              base / 'peer-reader',
+                              shares=('luxuryitems',))
+        net.share('luxuryitems', ('writer', 'reader'))
+        net.settle()             # ship the initial view state once
+
+        def read():
+            # A read on the *partner*: the measured path is commit ->
+            # delta shipped -> applied through the reader's putback.
+            net.settle()
+            return reader.engine.rows('luxuryitems')
+
+        return {'engine': writer.engine, 'net': net, 'read': read,
+                'close': net.close}
     raise ValueError(f'unknown bench_all config {config!r}')
 
 
@@ -173,6 +211,10 @@ def _mix_cases(strategy, size: int, wal_dir: str, *, txns: int,
                     if router is not None:
                         snapshot = merge_snapshots(
                             [snapshot, router.metrics_snapshot()])
+                    net = ctx.get('net')
+                    if net is not None:
+                        snapshot = merge_snapshots(
+                            [snapshot, net.metrics.snapshot()])
                     metrics_holder[config] = \
                         summarize_snapshot(snapshot)
                 except Exception:

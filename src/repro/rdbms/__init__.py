@@ -13,6 +13,8 @@ from repro.rdbms.dml import (Delete, Insert, Statement, Update,
 from repro.rdbms.engine import Engine, Transaction, ViewEntry
 from repro.rdbms.metrics import (MetricsRegistry, merge_snapshots,
                                  summarize_snapshot)
+from repro.rdbms.peernet import (Peer, PeerCrashed, PeerGap, PeerNetwork,
+                                 ShareDelta, converged)
 from repro.rdbms.replica import ReplicaEngine, ReplicaSet
 from repro.rdbms.serve import Receipt, ViewServer
 from repro.rdbms.sharded import (HashPartitioner, Partitioner,
@@ -24,4 +26,6 @@ __all__ = ['Delete', 'Insert', 'Statement', 'Update', 'derive_view_delta',
            'Partitioner', 'HashPartitioner', 'RangePartitioner',
            'Receipt', 'ViewServer', 'WriteAheadLog', 'WalRecord',
            'ReplicaEngine', 'ReplicaSet', 'MetricsRegistry',
-           'merge_snapshots', 'summarize_snapshot']
+           'merge_snapshots', 'summarize_snapshot',
+           'Peer', 'PeerNetwork', 'PeerGap', 'PeerCrashed', 'ShareDelta',
+           'converged']

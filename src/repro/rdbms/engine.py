@@ -75,7 +75,7 @@ from repro.relational.delta import Delta, DeltaSet
 from repro.relational.schema import DatabaseSchema, RelationSchema
 
 __all__ = ['Engine', 'Transaction', 'ViewEntry', 'PreparedCommit',
-           'coalesce_buckets']
+           'coalesce_buckets', 'unpack_commit']
 
 #: Re-plan a view's compiled plans when a source relation's observed
 #: cardinality drifts this far (either direction) from the stats the
@@ -145,17 +145,37 @@ class PreparedCommit:
     batch: list          # (name, delta, is_cache) triples
     changed_bases: set
     keep: set            # touched views whose caches stay valid
+    #: Opaque durable sidecar the transaction carries into its commit
+    #: record (e.g. a peer link's receive watermark, made durable
+    #: atomically with the delta it acknowledges).  Replay collects
+    #: notes into ``Engine.replayed_notes`` without interpreting them.
+    note: object = None
 
     def wal_record(self) -> tuple:
         """The frozen ``commit`` record payload for this batch — what
         the WAL appends, and what a process-shard coordinator keeps
         from the prepare phase so it can re-commit the transaction on a
-        worker that died before its append (apply repair)."""
+        worker that died before its append (apply repair).  The payload
+        stays the historical 3-tuple unless a note is attached, so logs
+        written before notes existed replay unchanged."""
         frozen = [(name, Delta(frozenset(delta.insertions),
                                frozenset(delta.deletions)), is_cache)
                   for name, delta, is_cache in self.batch]
-        return (frozen, frozenset(self.changed_bases),
-                frozenset(self.keep))
+        record = (frozen, frozenset(self.changed_bases),
+                  frozenset(self.keep))
+        if self.note is not None:
+            record += (self.note,)
+        return record
+
+
+def unpack_commit(data: tuple) -> tuple:
+    """Normalise a ``commit`` record payload to
+    ``(batch, changed_bases, keep, note)`` — accepts both the
+    historical 3-tuple and the note-carrying 4-tuple."""
+    if len(data) == 3:
+        return data + (None,)
+    batch, changed_bases, keep, note = data
+    return batch, changed_bases, keep, note
 
 
 class _StagedDelta:
@@ -227,6 +247,7 @@ class _Working:
     def __init__(self, engine: 'Engine'):
         self.engine = engine
         self.deltas: dict[str, _StagedDelta] = {}
+        self.note: object = None
         self.touched_views: set[str] = set()
         self.base_origins: dict[str, set[str]] = {}
         self.view_origins: dict[str, set[str]] = {}
@@ -357,6 +378,22 @@ class Engine:
         #: aggregated counts, so one shard's local sizes never drive a
         #: join order or a spurious re-plan.
         self.stats_provider = self._relation_stats
+        #: Post-commit hooks: each callable receives the applied
+        #: :class:`PreparedCommit` after storage is updated (never
+        #: during WAL replay — recovery must not re-publish).  The peer
+        #: network subscribes here to ship committed view deltas.
+        self.commit_listeners: list = []
+        #: Durable notes collected while replaying the WAL (from
+        #: note-carrying commit records and standalone ``note``
+        #: records, in log order).  Consumers that embedded state into
+        #: the log — peer link watermarks — read it back here after
+        #: construction.
+        self.replayed_notes: list = []
+        #: Extra snapshot-record providers for :meth:`checkpoint`: each
+        #: callable yields ``(kind, data)`` pairs appended after the
+        #: base/catalog records, so sidecar state embedded in commit
+        #: records survives log compaction.
+        self.checkpoint_extras: list = []
         #: Hot-path instrumentation (see rdbms/metrics.py): transaction
         #: phase timings, plan compiles/replans, WAL append latency.
         #: ``engine.metrics.enabled = False`` turns every hook into a
@@ -423,8 +460,14 @@ class Engine:
         elif kind == 'drop_view':
             self.drop_view(data)
         elif kind == 'commit':
-            batch, changed_bases, keep = data
+            batch, changed_bases, keep, note = unpack_commit(data)
             self._apply_logged_commit(batch, changed_bases, keep)
+            if note is not None:
+                self.replayed_notes.append(note)
+        elif kind == 'note':
+            self.replayed_notes.append(data)
+        elif kind == 'checkpoint':
+            pass  # end-of-snapshot sentinel; replica rotation marker
         else:
             raise SchemaError(f'unknown WAL record kind {kind!r}')
 
@@ -463,7 +506,7 @@ class Engine:
         record's LSN."""
         if self.wal is None:
             raise SchemaError('commit_logged requires a write-ahead log')
-        batch, changed_bases, keep = data
+        batch, changed_bases, keep, _note = unpack_commit(data)
         lsn = self.wal.append('commit', data)
         self._apply_logged_commit(batch, changed_bases, keep)
         return lsn
@@ -484,6 +527,11 @@ class Engine:
             for name in self._views:        # definition order = replay
                 if name in self._wal_defines:  # order (sources first)
                     yield ('define_view', self._wal_defines[name])
+            # Sidecar state embedded in commit records (peer link
+            # watermarks) would vanish with the compacted history;
+            # registered providers re-emit it into the snapshot.
+            for provider in self.checkpoint_extras:
+                yield from provider()
         return self.wal.checkpoint(snapshot_records())
 
     # -- basic access ------------------------------------------------------
@@ -575,7 +623,8 @@ class Engine:
                     report: ValidationReport | None = None,
                     validate_first: bool = True,
                     use_incremental: bool = True,
-                    stats: Mapping[str, int] | None = None) -> ViewEntry:
+                    stats: Mapping[str, int] | None = None,
+                    exist_ok: bool = False) -> ViewEntry:
         """Register an updatable view.
 
         The strategy must be valid; pass a precomputed ``report`` to skip
@@ -584,9 +633,15 @@ class Engine:
         definition).  ``stats`` overrides the observed cardinalities the
         planner seeds join orders with — the sharded engine passes
         cluster-wide aggregated counts here, since any one shard's local
-        sizes under-estimate the relation.
+        sizes under-estimate the relation.  ``exist_ok`` adopts an
+        already-registered view of the same name instead of raising —
+        the restart idiom for engines recovered from a WAL, whose
+        replay re-registered the catalog before the caller's setup code
+        runs again.
         """
         name = strategy.view.name
+        if exist_ok and name in self._views:
+            return self._views[name]
         if name in self.schema or name in self._views:
             raise SchemaError(f'relation {name!r} already exists')
         for source in strategy.updated_relations():
@@ -782,10 +837,15 @@ class Engine:
         self._commit(working)
 
     def execute_many(self, batches: Sequence[tuple[str,
-                                                   Sequence[Statement]]]
-                     ) -> None:
-        """One transaction spanning several targets (BEGIN ... END)."""
+                                                   Sequence[Statement]]],
+                     *, note: object = None) -> None:
+        """One transaction spanning several targets (BEGIN ... END).
+
+        ``note`` attaches an opaque durable sidecar to the
+        transaction's commit record (see :class:`PreparedCommit.note`)
+        — it becomes durable atomically with the deltas."""
         working = self.begin()
+        working.note = note
         if self.batch_deltas:
             batches = coalesce_buckets(batches)
         for target, statements in batches:
@@ -1007,7 +1067,7 @@ class Engine:
             if not foreign:
                 keep.add(view)
         return PreparedCommit(batch=batch, changed_bases=changed_bases,
-                              keep=keep)
+                              keep=keep, note=working.note)
 
     def apply_prepared(self, prepared: 'PreparedCommit') -> None:
         """Apply a prepared transaction: one backend delta batch plus
@@ -1031,6 +1091,13 @@ class Engine:
             metrics.counter('txn.commits')
             metrics.observe('txn.commit_seconds',
                             perf_counter() - started)
+        # Post-commit hooks (peer delta publication).  Never during
+        # replay: recovery rebuilds state, it must not re-publish — the
+        # peer layer reconciles missed publications from its own outbox
+        # instead.
+        if prepared.batch and not self._wal_replaying:
+            for listener in self.commit_listeners:
+                listener(prepared)
 
     def _commit(self, working: _Working) -> None:
         self.apply_prepared(self.prepare_commit(working))

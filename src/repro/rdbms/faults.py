@@ -18,7 +18,11 @@ Sites and their actions
                      (``method``/``shard`` in context).  Actions:
                      ``delay`` (sleep), ``drop`` (raise
                      :class:`InjectedFault` — the channel then surfaces
-                     ``ShardUnavailableError``).
+                     ``ShardUnavailableError``), ``dup`` (the frame is
+                     sent twice — the worker must dedup by sequence
+                     number), ``reorder`` (the frame is held back and
+                     sent after a later one — the worker must restore
+                     FIFO before dispatching).
 ``worker.dispatch``  Worker-side, before each RPC method executes
                      (``method`` plus the worker identity).  Actions:
                      ``kill`` (SIGKILL self — the crash the WAL must
@@ -38,6 +42,22 @@ Sites and their actions
                      ``stall`` (returned to the site: the pass applies
                      nothing), ``error`` (raise — what
                      ``ReplicaSet`` quarantine must absorb).
+``peer.send``        Peer-network sender side, before one delta message
+                     is delivered over a link (``link``/``sender``/
+                     ``receiver``/``view`` in context).  Actions:
+                     ``delay`` (slow link), ``drop``/``error`` (lost
+                     message — the link retries with backoff), ``stall``
+                     (returned: the attempt silently fails, modelling a
+                     wedged link), ``dup`` (returned: the message is
+                     delivered twice — watermarks must dedup), and
+                     ``reorder`` (returned: held back and delivered
+                     after a later message — the receiver must reject
+                     the gap and the sender must resend in order).
+``peer.deliver``     Peer-network receiver side, before a received delta
+                     is applied (``peer``/``view`` in context).  Action
+                     ``crash`` (returned: the network simulates the
+                     receiving peer dying mid-delivery and restarting
+                     from its WAL).
 ===================  =====================================================
 
 Determinism across processes
@@ -70,12 +90,13 @@ __all__ = ['FaultPlan', 'InjectedFault', 'SITES', 'active', 'fire',
 #: Every injection site compiled into the library (documentation and a
 #: guard against typo'd rules).
 SITES = ('rpc.send', 'worker.dispatch', 'wal.append', 'wal.fsync',
-         'wal.checkpoint', 'replica.catch_up')
+         'wal.checkpoint', 'replica.catch_up', 'peer.send',
+         'peer.deliver')
 
 #: Actions executed centrally by :meth:`FaultPlan.fire` vs. returned to
 #: the call site for site-specific interpretation.
 _CENTRAL_ACTIONS = ('kill', 'hang', 'delay', 'drop', 'error')
-_SITE_ACTIONS = ('tear', 'stall')
+_SITE_ACTIONS = ('tear', 'stall', 'dup', 'reorder', 'crash')
 
 
 class InjectedFault(OSError):
@@ -214,6 +235,65 @@ class FaultPlan:
         stays alive; the coordinator must reap and restart it)."""
         return self._add('rpc.send', 'drop', hit,
                          {'shard': shard, 'method': method})
+
+    def dup_rpc(self, *, shard: int | None = None,
+                method: str | None = None, hit: int = 1,
+                once: bool = True) -> _Rule:
+        """Send an RPC frame *twice* (at-least-once transport).  The
+        worker must dedup by sequence number or it executes the method
+        twice and its reply stream desynchronises."""
+        return self._add('rpc.send', 'dup', hit,
+                         {'shard': shard, 'method': method}, once=once)
+
+    def reorder_rpc(self, *, shard: int | None = None,
+                    method: str | None = None, hit: int = 1) -> _Rule:
+        """Hold an RPC frame back and send it *after* the next one —
+        the worker must buffer and restore FIFO dispatch order."""
+        return self._add('rpc.send', 'reorder', hit,
+                         {'shard': shard, 'method': method})
+
+    def drop_peer(self, *, link: str | None = None, hit: int = 1,
+                  once: bool = True) -> _Rule:
+        """Lose one peer delta message in flight (the link raises; the
+        sender must retry with backoff until acknowledged)."""
+        return self._add('peer.send', 'drop', hit, {'link': link},
+                         once=once)
+
+    def delay_peer(self, *, link: str | None = None, hit: int = 1,
+                   seconds: float = 0.01, once: bool = True) -> _Rule:
+        """Slow one peer delta delivery down (transient link latency)."""
+        return self._add('peer.send', 'delay', hit, {'link': link},
+                         seconds, once)
+
+    def dup_peer(self, *, link: str | None = None, hit: int = 1,
+                 once: bool = True) -> _Rule:
+        """Deliver one peer delta message *twice* — the receiver's
+        per-link LSN watermark must dedup the redelivery."""
+        return self._add('peer.send', 'dup', hit, {'link': link},
+                         once=once)
+
+    def reorder_peer(self, *, link: str | None = None,
+                     hit: int = 1) -> _Rule:
+        """Hold a peer delta back and deliver it after a later one —
+        the receiver must reject the gap (watermark monotonicity) and
+        the sender must recover by resending in order."""
+        return self._add('peer.send', 'reorder', hit, {'link': link})
+
+    def stall_link(self, *, link: str | None = None, hit: int = 1,
+                   once: bool = False) -> _Rule:
+        """Wedge a peer link: every matching delivery attempt silently
+        fails (no exception, no progress) — what retry/quarantine and
+        anti-entropy catch-up must absorb.  Repeats by default; disarm
+        by uninstalling the plan or bounding ``hit``/``once``."""
+        return self._add('peer.send', 'stall', hit, {'link': link},
+                         once=once)
+
+    def crash_peer(self, *, peer: str | None = None,
+                   hit: int = 1) -> _Rule:
+        """Simulate the receiving peer dying mid-delivery: the network
+        discards its in-memory state and restarts it from its WAL —
+        the recovery path a SIGKILL exercises, minus the subprocess."""
+        return self._add('peer.deliver', 'crash', hit, {'peer': peer})
 
     def fail_fsync(self, *, shard: int | None = None,
                    hit: int = 1) -> _Rule:

@@ -224,11 +224,11 @@ class WorkerRuntime:
         return self.engine.backend.has_cache(name)
 
     def define_view(self, strategy, report, use_incremental: bool,
-                    stats: Mapping[str, int]):
+                    stats: Mapping[str, int], exist_ok: bool = False):
         return self.engine.define_view(strategy, report=report,
                                        validate_first=False,
                                        use_incremental=use_incremental,
-                                       stats=stats)
+                                       stats=stats, exist_ok=exist_ok)
 
     def drop_view(self, name: str) -> None:
         self.engine.drop_view(name)
@@ -260,35 +260,56 @@ def serve_connection(runtime: WorkerRuntime, conn) -> None:
     """The RPC loop: recv → dispatch → reply, strictly in order, one
     reply per request, until ``close`` or EOF.  Request failures are
     replies, not loop exits — the worker survives a failed transaction
-    exactly as an in-process engine does."""
-    while True:
+    exactly as an in-process engine does.
+
+    The pipelining contract (see module docstring) is *FIFO by
+    sequence number*, and the transport may misbehave: an
+    at-least-once sender can deliver a frame twice, and an injected
+    reorder (``FaultPlan.reorder_rpc``) can deliver frames out of
+    order.  The loop restores the contract at the boundary — a frame
+    whose seq was already dispatched is silently absorbed (dispatching
+    it again would double-execute the method *and* desynchronise the
+    reply stream), and a frame from the future is held until the gap
+    closes, so ``dispatch`` only ever sees each seq once, in order."""
+    expected = 1
+    held: dict[int, tuple] = {}        # future frames, keyed by seq
+    closing = False
+    while not closing:
         try:
             request = pickle.loads(conn.recv_bytes())
         except (EOFError, OSError):
             break                          # coordinator went away
         seq, method, args = request
-        try:
-            result = runtime.dispatch(method, args)
-            reply = (seq, True, result)
-        except Exception as error:
-            reply = (seq, False, error)
-        try:
-            conn.send_bytes(_dumps(reply))
-        except Exception as error:
-            # An unpicklable *result* must not kill the channel: the
-            # coordinator is blocked waiting for exactly this seq.
-            if reply[1]:
-                conn.send_bytes(_dumps(
-                    (seq, False,
-                     SchemaError(f'worker reply for {method!r} did not '
-                                 f'serialise: {error}'))))
-            else:
-                conn.send_bytes(_dumps(
-                    (seq, False,
-                     SchemaError(f'worker error for {method!r} did not '
-                                 f'serialise: {error}'))))
-        if method == 'close':
-            break
+        if seq < expected or seq in held:
+            continue                       # duplicate frame: absorbed
+        held[seq] = (method, args)
+        while expected in held:
+            method, args = held.pop(expected)
+            expected += 1
+            try:
+                result = runtime.dispatch(method, args)
+                reply = (expected - 1, True, result)
+            except Exception as error:
+                reply = (expected - 1, False, error)
+            try:
+                conn.send_bytes(_dumps(reply))
+            except Exception as error:
+                # An unpicklable *result* must not kill the channel:
+                # the coordinator is blocked waiting for exactly this
+                # seq.
+                if reply[1]:
+                    conn.send_bytes(_dumps(
+                        (reply[0], False,
+                         SchemaError(f'worker reply for {method!r} did '
+                                     f'not serialise: {error}'))))
+                else:
+                    conn.send_bytes(_dumps(
+                        (reply[0], False,
+                         SchemaError(f'worker error for {method!r} did '
+                                     f'not serialise: {error}'))))
+            if method == 'close':
+                closing = True
+                break
 
 
 def _worker_main(conn, index: int, schema, backend_spec,
@@ -346,6 +367,11 @@ class _RpcChannel:
         self._seq = 0
         self._lock = threading.RLock()
         self._replies: dict[int, tuple[bool, object]] = {}
+        #: Frames held back by an injected ``reorder`` fault, flushed
+        #: after the next frame is sent (the actual inversion) or at
+        #: drain entry (so a held frame can never deadlock a caller
+        #: waiting on its reply).
+        self._held: list[bytes] = []
         self.dead: str | None = None       # reason, once broken
 
     def _broken(self, reason: str) -> ShardUnavailableError:
@@ -363,11 +389,24 @@ class _RpcChannel:
             payload = _dumps((seq, method, args))
             self._seq = seq
             try:
-                faults.fire('rpc.send', method=method, shard=self.shard)
+                action = faults.fire('rpc.send', method=method,
+                                     shard=self.shard)
+                if action == 'reorder':
+                    self._held.append(payload)
+                    return seq
                 self.conn.send_bytes(payload)
+                if action == 'dup':
+                    self.conn.send_bytes(payload)
+                self._flush_held()
             except (OSError, ValueError) as error:
                 raise self._broken(f'send failed: {error}') from error
             return seq
+
+    def _flush_held(self) -> None:
+        """Send any reorder-held frames (after a later frame went out,
+        completing the inversion — the worker re-sequences them)."""
+        while self._held:
+            self.conn.send_bytes(self._held.pop(0))
 
     def _wait_readable(self) -> None:
         """Bound the wait for the next reply frame (see class
@@ -389,6 +428,12 @@ class _RpcChannel:
     def drain(self, token: int):
         """The reply for ``token``: its value, or its raised error."""
         with self._lock:
+            if self._held and not self.dead:
+                try:
+                    self._flush_held()
+                except (OSError, ValueError) as error:
+                    raise self._broken(
+                        f'send failed: {error}') from error
             while token not in self._replies:
                 if self.dead:
                     raise ShardUnavailableError(self.shard, self.dead)
@@ -647,8 +692,10 @@ class ProcessShard:
         return self.channel.call('has_cache', name)
 
     def define_view(self, strategy, *, report=None,
-                    use_incremental: bool = True, stats=None):
-        args = (strategy, report, use_incremental, dict(stats or {}))
+                    use_incremental: bool = True, stats=None,
+                    exist_ok: bool = False):
+        args = (strategy, report, use_incremental, dict(stats or {}),
+                exist_ok)
         entry = self.channel.call('define_view', *args)
         if self._wal_path is None:
             self._views.append(args)

@@ -39,7 +39,8 @@ from pathlib import Path
 from repro.errors import SchemaError
 from repro.rdbms import faults
 from repro.rdbms.engine import Engine
-from repro.rdbms.wal import WriteAheadLog, read_records, scan_tail
+from repro.rdbms.wal import (WriteAheadLog, read_records, read_start_lsn,
+                             scan_tail)
 from repro.relational.database import Database
 from repro.relational.schema import DatabaseSchema
 
@@ -70,7 +71,8 @@ class ReplicaEngine:
         self._lock = threading.RLock()
         self.applied_lsn = 0
         self.stats = {'catch_ups': 0, 'records_applied': 0,
-                      'commits_applied': 0, 'catch_up_seconds': 0.0}
+                      'commits_applied': 0, 'catch_up_seconds': 0.0,
+                      'rotations': 0}
 
     @property
     def engine(self) -> Engine:
@@ -95,12 +97,26 @@ class ReplicaEngine:
         """Apply committed records past ``applied_lsn`` (all of them,
         or stop once ``upto`` is reached).  Returns the number of
         records applied.  O(|Δ|) per record: deltas go straight to the
-        backend, no plan runs."""
+        backend, no plan runs.
+
+        **Rotation handling.**  The primary's ``checkpoint()``
+        atomically replaces the log file with a snapshot prefix whose
+        header ``start_lsn`` jumps past a mid-history tailer.  The
+        snapshot's records do not correspond to historical states
+        record-by-record (each ``load`` replaces one whole table), so
+        an ``upto`` bound must not stop *inside* it — that would leave
+        some tables from the snapshot and others from the old history,
+        a state the primary never had.  When the header LSN has jumped
+        past ``applied_lsn``, the early-stop is suspended until the
+        end-of-snapshot ``checkpoint`` sentinel is consumed."""
         if faults.fire('replica.catch_up') == 'stall':
             return 0                   # injected stalled tail: no-op
         applied = 0
         started = time.perf_counter()
         with self._lock:
+            in_snapshot = read_start_lsn(self._path) > self.applied_lsn
+            if in_snapshot and self.applied_lsn:
+                self.stats['rotations'] += 1
             for record in read_records(self._path,
                                        after=self.applied_lsn):
                 self._engine.apply_wal_record(record.kind, record.data)
@@ -108,6 +124,11 @@ class ReplicaEngine:
                 applied += 1
                 if record.kind == 'commit':
                     self.stats['commits_applied'] += 1
+                if in_snapshot:
+                    if record.kind == 'checkpoint':
+                        in_snapshot = False
+                    else:
+                        continue       # never stop mid-snapshot
                 if upto is not None and record.lsn >= upto:
                     break
             if applied:

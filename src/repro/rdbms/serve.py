@@ -120,6 +120,15 @@ class ViewServer:
         self._admission: asyncio.Semaphore | None = None
         self._queue: asyncio.Queue | None = None
         self._committer: asyncio.Task | None = None
+        # Drain-then-close bookkeeping: how many submissions passed the
+        # closed check and have not resolved yet, and the event stop()
+        # awaits before telling the committer to exit.  Counted
+        # synchronously (no await between check and increment), so a
+        # submission suspended on the admission semaphore is still
+        # visible to stop() — previously such a straggler could enqueue
+        # *after* the stop sentinel and its future would hang forever.
+        self._pending = 0
+        self._drained: asyncio.Event | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._read_executor: ThreadPoolExecutor | None = None
         self._closed = True
@@ -172,16 +181,31 @@ class ViewServer:
             max_workers=self.read_threads,
             thread_name_prefix='repro-serve-read')
         self._closed = False
+        self._pending = 0
+        self._drained = asyncio.Event()
+        self._drained.set()
         self._committer = asyncio.get_running_loop().create_task(
             self._commit_loop())
         return self
 
     async def stop(self) -> None:
-        """Drain everything already submitted, then stop the committer.
+        """Graceful drain-then-close: new submissions are refused with
+        a clean error the moment stop begins, every submission already
+        admitted — including those still suspended on the admission
+        semaphore — runs to its own outcome (commit or its own
+        failure), and only then is the committer torn down.  A client
+        awaiting :meth:`submit` therefore never hangs across a stop.
         Idempotent."""
         if self._committer is None:
             return
         self._closed = True
+        # The committer keeps serving while admitted submissions drain:
+        # semaphore slots free as outcomes resolve, stragglers enqueue
+        # and get served, and the sentinel goes in only once no
+        # submission can still be on its way to the queue.
+        await self._drained.wait()
+        if self._committer is None:     # a concurrent stop() finished
+            return
         await self._queue.put(_STOP)
         await self._committer
         self._committer = None
@@ -210,12 +234,23 @@ class ViewServer:
         buckets = [(target, list(statements))
                    for target, statements in buckets]
         self.stats['submitted'] += 1
-        future = asyncio.get_running_loop().create_future()
-        # The admission slot frees only once the outcome is known —
-        # "in flight" means queued *or* running.
-        async with self._admission:
-            await self._queue.put((buckets, future))
-            return await future
+        # Admission accounting happens before any suspension point
+        # (asyncio is single-threaded: nothing runs between the closed
+        # check above and this increment), so stop() sees every
+        # submission that got past the check and drains it.
+        self._pending += 1
+        self._drained.clear()
+        try:
+            future = asyncio.get_running_loop().create_future()
+            # The admission slot frees only once the outcome is known —
+            # "in flight" means queued *or* running.
+            async with self._admission:
+                await self._queue.put((buckets, future))
+                return await future
+        finally:
+            self._pending -= 1
+            if self._pending == 0:
+                self._drained.set()
 
     async def rows(self, name: str, *, min_lsn=None) -> frozenset:
         """Serve one ``get``: the contents of a table or view, routed

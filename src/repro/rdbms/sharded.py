@@ -283,11 +283,12 @@ class LocalShard:
         return self.engine.backend.has_cache(name)
 
     def define_view(self, strategy, *, report=None,
-                    use_incremental: bool = True, stats=None):
+                    use_incremental: bool = True, stats=None,
+                    exist_ok: bool = False):
         return self.engine.define_view(strategy, report=report,
                                        validate_first=False,
                                        use_incremental=use_incremental,
-                                       stats=stats)
+                                       stats=stats, exist_ok=exist_ok)
 
     def drop_view(self, name: str) -> None:
         self.engine.drop_view(name)
@@ -485,6 +486,13 @@ class ShardedEngine:
         #: (route/prepare/apply), transaction counts, retry traffic.
         #: :meth:`metrics` merges this with every shard's own snapshot.
         self._metrics = MetricsRegistry()
+        #: Post-commit hooks: each callable receives the committed
+        #: transaction's bucket targets (a tuple of relation names)
+        #: after the cluster apply phase.  The coordinator-side
+        #: analogue of ``Engine.commit_listeners`` — worker engines
+        #: live behind the RPC boundary, so the peer network hooks the
+        #: coordinator and republishes by diffing the shared view.
+        self.commit_listeners: list = []
         # Durability + read replicas (both executions): each shard logs
         # to ``wal_dir/shard-<i>.wal`` — opened by the shard engine in
         # thread mode, *inside the worker* in process mode; replicas
@@ -836,15 +844,26 @@ class ShardedEngine:
     def define_view(self, strategy: UpdateStrategy, *,
                     report: ValidationReport | None = None,
                     validate_first: bool = True,
-                    use_incremental: bool = True) -> ViewEntry:
+                    use_incremental: bool = True,
+                    exist_ok: bool = False) -> ViewEntry:
         """Register an updatable view on every shard.
 
         Validation runs once here (not once per shard); each inner
         engine compiles against the *aggregated* cluster-wide
         cardinalities so the per-shard planners see the same join-order
         statistics a single node would.
+
+        ``exist_ok`` makes registration idempotent: shards that already
+        carry the view (their WAL replay re-registered it during
+        recovery) adopt it instead of raising, and a coordinator that
+        already lists it returns the existing entry.  This is how a
+        restarted coordinator rebuilds its catalog over the surviving
+        shard logs — peers in the data-sharing network lean on it after
+        a crash.
         """
         name = strategy.view.name
+        if exist_ok and name in self._entries:
+            return self._entries[name]
         if name in self.schema or name in self._entries:
             raise SchemaError(f'relation {name!r} already exists')
         for source in strategy.updated_relations():
@@ -864,7 +883,8 @@ class ShardedEngine:
             for client in self.shards:
                 created = client.define_view(
                     strategy, report=report,
-                    use_incremental=use_incremental, stats=stats)
+                    use_incremental=use_incremental, stats=stats,
+                    exist_ok=exist_ok)
                 if entry is None:
                     # Shard 0's entry (a pickled copy under process
                     # execution) is the cluster's catalog record.
@@ -1145,7 +1165,10 @@ class ShardedEngine:
         waited = 0.0
         while True:
             try:
-                return self._execute_cluster(batches)
+                self._execute_cluster(batches)
+                for listener in self.commit_listeners:
+                    listener(tuple(target for target, _ in batches))
+                return
             except ShardUnavailableError as error:
                 if getattr(error, 'applied', False) \
                         or attempts >= self._transient_retries:

@@ -50,16 +50,23 @@ from repro.errors import SchemaError
 from repro.rdbms import faults
 
 __all__ = ['WalRecord', 'WriteAheadLog', 'read_records', 'scan_tail',
-           'encode_record', 'RECORD_KINDS']
+           'encode_record', 'read_start_lsn', 'RECORD_KINDS']
 
 MAGIC = b'REPROWAL1\n'
 _HEADER = struct.Struct('>Q')    # starting LSN
 _FRAME = struct.Struct('>II')    # payload length, CRC-32 of payload
 
 #: Every record kind the engine writes.  ``commit`` carries
-#: ``(batch, changed_bases, keep)`` — the PreparedCommit shape; the
-#: catalog kinds carry what re-running the call needs.
-RECORD_KINDS = ('load', 'define_view', 'drop_view', 'commit')
+#: ``(batch, changed_bases, keep)`` — the PreparedCommit shape — or the
+#: 4-tuple ``(batch, changed_bases, keep, note)`` when the transaction
+#: embeds a durable note (e.g. a peer link watermark); the catalog
+#: kinds carry what re-running the call needs.  ``note`` records hold
+#: opaque sidecar state replay collects but does not interpret, and
+#: ``checkpoint`` is the sentinel :meth:`WriteAheadLog.checkpoint`
+#: appends after a snapshot so a mid-history reader can tell where the
+#: rewritten prefix ends.
+RECORD_KINDS = ('load', 'define_view', 'drop_view', 'commit',
+                'note', 'checkpoint')
 
 
 def _fsync_dir(path: Path) -> None:
@@ -99,6 +106,24 @@ def encode_record(kind: str, data: object) -> bytes:
     payload = pickle.dumps((kind, data),
                            protocol=pickle.HIGHEST_PROTOCOL)
     return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def read_start_lsn(path: str | Path) -> int:
+    """The file's header ``start_lsn`` alone (no frame scan).  A
+    file-tailing reader compares this against its own applied position
+    to detect that :meth:`WriteAheadLog.checkpoint` atomically replaced
+    the file with a snapshot prefix: the header LSN jumps past any
+    reader that was mid-history."""
+    try:
+        with open(path, 'rb') as handle:
+            header = handle.read(len(MAGIC) + _HEADER.size)
+    except FileNotFoundError:
+        return 0
+    if len(header) < len(MAGIC) + _HEADER.size \
+            or not header.startswith(MAGIC):
+        raise SchemaError(f'{path} is not a repro WAL file')
+    (start_lsn,) = _HEADER.unpack(header[len(MAGIC):])
+    return start_lsn
 
 
 def scan_tail(path: str | Path) -> _Tail:
@@ -319,6 +344,14 @@ class WriteAheadLog:
                     faults.fire('wal.checkpoint', index=count)
                     handle.write(encode_record(kind, data))
                     count += 1
+                # End-of-snapshot sentinel: a reader that detects the
+                # rewrite (file start_lsn jumped past its position)
+                # replays the snapshot prefix and must not stop early
+                # mid-snapshot — it consumes records until this marker
+                # before honouring any ``upto`` bound again.
+                handle.write(encode_record(
+                    'checkpoint', {'start_lsn': self._last_lsn}))
+                count += 1
                 handle.flush()
                 if self.sync:
                     os.fsync(handle.fileno())

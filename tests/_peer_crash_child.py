@@ -1,0 +1,64 @@
+"""Subprocess body for the peer SIGKILL crash-recovery test.
+
+Builds a data-sharing peer over ``DIRECTORY``, applies ``K`` deltas of
+a deterministic upstream feed (sender ``'upstream'``, delta ``i``
+inserts ``('up:<i>', 'hq')`` at LSN ``i``), then SIGKILLs itself with
+no shutdown of any kind.  The parent test reconstructs the peer over
+the same directory and asserts rows and watermark both recovered
+exactly — the apply and its acknowledgement are atomic (the ack note
+rides in the commit record), so the kill can lose neither half.
+
+Usage:  python _peer_crash_child.py DIRECTORY K
+"""
+
+import os
+import signal
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / 'src'))
+
+from repro.core.strategy import UpdateStrategy              # noqa: E402
+from repro.rdbms.engine import Engine                       # noqa: E402
+from repro.rdbms.peernet import Peer, ShareDelta            # noqa: E402
+from repro.relational.schema import DatabaseSchema          # noqa: E402
+
+VIEW = 'officeinfo'
+
+# Mirrors tests/test_peernet.py (duplicated on purpose: this script
+# runs standalone, outside any test package).
+OFFICE_PUTDELTA = """
+    in_office(N, O) :- works(N, O, _, _).
+    +works(N, O, P, E) :- officeinfo(N, O), not in_office(N, O),
+        P = 'n/a', E = 'n/a'.
+    -works(N, O, P, E) :- works(N, O, P, E), not officeinfo(N, O).
+"""
+OFFICE_GET = "officeinfo(N, O) :- works(N, O, _, _)."
+
+
+def factory(directory: Path) -> Engine:
+    sources = DatabaseSchema.build(
+        works={'wname': 'string', 'office': 'string',
+               'phone': 'string', 'email': 'string'})
+    strategy = UpdateStrategy.parse(VIEW, sources, OFFICE_PUTDELTA,
+                                    expected_get=OFFICE_GET)
+    engine = Engine(sources, wal=directory / 'engine.wal',
+                    wal_sync=False)
+    engine.define_view(strategy, validate_first=False, exist_ok=True)
+    return engine
+
+
+def main() -> int:
+    directory, k = Path(sys.argv[1]), int(sys.argv[2])
+    peer = Peer('victim', factory, directory, shares=())
+    for lsn in range(1, k + 1):
+        outcome = peer.receive(ShareDelta(
+            'upstream', VIEW, lsn, frozenset({'upstream'}),
+            frozenset({(f'up:{lsn}', 'hq')}), frozenset()))
+        assert outcome == 'applied', outcome
+    os.kill(os.getpid(), signal.SIGKILL)
+    return 1                              # pragma: no cover - dead
+
+
+if __name__ == '__main__':
+    sys.exit(main())

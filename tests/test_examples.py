@@ -54,6 +54,21 @@ def test_case_study():
     assert 'rejected' in out
 
 
+def test_order_sharing():
+    out = run_example('order_sharing.py')
+    assert 'VALID' in out
+    # Receiver sovereignty: the same logical order lands in each
+    # organisation's own base schema.
+    assert "('o-1001', 'espresso machine', 'placed', 'unassigned')" \
+        in out
+    assert "('o-1001', 'espresso machine', 'shipped', 'partner')" in out
+    # Outage → quarantine → anti-entropy catch-up.
+    assert 'retailer->carrier:orders' in out
+    assert 'links released     : 2' in out
+    assert out.count("('o-1002', 'grinder', 'placed')") >= 2
+    assert 'all three organisations converged' in out
+
+
 def test_example_dlog_file_loads():
     from repro.core.strategyfile import load_strategy
     strategy = load_strategy(EXAMPLES / 'luxuryitems.dlog')

@@ -578,6 +578,55 @@ class TestProcessExecution:
         finally:
             sharded.close()
 
+    def test_duplicated_rpc_frame_executes_once(self, union_strategy):
+        """At-least-once transport: a frame sent twice must be
+        absorbed by the worker's sequence dedup — dispatching it again
+        would double-execute the method AND desynchronise the reply
+        stream (two replies for one token poisons every later drain)."""
+        sharded = ShardedEngine(union_strategy.sources, shards=3,
+                                shard_keys=UNION_KEYS,
+                                execution='processes')
+        plan = faults.FaultPlan()
+        plan.dup_rpc(method='apply_statements')
+        try:
+            sharded.load('r1', [(0,), (1,), (2,)])
+            sharded.define_view(union_strategy, validate_first=False)
+            with plan.installed():
+                sharded.execute_many(
+                    [('v', [Insert((3,)), Insert((4,)), Insert((5,))])])
+                # The channel stays aligned: later calls still pair
+                # request to reply correctly.
+                assert frozenset(sharded.rows('v')) == \
+                    frozenset({(0,), (1,), (2,), (3,), (4,), (5,)})
+            assert plan.fired('rpc.send') == 1
+            sharded.execute_many([('v', [Insert((6,))])])
+            assert (6,) in sharded.rows('v')
+        finally:
+            sharded.close()
+
+    def test_reordered_rpc_frames_dispatch_fifo(self, union_strategy):
+        """A held-back ``begin`` delivered after its transaction's
+        ``apply_statements`` must be re-sequenced worker-side — the
+        dispatch order is FIFO by sequence number, not arrival order
+        (dispatching the statements first would hit a missing
+        transaction slot)."""
+        sharded = ShardedEngine(union_strategy.sources, shards=3,
+                                shard_keys=UNION_KEYS,
+                                execution='processes')
+        plan = faults.FaultPlan()
+        plan.reorder_rpc(method='begin')
+        try:
+            sharded.load('r1', [(0,), (1,), (2,)])
+            sharded.define_view(union_strategy, validate_first=False)
+            with plan.installed():
+                sharded.execute_many(
+                    [('v', [Insert((3,)), Insert((4,)), Insert((5,))])])
+            assert plan.fired('rpc.send') == 1
+            assert frozenset(sharded.rows('v')) == \
+                frozenset({(0,), (1,), (2,), (3,), (4,), (5,)})
+        finally:
+            sharded.close()
+
     def test_no_orphans_at_interpreter_exit(self, tmp_path):
         """A script that builds a pool and exits WITHOUT closing must
         still reap its workers (the atexit side of the finalizer) —

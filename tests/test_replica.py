@@ -18,6 +18,7 @@ from repro.rdbms import faults
 from repro.rdbms.dml import Insert
 from repro.rdbms.engine import Engine
 from repro.rdbms.replica import ReplicaEngine, ReplicaSet
+from repro.rdbms.wal import read_records, read_start_lsn
 from repro.rdbms.serve import ViewServer
 from repro.rdbms.sharded import ShardedEngine
 
@@ -90,6 +91,64 @@ class TestReplicaEngine:
             assert replica.tail_lsn() == primary.commit_lsn
             replica.catch_up()
             assert replica.database() == primary.database()
+        finally:
+            replica.close()
+            primary.close()
+
+    def test_live_replica_survives_primary_checkpoint(
+            self, luxury_strategy, tmp_path):
+        """Regression: the primary compacts its WAL *while a replica
+        is tailing it*.  The rewrite replaces history the replica
+        already applied with a snapshot at fresh LSNs; catch-up must
+        detect the rotation (header start LSN beyond its applied
+        position), replay the snapshot prefix, and keep tailing — not
+        double-apply or diverge."""
+        path = tmp_path / 'p.wal'
+        primary = _primary(luxury_strategy, path)
+        replica = ReplicaEngine(luxury_strategy.sources, path)
+        try:
+            replica.catch_up()
+            primary.insert('luxuryitems', (4, 'yacht', 90_000))
+            primary.checkpoint()
+            primary.insert('luxuryitems', (5, 'jet', 80_000))
+            replica.catch_up()
+            assert replica.stats['rotations'] == 1
+            assert replica.database() == primary.database()
+            assert frozenset(replica.rows('luxuryitems')) \
+                == frozenset(primary.rows('luxuryitems'))
+            # Back to plain tailing afterwards: no spurious rotations.
+            primary.insert('luxuryitems', (6, 'villa', 70_000))
+            replica.catch_up()
+            assert replica.stats['rotations'] == 1
+            assert replica.database() == primary.database()
+        finally:
+            replica.close()
+            primary.close()
+
+    def test_bounded_catch_up_never_stops_mid_snapshot(
+            self, union_strategy, tmp_path):
+        """Regression: ``catch_up(upto=)`` with a bound that falls
+        inside a checkpoint's snapshot must keep applying until the
+        end-of-snapshot sentinel — stopping between the snapshot's
+        ``load`` records would leave some tables rewritten and others
+        stale, a state the primary never had."""
+        path = tmp_path / 'p.wal'
+        primary = Engine(union_strategy.sources, wal=path,
+                         wal_sync=False)
+        primary.load('r1', [(1,), (2,)])
+        primary.load('r2', [(7,), (8,)])
+        replica = ReplicaEngine(union_strategy.sources, path)
+        try:
+            replica.catch_up()
+            primary.insert('r1', (3,))
+            primary.insert('r2', (9,))
+            primary.checkpoint()
+            # Bound the catch-up at the snapshot's very first record:
+            # naively honoring it would stop after one ``load``.
+            first = read_records(path).__next__().lsn
+            replica.catch_up(upto=first)
+            assert replica.database() == primary.database()
+            assert replica.applied_lsn >= read_start_lsn(path)
         finally:
             replica.close()
             primary.close()

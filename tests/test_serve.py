@@ -85,6 +85,37 @@ class TestLifecycle:
         engine.close()
 
 
+    def test_stop_drains_submissions_held_at_admission(
+            self, union_strategy):
+        """Regression: a submission past the closed-check but parked
+        on the admission *semaphore* is not yet in the queue — a stop
+        that only sentinels the queue strands it behind the sentinel
+        and its future never resolves.  ``stop()`` must wait for the
+        in-flight population to drain first: every accepted submission
+        either commits or fails cleanly, never hangs."""
+        engine = _union_engine(union_strategy)
+
+        async def main():
+            server = await ViewServer(engine, max_inflight=1,
+                                      max_group=1).start()
+            submits = [asyncio.ensure_future(
+                server.submit([('v', [Insert((20 + i,))])]))
+                for i in range(8)]
+            # All eight are accepted (counted) but at most one holds
+            # the admission slot; the rest are parked on the semaphore.
+            while server.stats['submitted'] < 8:
+                await asyncio.sleep(0)
+            await asyncio.wait_for(server.stop(), timeout=30)
+            return await asyncio.wait_for(asyncio.gather(*submits),
+                                          timeout=30)
+
+        receipts = asyncio.run(main())
+        assert all(isinstance(r, Receipt) for r in receipts)
+        assert frozenset(engine.rows('v')) >= {(20 + i,)
+                                               for i in range(8)}
+        engine.close()
+
+
 class TestGroupCommit:
 
     def test_single_submission_matches_direct_execution(
